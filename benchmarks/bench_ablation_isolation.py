@@ -1,0 +1,58 @@
+"""Ablation — isolation levels on the graph store.
+
+The paper requires serializability but notes "systems providing snapshot
+isolation behave identically to serializable" for this insert-only
+workload.  This bench verifies that observation operationally: replaying
+the update stream under SNAPSHOT vs READ_COMMITTED produces identical
+final states and comparable throughput — i.e., SI costs nothing extra
+and loses nothing here.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench import emit_artifact, format_table
+from repro.queries.updates import execute_update
+from repro.store import load_network
+from repro.store.graph import IsolationLevel
+from repro.store.loader import VertexLabel
+
+
+def _replay(split, isolation):
+    store = load_network(split.bulk)
+    started = time.perf_counter()
+    for op in split.updates:
+        execute_update(store, op, isolation)
+    elapsed = time.perf_counter() - started
+    with store.transaction() as txn:
+        state = (txn.count_vertices(VertexLabel.PERSON),
+                 txn.count_vertices(VertexLabel.POST),
+                 txn.count_vertices(VertexLabel.COMMENT),
+                 txn.count_vertices(VertexLabel.FORUM))
+    return len(split.updates) / elapsed, state
+
+
+def test_ablation_isolation_levels(benchmark, bench_split):
+    snapshot_rate, snapshot_state = _replay(bench_split,
+                                            IsolationLevel.SNAPSHOT)
+    rc_rate, rc_state = _replay(bench_split,
+                                IsolationLevel.READ_COMMITTED)
+    benchmark.pedantic(_replay,
+                       args=(bench_split, IsolationLevel.SNAPSHOT),
+                       rounds=1, iterations=1)
+    rows = [
+        ["snapshot isolation", round(snapshot_rate), *snapshot_state],
+        ["read committed", round(rc_rate), *rc_state],
+    ]
+    emit_artifact("ablation_isolation", format_table(
+        ["isolation", "updates/s", "persons", "posts", "comments",
+         "forums"], rows,
+        title="Ablation — isolation level on the insert-only update "
+              "stream"))
+
+    # "Snapshot isolation behaves identically to serializable" for this
+    # workload: identical final state, and no throughput penalty beyond
+    # noise.
+    assert snapshot_state == rc_state
+    assert snapshot_rate > 0.5 * rc_rate

@@ -1,0 +1,61 @@
+"""Ablation — time-ordered message ids (paper §3, last paragraph).
+
+"The system may choose to assign identifiers to Posts/Comments entities
+such that their IDs are increasing in time ... the final selection of
+Posts/Comments created before a certain date will have high locality.
+Moreover, it will eliminate the need for sorting at the end."
+
+Measured: the index-order Q9 variant (descending creation-date scan with
+circle-membership probe, no sort) vs the expand-and-sort reference on
+the relational engine.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from repro.bench import emit_artifact, format_table
+from repro.engine import snb_queries
+
+
+def _median_ms(run, repetitions=30):
+    samples = []
+    for __ in range(repetitions):
+        started = time.perf_counter()
+        run()
+        samples.append(time.perf_counter() - started)
+    return statistics.median(samples) * 1000
+
+
+def test_ablation_time_ordered_ids(benchmark, bench_catalog,
+                                   bench_params):
+    bindings = bench_params.by_query[9][:5]
+    for params in bindings:
+        assert snb_queries.q9_time_index_variant(bench_catalog, params) \
+            == snb_queries.q9(bench_catalog, params)
+
+    def run_reference():
+        for params in bindings:
+            snb_queries.q9(bench_catalog, params)
+
+    def run_variant():
+        for params in bindings:
+            snb_queries.q9_time_index_variant(bench_catalog, params)
+
+    reference_ms = _median_ms(run_reference)
+    variant_ms = benchmark.pedantic(lambda: _median_ms(run_variant),
+                                    rounds=1, iterations=1)
+    rows = [
+        ["expand circle + sort (reference)", round(reference_ms, 2)],
+        ["descending date-index scan, no sort", round(variant_ms, 2)],
+        ["speedup", f"{reference_ms / variant_ms:.2f}x"],
+    ]
+    emit_artifact("ablation_time_ordered_ids", format_table(
+        ["Q9 access path", "median ms (5 bindings)"], rows,
+        title="Ablation — time-ordered ids eliminate the final sort "
+              "(paper §3)"))
+    # The claim is qualitative: the index-order variant must not lose,
+    # and it reads only the newest sliver of the table (tested in the
+    # unit suite); at scale its advantage grows with the table size.
+    assert variant_ms < reference_ms * 1.5

@@ -1,0 +1,49 @@
+"""Figure 2a — post density over time: uniform vs event-driven.
+
+"When event driven post generation is enabled, the density is not
+uniform but spikes of different magnitude appear, which correspond to
+events of different levels of importance."
+"""
+
+from __future__ import annotations
+
+from repro.bench import ascii_series, emit_artifact
+from repro.datagen import DatagenConfig, generate
+from repro.datagen.events import EventCalendar
+
+PERSONS = 250
+SEED = 11
+BUCKETS = 80
+
+
+def _density(event_driven):
+    config = DatagenConfig(num_persons=PERSONS, seed=SEED,
+                           event_driven_posts=event_driven)
+    network = generate(config)
+    times = [p.creation_date for p in network.posts]
+    series = EventCalendar([]).density_series(
+        times, config.window.start, config.window.end, BUCKETS)
+    return series
+
+
+def _roughness(series):
+    mean = sum(series) / len(series)
+    jumps = [(a - b) ** 2 for a, b in zip(series, series[1:])]
+    return (sum(jumps) / len(jumps)) / max(mean, 1e-9) ** 2
+
+
+def test_figure2a_post_density(benchmark):
+    uniform = benchmark.pedantic(lambda: _density(False), rounds=1,
+                                 iterations=1)
+    spiky = _density(True)
+    artifact = "\n\n".join([
+        ascii_series([float(v) for v in uniform], height=10,
+                     title="Figure 2a (uniform): posts per time bucket"),
+        ascii_series([float(v) for v in spiky], height=10,
+                     title="Figure 2a (event-driven): posts per time "
+                           "bucket"),
+        f"detrended roughness: uniform={_roughness(uniform):.3f} "
+        f"event-driven={_roughness(spiky):.3f}",
+    ])
+    emit_artifact("figure2a_post_density", artifact)
+    assert _roughness(spiky) > 1.5 * _roughness(uniform)

@@ -1,0 +1,40 @@
+"""Figure 2b — maximum degree of each percentile in the Facebook graph.
+
+The paper plots the discretized Facebook degree table DATAGEN consumes.
+We regenerate the plot from our calibrated table and assert its defining
+properties: monotone growth, published median/mean calibration, and the
+5000-friend cap at the top percentile.
+"""
+
+from __future__ import annotations
+
+from repro.bench import ascii_series, emit_artifact, format_table
+from repro.datagen.degrees import (
+    FACEBOOK_MAX_DEGREE,
+    PERCENTILE_TABLE,
+    build_percentile_table,
+    facebook_average_degree,
+)
+
+
+def test_figure2b_degree_percentiles(benchmark):
+    table = benchmark(build_percentile_table)
+    maxima = [hi for __, hi in table]
+    rows = [[p, table[p][0], table[p][1]]
+            for p in (0, 10, 25, 50, 75, 90, 95, 99)]
+    artifact = "\n\n".join([
+        ascii_series([float(v) for v in maxima[:99]], height=12,
+                     title="Figure 2b — max degree per percentile "
+                           "(0-98; p99 hits the 5000 cap)"),
+        format_table(["percentile", "min degree", "max degree"], rows),
+        f"calibration: median≈{table[50][1]}, "
+        f"mean≈{facebook_average_degree():.0f}, "
+        f"cap={FACEBOOK_MAX_DEGREE}",
+    ])
+    emit_artifact("figure2b_degree_percentiles", artifact)
+
+    assert maxima == sorted(maxima)
+    assert table[-1][1] == FACEBOOK_MAX_DEGREE
+    assert 80 <= table[50][1] <= 130          # published median ≈ 100
+    assert 150 <= facebook_average_degree() <= 250   # mean ≈ 190
+    assert table == PERCENTILE_TABLE

@@ -1,0 +1,49 @@
+"""Figure 3b — DATAGEN scale-up: generation time vs SF vs cluster size.
+
+The paper measures wall-clock generation time for SF 30/300/1000 on 1, 3
+and 10 nodes.  We measure real single-process generation time at three
+miniature SFs and project the 3- and 10-worker runtimes from the
+per-stage parallel fractions (Amdahl decomposition — the documented
+substitution for a Hadoop cluster, DESIGN.md §2.3).
+"""
+
+from __future__ import annotations
+
+from repro.bench import emit_artifact, format_table
+from repro.datagen import DatagenConfig
+from repro.datagen.pipeline import DatagenPipeline
+
+SCALE_FACTORS = (0.003, 0.01, 0.03)
+WORKERS = (1, 3, 10)
+
+
+def _measure(sf):
+    pipeline = DatagenPipeline(DatagenConfig.for_scale_factor(sf,
+                                                              seed=42))
+    pipeline.run()
+    return pipeline.timings
+
+
+def test_figure3b_datagen_scaleup(benchmark):
+    timings = {sf: _measure(sf) for sf in SCALE_FACTORS}
+    benchmark.pedantic(_measure, args=(SCALE_FACTORS[0],), rounds=1,
+                       iterations=1)
+    rows = []
+    for sf in SCALE_FACTORS:
+        row = [sf] + [round(timings[sf].projected_seconds(w), 3)
+                      for w in WORKERS]
+        rows.append(row)
+    emit_artifact("figure3b_datagen_scaleup", format_table(
+        ["SF"] + [f"{w} node(s)" for w in WORKERS], rows,
+        title="Figure 3b — generation seconds vs scale factor "
+              "(multi-node projected via per-stage Amdahl)"))
+
+    # Shape: more workers → faster; larger SF → slower.
+    for sf in SCALE_FACTORS:
+        series = [timings[sf].projected_seconds(w) for w in WORKERS]
+        assert series[0] >= series[1] >= series[2]
+    singles = [timings[sf].projected_seconds(1) for sf in SCALE_FACTORS]
+    assert singles == sorted(singles)
+    # Parallelism helps substantially (most of the pipeline partitions).
+    big = timings[SCALE_FACTORS[-1]]
+    assert big.projected_seconds(10) < 0.5 * big.projected_seconds(1)

@@ -1,0 +1,56 @@
+"""Figure 4 — the intended execution plan for Query 9 + join ablation.
+
+Regenerates (a) the plan tree with estimated and actual cardinalities,
+(b) the optimizer's join-type decisions (INL for the low-cardinality
+friendship expansions — the paper's ⨝1/⨝2), and (c) the measured penalty
+of the wrong join type at ⨝1 ("replacing index-nested loop with hash in
+⨝1 results in 50% penalty" in HyPer; the factor depends on scale, the
+*direction* must reproduce).
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from repro.bench import emit_artifact
+from repro.engine import snb_queries
+from repro.engine.explain import explain_pipeline
+
+
+def _median_ms(catalog, params, force, repetitions=25):
+    samples = []
+    for __ in range(repetitions):
+        started = time.perf_counter()
+        snb_queries.q9_pipeline(catalog, params, force=force).execute()
+        samples.append(time.perf_counter() - started)
+    return statistics.median(samples) * 1000
+
+
+def test_figure4_q9_intended_plan(benchmark, bench_catalog,
+                                  bench_params):
+    params = bench_params.by_query[9][0]
+    pipeline = snb_queries.q9_pipeline(bench_catalog, params)
+    pipeline.execute()
+
+    good = benchmark.pedantic(
+        _median_ms, args=(bench_catalog, params, {0: "inl", 1: "inl"}),
+        rounds=1, iterations=1)
+    bad = _median_ms(bench_catalog, params, {0: "hash", 1: "inl"})
+    penalty = (bad - good) / good * 100
+
+    artifact = "\n".join([
+        "Figure 4 — intended execution plan for Query 9",
+        explain_pipeline(pipeline, show_actuals=True),
+        "",
+        f"join-type ablation at ⨝1 (friends expansion):",
+        f"  INL  (intended): {good:.2f} ms",
+        f"  HASH (wrong):    {bad:.2f} ms",
+        f"  penalty: {penalty:.0f}%   (paper: ~50% in HyPer at SF10+)",
+    ])
+    emit_artifact("figure4_q9_plan", artifact)
+
+    # The optimizer must choose INL for the friend expansion (⨝1).
+    assert pipeline.decisions[0].algorithm == "inl"
+    # The wrong choice must cost measurably more.
+    assert bad > good * 1.05

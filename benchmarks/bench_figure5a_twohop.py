@@ -1,0 +1,24 @@
+"""Figure 5a — distribution of the size of the 2-hop friend environment.
+
+"Since the number of friends has a power-law distribution, the number of
+friends of friends follows a multimodal distribution" — the source of
+Q5's runtime variance.  We regenerate the histogram and assert the
+heavy spread (max ≫ median) that makes curation necessary.
+"""
+
+from __future__ import annotations
+
+from repro.bench import ascii_histogram, emit_artifact
+from repro.datagen.stats import two_hop_histogram
+
+
+def test_figure5a_twohop_distribution(benchmark, bench_stats):
+    histogram = benchmark(two_hop_histogram, bench_stats, 24)
+    emit_artifact("figure5a_twohop", ascii_histogram(
+        [(str(bucket), count) for bucket, count in histogram],
+        title="Figure 5a — 2-hop friend environment size distribution"))
+
+    sizes = sorted(bench_stats.two_hop_count.values())
+    median = sizes[len(sizes) // 2]
+    assert sizes[-1] > 2 * max(median, 1)  # long tail
+    assert len(histogram) >= 5             # spread over many buckets

@@ -1,0 +1,74 @@
+"""Figure 5b — Q5 runtime distribution under uniform vs curated params.
+
+The paper's motivating example: uniform PersonID sampling gives Q5 a
+runtime distribution with >100× spread between the fastest and slowest
+binding, making scores non-repeatable; curation fixes it.  The factor is
+scale-dependent; the claims checked are the *direction* (curated variance
+and spread are much smaller) with a conservative factor.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from repro.bench import ascii_histogram, emit_artifact
+from repro.queries.complex_reads import q5
+
+
+def _runtimes(store, person_ids, min_date, repetitions=3):
+    runtimes = []
+    for person_id in person_ids:
+        samples = []
+        for __ in range(repetitions):
+            with store.transaction() as txn:
+                started = time.perf_counter()
+                q5.run(txn, q5.Q5Params(person_id, min_date))
+                samples.append(time.perf_counter() - started)
+        runtimes.append(statistics.median(samples) * 1000)
+    return runtimes
+
+
+def _histogram(runtimes, buckets=8):
+    top = max(runtimes)
+    width = max(top / buckets, 1e-9)
+    counts: dict[str, int] = {}
+    for i in range(buckets):
+        low, high = i * width, (i + 1) * width
+        label = f"{low:.1f}-{high:.1f}ms"
+        counts[label] = sum(1 for r in runtimes if low <= r < high)
+    counts[label] += sum(1 for r in runtimes if r == top)
+    return list(counts.items())
+
+
+def test_figure5b_q5_runtime_variance(benchmark, bench_store,
+                                      bench_curator, bench_params):
+    min_date = bench_params.by_query[5][0].min_date
+    uniform_ids = bench_curator.uniform_persons(5, 25)
+    curated_ids = bench_curator.curated_persons(5, 25)
+    uniform = benchmark.pedantic(
+        _runtimes, args=(bench_store, uniform_ids, min_date),
+        rounds=1, iterations=1)
+    curated = _runtimes(bench_store, curated_ids, min_date)
+
+    spread_uniform = max(uniform) / max(min(uniform), 1e-6)
+    spread_curated = max(curated) / max(min(curated), 1e-6)
+    var_uniform = statistics.pvariance(uniform)
+    var_curated = statistics.pvariance(curated)
+    artifact = "\n\n".join([
+        ascii_histogram(_histogram(uniform),
+                        title="Figure 5b — Q5 runtimes, uniform "
+                              "parameters"),
+        ascii_histogram(_histogram(curated),
+                        title="Figure 5b' — Q5 runtimes, curated "
+                              "parameters"),
+        (f"max/min spread: uniform {spread_uniform:.1f}× vs curated "
+         f"{spread_curated:.1f}×\n"
+         f"variance (ms²): uniform {var_uniform:.3f} vs curated "
+         f"{var_curated:.3f}"),
+    ])
+    emit_artifact("figure5b_q5_variance", artifact)
+
+    # P1: curated variance is (much) lower.
+    assert var_curated < var_uniform / 2
+    assert spread_curated < spread_uniform

@@ -1,0 +1,124 @@
+"""Table 1 — attribute value correlations ("left determines right").
+
+Regenerates the paper's correlation inventory as a measured report: for
+every rule we compute an evidence metric on the generated network (share
+of entities following the rule, or 100%-checked temporal orderings).
+"""
+
+from __future__ import annotations
+
+from repro.bench import emit_artifact, format_table
+from repro.datagen.dictionaries import FIRST_NAMES, LAST_NAMES
+from repro.schema import validate_network
+
+
+def _local_name_share(network, universe_countries, name_dict,
+                      attribute):
+    """Share of persons whose name comes from their culture's list."""
+    by_culture = {}
+    for country in universe_countries:
+        by_culture[country.country_place_id] = country.spec.culture
+    local = total = 0
+    for person in network.persons:
+        culture = by_culture[person.country_id]
+        if attribute == "first":
+            names = set(name_dict[culture]["male"]) \
+                | set(name_dict[culture]["female"])
+            value = person.first_name
+        else:
+            names = set(name_dict[culture])
+            value = person.last_name
+        total += 1
+        if value in names:
+            local += 1
+    return local / total
+
+
+def _topic_in_interest_share(network):
+    interests = {p.id: set(p.interests) for p in network.persons}
+    forum_tags = {f.id: set(f.tag_ids) for f in network.forums}
+    hits = total = 0
+    for post in network.posts:
+        if not post.tag_ids:
+            continue
+        total += 1
+        pool = interests[post.author_id] | forum_tags[post.forum_id]
+        if set(post.tag_ids) & pool:
+            hits += 1
+    return hits / max(total, 1)
+
+
+def _text_topic_share(network):
+    tags = {t.id: t.name for t in network.tags}
+    hits = total = 0
+    for post in network.posts:
+        if post.is_photo or not post.tag_ids:
+            continue
+        total += 1
+        if post.content.startswith(f"About {tags[post.tag_ids[0]]}:"):
+            hits += 1
+    return hits / max(total, 1)
+
+
+def _employer_email_share(network):
+    organisations = {o.id: o for o in network.organisations}
+    hits = total = 0
+    for person in network.persons:
+        if not person.work_at:
+            continue
+        total += 1
+        employer = organisations[person.work_at[0].organisation_id]
+        slug = "".join(ch for ch in employer.name.lower()
+                       if ch.isascii() and ch.isalnum())
+        if any(slug in email for email in person.emails):
+            hits += 1
+    return hits / max(total, 1)
+
+
+def _photo_location_share(network, universe):
+    persons = network.person_by_id()
+    hits = total = 0
+    for photo in (p for p in network.posts if p.is_photo):
+        total += 1
+        lat, lon = universe.city_coords[persons[photo.author_id].city_id]
+        if abs(photo.latitude - lat) <= 0.3 \
+                and abs(photo.longitude - lon) <= 0.3:
+            hits += 1
+    return hits / max(total, 1)
+
+
+def _build_report(bench_network):
+    from repro.datagen.dictionaries import Dictionaries
+    from repro.datagen.universe import build_universe
+
+    universe = build_universe(Dictionaries(42))
+    temporal_ok = validate_network(bench_network).ok
+    rows = [
+        ["person.location,gender → firstName",
+         f"{_local_name_share(bench_network, universe.countries, FIRST_NAMES, 'first'):.0%} local-culture"],
+        ["person.location → lastName",
+         f"{_local_name_share(bench_network, universe.countries, LAST_NAMES, 'last'):.0%} local-culture"],
+        ["person.interests → post.topic",
+         f"{_topic_in_interest_share(bench_network):.0%} of tagged posts"],
+        ["post.topic → post.text",
+         f"{_text_topic_share(bench_network):.0%} of text posts"],
+        ["person.employer → person.email",
+         f"{_employer_email_share(bench_network):.0%} of employed"],
+        ["post.photoLocation → latitude/longitude",
+         f"{_photo_location_share(bench_network, universe):.0%} of "
+         "photos"],
+        ["all temporal rules (birth<create<post<comment<like)",
+         "100% (validator clean)" if temporal_ok else "VIOLATED"],
+    ]
+    return rows, temporal_ok
+
+
+def test_table1_attribute_correlations(benchmark, bench_network):
+    rows, temporal_ok = benchmark(_build_report, bench_network)
+    emit_artifact("table1_correlations", format_table(
+        ["correlation (left determines right)", "measured evidence"],
+        rows, title="Table 1 — attribute value correlations"))
+    assert temporal_ok
+    # The names correlation must dominate (local >> uniform 1/8 share).
+    local_share = float(rows[0][1].split("%")[0]) / 100
+    assert local_share > 0.5

@@ -1,0 +1,48 @@
+"""Table 3 — SNB dataset statistics at different scale factors.
+
+The paper's table reports millions of entities at SF 30-1000; our
+miniature SFs regenerate the same columns, and the bench checks the same
+*scaling relationships*: super-linear growth of messages vs persons, and
+edges growing faster than nodes.
+"""
+
+from __future__ import annotations
+
+from repro.bench import emit_artifact, format_table
+from repro.datagen import DatagenConfig, generate
+from repro.datagen.config import persons_for_scale_factor
+from repro.datagen.stats import DatasetStatistics
+
+SCALE_FACTORS = (0.003, 0.01, 0.03)
+
+
+def test_table3_dataset_statistics(benchmark):
+    def build():
+        rows = []
+        for sf in SCALE_FACTORS:
+            config = DatagenConfig.for_scale_factor(sf, seed=42)
+            stats = DatasetStatistics.of(generate(config))
+            rows.append((sf, config.num_persons, stats))
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    table = [[sf, persons, s.nodes, s.edges, s.persons, s.friendships,
+              s.messages, s.forums]
+             for sf, persons, s in rows]
+    emit_artifact("table3_dataset_stats", format_table(
+        ["SF", "persons(SF)", "Nodes", "Edges", "Persons", "Friends",
+         "Messages", "Forums"], table,
+        title="Table 3 — dataset statistics at miniature scale factors"))
+
+    small = rows[0][2]
+    large = rows[-1][2]
+    person_growth = large.persons / small.persons
+    message_growth = large.messages / small.messages
+    # Messages per person grow with scale (paper: persons grow
+    # sublinearly with SF while data grows linearly).
+    assert message_growth > person_growth
+    # Edges outgrow nodes.
+    assert large.edges / small.edges > large.nodes / small.nodes * 0.9
+    # The SF→persons law matches the configuration.
+    for sf, persons, __ in rows:
+        assert persons == persons_for_scale_factor(sf)

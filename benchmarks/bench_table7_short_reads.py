@@ -1,0 +1,82 @@
+"""Table 7 — mean runtime of simple read-only queries (ms), two SUTs.
+
+Short reads are point lookups: the paper's rows are single-digit
+milliseconds almost everywhere.  We check the corresponding shape: every
+short read is far cheaper than the mean complex read.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench import emit_artifact, format_table
+from repro.core.sut import EngineSUT, StoreSUT
+from repro.queries import COMPLEX_QUERIES
+from repro.queries.registry import SHORT_QUERIES
+
+PAPER_SPARKSEE_SF10 = [7, 9, 9, 8, 9, 9, 8]
+PAPER_VIRTUOSO_SF300 = [6, 147, 37, 7, 2, 1, 8]
+
+
+def _inputs(network, kind, count=30):
+    if kind == "person":
+        return [p.id for p in network.persons[:count]]
+    return [m.id for m in network.posts[:count // 2]] \
+        + [c.id for c in network.comments[:count // 2]]
+
+
+def _mean_ms(sut, query_id, entities, repetitions=4):
+    samples = []
+    for entity_id in entities:
+        kind = SHORT_QUERIES[query_id].input_kind
+        for __ in range(repetitions):
+            started = time.perf_counter()
+            sut.run_short(query_id, (kind, entity_id))
+            samples.append(time.perf_counter() - started)
+    return sum(samples) / len(samples) * 1000
+
+
+@pytest.fixture(scope="module")
+def measured(bench_network, bench_store, bench_catalog):
+    store_sut = StoreSUT(bench_store)
+    engine_sut = EngineSUT(bench_catalog)
+    store_row = []
+    engine_row = []
+    for query_id in range(1, 8):
+        kind = SHORT_QUERIES[query_id].input_kind
+        entities = _inputs(bench_network, kind)
+        store_row.append(_mean_ms(store_sut, query_id, entities))
+        engine_row.append(_mean_ms(engine_sut, query_id, entities))
+    return store_row, engine_row
+
+
+def test_table7_mean_short_latencies(benchmark, measured, bench_network,
+                                     bench_store, bench_params):
+    store_row, engine_row = measured
+    entities = _inputs(bench_network, "person", 10)
+    benchmark.pedantic(_mean_ms,
+                       args=(StoreSUT(bench_store), 1, entities),
+                       rounds=3, iterations=1)
+    headers = ["system"] + [f"S{i}" for i in range(1, 8)]
+    rows = [
+        ["graph store (ours)"] + [round(v, 3) for v in store_row],
+        ["rel. engine (ours)"] + [round(v, 3) for v in engine_row],
+        ["Sparksee SF10 (paper)"] + PAPER_SPARKSEE_SF10,
+        ["Virtuoso SF300 (paper)"] + PAPER_VIRTUOSO_SF300,
+    ]
+    emit_artifact("table7_short_reads", format_table(
+        headers, rows,
+        title="Table 7 — mean runtime of short reads (ms)"))
+
+    # Shape: short reads are at least an order of magnitude cheaper
+    # than the heavy complex reads (paper: ~10ms vs 100s-1000s ms).
+    import time as __time
+    from repro.core.sut import StoreSUT as __StoreSUT
+
+    store_sut = __StoreSUT(bench_store)
+    started = __time.perf_counter()
+    store_sut.run_complex(9, bench_params.by_query[9][0])
+    q9_ms = (__time.perf_counter() - started) * 1000
+    assert max(store_row) < q9_ms

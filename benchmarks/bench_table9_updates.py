@@ -1,0 +1,76 @@
+"""Table 9 — mean runtime of transactional updates (ms), two SUTs.
+
+The paper's rows show all eight update types completing in tens to a few
+hundred milliseconds, with AddPerson among the heaviest (it writes the
+most satellite edges).  The shape claims checked: every update is cheap
+relative to complex reads, and AddPerson costs more than AddLike.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench import emit_artifact, format_table
+from repro.core.sut import EngineSUT, StoreSUT
+from repro.datagen.update_stream import UpdateKind
+from repro.engine.catalog import load_catalog
+from repro.store import load_network
+
+PAPER_SPARKSEE_SF10 = [492, 309, 307, 239, 317, 190, 324, 273]
+PAPER_VIRTUOSO_SF300 = [35, 198, 85, 55, 16, 118, 141, 15]
+
+KIND_ORDER = list(UpdateKind)
+
+
+@pytest.fixture(scope="module")
+def measured(bench_split):
+    store_sut = StoreSUT(load_network(bench_split.bulk))
+    engine_sut = EngineSUT(load_catalog(bench_split.bulk))
+    samples_store: dict[UpdateKind, list[float]] = \
+        {kind: [] for kind in UpdateKind}
+    samples_engine: dict[UpdateKind, list[float]] = \
+        {kind: [] for kind in UpdateKind}
+    for op in bench_split.updates:
+        started = time.perf_counter()
+        store_sut.run_update(op)
+        samples_store[op.kind].append(time.perf_counter() - started)
+        started = time.perf_counter()
+        engine_sut.run_update(op)
+        samples_engine[op.kind].append(time.perf_counter() - started)
+    mean_store = {k: sum(v) / len(v) * 1000 if v else 0.0
+                  for k, v in samples_store.items()}
+    mean_engine = {k: sum(v) / len(v) * 1000 if v else 0.0
+                   for k, v in samples_engine.items()}
+    return mean_store, mean_engine
+
+
+def test_table9_mean_update_latencies(benchmark, measured, bench_split):
+    mean_store, mean_engine = measured
+
+    def replay_some():
+        sut = StoreSUT(load_network(bench_split.bulk))
+        for op in bench_split.updates[:300]:
+            sut.run_update(op)
+
+    benchmark.pedantic(replay_some, rounds=1, iterations=1)
+    headers = ["system"] + [kind.name for kind in KIND_ORDER]
+    rows = [
+        ["graph store (ours)"] + [round(mean_store[k], 4)
+                                  for k in KIND_ORDER],
+        ["rel. engine (ours)"] + [round(mean_engine[k], 4)
+                                  for k in KIND_ORDER],
+        ["Sparksee SF10 (paper)"] + PAPER_SPARKSEE_SF10,
+        ["Virtuoso SF300 (paper)"] + PAPER_VIRTUOSO_SF300,
+    ]
+    emit_artifact("table9_updates", format_table(
+        headers, rows,
+        title="Table 9 — mean runtime of transactional updates (ms)"))
+
+    # Shape: AddPerson (many satellite edges) costs more than AddLike
+    # (single edge) on the store.
+    assert mean_store[UpdateKind.ADD_PERSON] \
+        > mean_store[UpdateKind.ADD_LIKE_POST]
+    # Updates are point operations: all well under the heavy reads.
+    assert max(mean_store.values()) < 50.0

@@ -1,0 +1,62 @@
+"""Shared fixtures for the paper-artifact benchmarks.
+
+One medium network (~SF 0.018) is generated per session and reused by
+every bench; benches that need other scales generate their own.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.curation import ParameterCurator
+from repro.datagen import DatagenConfig, generate
+from repro.datagen.stats import FrequencyStatistics
+from repro.datagen.update_stream import split_network
+from repro.engine.catalog import load_catalog
+from repro.store import load_network
+
+BENCH_SEED = 42
+BENCH_PERSONS = 300
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> DatagenConfig:
+    return DatagenConfig(num_persons=BENCH_PERSONS, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def bench_network(bench_config):
+    return generate(bench_config)
+
+
+@pytest.fixture(scope="session")
+def bench_stats(bench_network):
+    return FrequencyStatistics.of(bench_network)
+
+
+@pytest.fixture(scope="session")
+def bench_split(bench_network):
+    return split_network(bench_network)
+
+
+@pytest.fixture(scope="session")
+def bench_store(bench_network):
+    return load_network(bench_network)
+
+
+@pytest.fixture(scope="session")
+def bench_catalog(bench_network):
+    return load_catalog(bench_network)
+
+
+@pytest.fixture(scope="session")
+def bench_params(bench_network, bench_stats):
+    curator = ParameterCurator(bench_network, bench_stats,
+                               seed=BENCH_SEED)
+    return curator.curate(8)
+
+
+@pytest.fixture(scope="session")
+def bench_curator(bench_network, bench_stats):
+    return ParameterCurator(bench_network, bench_stats,
+                            seed=BENCH_SEED)

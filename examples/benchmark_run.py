@@ -1,0 +1,62 @@
+"""Full SNB-Interactive benchmark run on both systems under test.
+
+Plays the paper's complete procedure: generate → bulk-load 32 months →
+curate parameters → interleave the Table 4 query mix with the 4-month
+update stream → drive it through the dependency-tracking scheduler →
+print the full-disclosure report — first unthrottled (peak throughput),
+then at a fixed acceleration factor to check the run is *sustained*
+(the benchmark's actual passing criterion).
+
+Run:  python examples/benchmark_run.py
+"""
+
+from repro.core import BenchmarkConfig, InteractiveBenchmark, render_report
+from repro.driver.modes import ExecutionMode
+
+
+def main() -> None:
+    for sut in ("store", "engine"):
+        config = BenchmarkConfig(
+            num_persons=250,
+            seed=7,
+            sut=sut,
+            num_partitions=4,
+            mode=ExecutionMode.SEQUENTIAL,
+            bindings_per_query=8,
+        )
+        print(f"\n{'=' * 70}\nunthrottled run — {sut}\n{'=' * 70}")
+        report = InteractiveBenchmark(config).run()
+        print(render_report(report))
+
+    # Throttled runs: the benchmark's headline metric is the highest
+    # acceleration factor (simulation time / real time) the system can
+    # sustain — the paper's Virtuoso run sustained 2.5, Sparksee 0.1,
+    # on GB-scale data; a miniature in-memory dataset sustains far
+    # higher factors.
+    print(f"\n{'=' * 70}\nacceleration factor probe\n{'=' * 70}")
+    best = None
+    for acceleration in (1e6, 4e6, 1.6e7, 6.4e7):
+        throttled = BenchmarkConfig(
+            num_persons=150, seed=7, sut="store", num_partitions=4,
+            mode=ExecutionMode.SEQUENTIAL, bindings_per_query=4,
+            acceleration=acceleration,
+        )
+        report = InteractiveBenchmark(throttled).run()
+        verdict = "sustained" if report.sustained \
+            else "NOT sustained"
+        print(f"  acceleration {acceleration:>12.0f}: {verdict} "
+              f"(wall {report.wall_seconds:5.1f}s, late fraction "
+              f"{report.late_fraction:.1%}, max lateness covered by "
+              f"the 1s slack)" if report.sustained else
+              f"  acceleration {acceleration:>12.0f}: {verdict} "
+              f"(wall {report.wall_seconds:5.1f}s, late fraction "
+              f"{report.late_fraction:.1%})")
+        if report.sustained:
+            best = acceleration
+    if best is not None:
+        print(f"\nbenchmark score — sustained acceleration factor: "
+              f"{best:.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Choke-point analysis demo: the paper's Section 3 on your terminal.
+
+Shows the relational engine's cost-based plan for Query 9 (Figure 4),
+its estimated vs actual cardinalities, and the measured penalty of
+forcing the wrong join type at each step.
+
+Run:  python examples/choke_point_explain.py
+"""
+
+import statistics
+import time
+
+from repro.curation import ParameterCurator
+from repro.datagen import DatagenConfig, generate
+from repro.engine import snb_queries
+from repro.engine.catalog import load_catalog
+from repro.engine.explain import explain_pipeline
+
+
+def median_ms(catalog, params, force, repetitions=25):
+    samples = []
+    for __ in range(repetitions):
+        started = time.perf_counter()
+        snb_queries.q9_pipeline(catalog, params, force=force).execute()
+        samples.append(time.perf_counter() - started)
+    return statistics.median(samples) * 1000
+
+
+def main() -> None:
+    network = generate(DatagenConfig(num_persons=400, seed=5))
+    catalog = load_catalog(network)
+    params = ParameterCurator(network, seed=5).curate(3).by_query[9][0]
+
+    pipeline = snb_queries.q9_pipeline(catalog, params)
+    rows = pipeline.execute()
+    print("Query 9 — intended plan (Figure 4), with actual "
+          "cardinalities:\n")
+    print(explain_pipeline(pipeline, show_actuals=True))
+    print(f"\npipeline produced {len(rows)} tuples")
+
+    print("\njoin-type ablation (the choke point):")
+    variants = {
+        "INL, INL (intended)": {0: "inl", 1: "inl"},
+        "HASH at join-1 (wrong)": {0: "hash", 1: "inl"},
+        "HASH at join-2": {0: "inl", 1: "hash"},
+        "HASH, HASH": {0: "hash", 1: "hash"},
+    }
+    baseline = None
+    for label, force in variants.items():
+        ms = median_ms(catalog, params, force)
+        if baseline is None:
+            baseline = ms
+        print(f"  {label:<26} {ms:7.2f} ms "
+              f"({(ms - baseline) / baseline * 100:+5.0f}%)")
+    print("\npaper: 'replacing index-nested loop with hash in ⨝1 "
+          "results in 50% penalty' (HyPer, SF10+)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Quickstart: generate a network, load the store, ask it questions.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.datagen import DatagenConfig, generate
+from repro.queries.complex_reads import q2, q9, q13
+from repro.queries.short_reads import s1_person_profile, s3_friends
+from repro.schema import validate_network
+from repro.sim_time import iso
+from repro.store import load_network
+
+
+def main() -> None:
+    # 1. Generate a miniature social network (deterministic in seed).
+    config = DatagenConfig(num_persons=200, seed=2026)
+    network = generate(config)
+    print("generated:", network.summary())
+
+    # 2. Integrity: every temporal/referential rule holds.
+    report = validate_network(network)
+    print("integrity violations:", len(report.violations))
+
+    # 3. Bulk-load the MVCC graph store and run some SNB queries.
+    store = load_network(network)
+    alice = network.persons[0]
+    with store.transaction() as txn:
+        profile = s1_person_profile(txn, alice.id)
+        print(f"\nprofile: {profile.first_name} {profile.last_name}, "
+              f"joined {iso(profile.creation_date)}")
+
+        friends = s3_friends(txn, alice.id)
+        print(f"friends: {len(friends)}")
+
+        newest = q2.run(txn, q2.Q2Params(
+            alice.id, max_date=config.window.end))
+        print(f"\nQ2 — newest messages from friends "
+              f"({len(newest)} rows):")
+        for row in newest[:3]:
+            print(f"  {iso(row.creation_date)}  {row.first_name} "
+                  f"{row.last_name}: {row.content[:60]}...")
+
+        circle_posts = q9.run(txn, q9.Q9Params(
+            alice.id, max_date=config.window.end))
+        print(f"\nQ9 — newest 2-hop-circle messages: "
+              f"{len(circle_posts)} rows")
+
+        other = network.persons[-1]
+        path = q13.run(txn, q13.Q13Params(alice.id, other.id))
+        print(f"\nQ13 — shortest path between {alice.first_name} and "
+              f"{other.first_name}: {path[0].length} hops")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""Social analytics scenario: the workload the paper's intro motivates.
+
+"Social network analysis on data that contains excerpts of social
+networks is a very common marketing activity nowadays."  This example
+plays a marketing analyst working an SNB network through the public API:
+
+1. find trending topics in a user's circle (Q4),
+2. recommend new friends by shared interests (Q10),
+3. identify engaged audiences via recent likes (Q7),
+4. check how tightly two communities connect (Q13/Q14),
+5. find experts to consult on a topic category (Q12).
+
+Run:  python examples/social_analytics.py
+"""
+
+from collections import Counter
+
+from repro.datagen import DatagenConfig, generate
+from repro.datagen.stats import FrequencyStatistics
+from repro.queries.complex_reads import q4, q7, q10, q12, q13, q14
+from repro.sim_time import MILLIS_PER_DAY, iso
+from repro.store import load_network
+
+
+def main() -> None:
+    config = DatagenConfig(num_persons=300, seed=99)
+    network = generate(config)
+    store = load_network(network)
+    stats = FrequencyStatistics.of(network)
+
+    # Focus on a well-connected user (an "influencer").
+    influencer_id = max(stats.friend_count,
+                        key=lambda pid: stats.friend_count[pid])
+    influencer = network.person_by_id()[influencer_id]
+    print(f"analyst focus: {influencer.first_name} "
+          f"{influencer.last_name} "
+          f"({stats.friend_count[influencer_id]} friends, "
+          f"{stats.two_hop_count[influencer_id]} in 2-hop circle)")
+
+    with store.transaction() as txn:
+        # 1. Trending topics in the influencer's circle, last 90 days.
+        window_start = config.window.end - 90 * MILLIS_PER_DAY
+        trending = q4.run(txn, q4.Q4Params(influencer_id, window_start,
+                                           90))
+        print("\ntrending new topics among friends (Q4):")
+        for row in trending[:5]:
+            print(f"  {row.tag_name}: {row.post_count} posts")
+
+        # 2. Friend recommendations (horoscope-gated, as in the spec).
+        print("\nfriend recommendations (Q10):")
+        recommendations = []
+        for month in range(1, 13):
+            recommendations += q10.run(
+                txn, q10.Q10Params(influencer_id, month))
+        recommendations.sort(key=lambda r: -r.similarity)
+        for row in recommendations[:5]:
+            print(f"  {row.first_name} {row.last_name} "
+                  f"({row.city_name}), interest similarity "
+                  f"{row.similarity}")
+
+        # 3. Audience engagement: who likes this user's content?
+        likes = q7.run(txn, q7.Q7Params(influencer_id))
+        outside = sum(1 for row in likes
+                      if row.is_outside_connections)
+        print(f"\nrecent likers (Q7): {len(likes)}, of which "
+              f"{outside} from outside direct connections")
+        for row in likes[:3]:
+            print(f"  {iso(row.like_date)} {row.first_name} "
+                  f"{row.last_name} (latency "
+                  f"{row.latency_minutes} min)")
+
+        # 4. Community connectivity: distance to the least-connected
+        # person, and interaction-weighted paths to a peer.
+        loner_id = min(stats.friend_count,
+                       key=lambda pid: stats.friend_count[pid])
+        distance = q13.run(txn, q13.Q13Params(influencer_id,
+                                              loner_id))[0].length
+        print(f"\nshortest path to least-connected member (Q13): "
+              f"{distance}")
+        peer_id = sorted(stats.friend_count,
+                         key=lambda pid: -stats.friend_count[pid])[1]
+        paths = q14.run(txn, q14.Q14Params(influencer_id, peer_id))
+        if paths:
+            best = paths[0]
+            print(f"strongest path to peer influencer (Q14): weight "
+                  f"{best.weight:.1f} over {len(best.path) - 1} hops")
+
+        # 5. Experts per topic category (Q12) across categories.
+        print("\nexperts by reply volume per category (Q12):")
+        expert_counter = Counter()
+        for tag_class in network.tag_classes:
+            for row in q12.run(txn, q12.Q12Params(influencer_id,
+                                                  tag_class.id)):
+                expert_counter[(row.first_name, row.last_name)] += \
+                    row.reply_count
+        for (first, last), replies in expert_counter.most_common(5):
+            print(f"  {first} {last}: {replies} topical replies")
+
+
+if __name__ == "__main__":
+    main()

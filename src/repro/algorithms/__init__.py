@@ -1,0 +1,31 @@
+"""SNB-Algorithms workload preview (paper §1, third workload).
+
+"SNB-Algorithms ... is planned to consist of a handful of often-used
+graph analysis algorithms, including PageRank, Community Detection,
+Clustering and Breadth First Search."  The workload was under
+construction when the paper was published; this package implements the
+four named algorithms over the *knows* graph of a generated network, so
+all three SNB workloads can run on one dataset as the paper intends
+("we specifically aim to run all three benchmarks on the same dataset").
+
+All algorithms are pure Python over an adjacency-set view
+(:func:`knows_graph`); the test suite cross-validates them against
+networkx.
+"""
+
+from .graph_view import knows_graph
+from .bfs import bfs_levels, graph500_bfs_sample
+from .clustering import average_clustering, local_clustering
+from .community import community_sizes, label_propagation
+from .pagerank import pagerank
+
+__all__ = [
+    "average_clustering",
+    "bfs_levels",
+    "community_sizes",
+    "graph500_bfs_sample",
+    "knows_graph",
+    "label_propagation",
+    "local_clustering",
+    "pagerank",
+]

@@ -1,0 +1,45 @@
+"""Community detection via label propagation.
+
+The classic semi-synchronous label propagation algorithm: every node
+adopts the most frequent label among its neighbors until a fixed point
+(or iteration cap).  Deterministic given the seed: nodes are visited in
+a seeded shuffle order each round, ties broken by the smallest label.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..rng import RandomStream
+
+
+def label_propagation(adjacency: dict[int, set[int]],
+                      max_iterations: int = 50,
+                      seed: int = 0) -> dict[int, int]:
+    """Node → community label (labels are representative node ids)."""
+    labels = {node: node for node in adjacency}
+    order = sorted(adjacency)
+    stream = RandomStream.for_key(seed, "label-propagation")
+    for __ in range(max_iterations):
+        stream.shuffle(order)
+        changed = 0
+        for node in order:
+            friends = adjacency[node]
+            if not friends:
+                continue
+            counts = Counter(labels[f] for f in friends)
+            top = max(counts.values())
+            best = min(label for label, count in counts.items()
+                       if count == top)
+            if best != labels[node]:
+                labels[node] = best
+                changed += 1
+        if changed == 0:
+            break
+    return labels
+
+
+def community_sizes(labels: dict[int, int]) -> dict[int, int]:
+    """Community label → member count, largest first."""
+    counts = Counter(labels.values())
+    return dict(sorted(counts.items(), key=lambda kv: (-kv[1], kv[0])))

@@ -1,0 +1,16 @@
+"""Adjacency view over the *knows* graph of a network."""
+
+from __future__ import annotations
+
+from ..schema.dataset import SocialNetwork
+
+
+def knows_graph(network: SocialNetwork) -> dict[int, set[int]]:
+    """Person id → set of friend ids (every person present, even
+    isolated ones)."""
+    adjacency: dict[int, set[int]] = {p.id: set()
+                                      for p in network.persons}
+    for edge in network.knows:
+        adjacency[edge.person1_id].add(edge.person2_id)
+        adjacency[edge.person2_id].add(edge.person1_id)
+    return adjacency

@@ -1,0 +1,40 @@
+"""PageRank over the friendship graph (power iteration)."""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+
+
+def pagerank(adjacency: dict[int, set[int]], damping: float = 0.85,
+             max_iterations: int = 100, tolerance: float = 1e-8,
+             ) -> dict[int, float]:
+    """PageRank scores summing to 1.0.
+
+    Standard power iteration with uniform teleport; dangling nodes
+    (no friends) redistribute their mass uniformly.  Converges when the
+    L1 change drops below ``tolerance``.
+    """
+    if not adjacency:
+        return {}
+    if not 0.0 < damping < 1.0:
+        raise ReproError(f"damping must be in (0,1), got {damping}")
+    n = len(adjacency)
+    rank = {node: 1.0 / n for node in adjacency}
+    base = (1.0 - damping) / n
+    for __ in range(max_iterations):
+        dangling_mass = sum(rank[node] for node, friends
+                            in adjacency.items() if not friends)
+        next_rank = {node: base + damping * dangling_mass / n
+                     for node in adjacency}
+        for node, friends in adjacency.items():
+            if not friends:
+                continue
+            share = damping * rank[node] / len(friends)
+            for friend in friends:
+                next_rank[friend] += share
+        change = sum(abs(next_rank[node] - rank[node])
+                     for node in adjacency)
+        rank = next_rank
+        if change < tolerance:
+            break
+    return rank

@@ -1,0 +1,19 @@
+"""Shared harness utilities for the paper-artifact benchmarks.
+
+Every module in ``benchmarks/`` regenerates one table or figure of the
+paper; these helpers render aligned text tables and ASCII plots so the
+bench output can be compared side by side with the paper's artifact.
+"""
+
+from .artifacts import emit_artifact
+from .plots import ascii_histogram, ascii_series
+from .tables import format_table
+from .timing import median_seconds
+
+__all__ = [
+    "ascii_histogram",
+    "ascii_series",
+    "emit_artifact",
+    "format_table",
+    "median_seconds",
+]

@@ -1,0 +1,31 @@
+"""Artifact sink for the paper-regeneration benches.
+
+Every bench prints its table/figure and also writes it under
+``benchmarks/output/`` so a run leaves a reviewable directory of
+regenerated paper artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+
+def artifact_dir() -> Path:
+    """Directory artifacts are written to (override via REPRO_BENCH_OUT)."""
+    root = os.environ.get("REPRO_BENCH_OUT")
+    if root:
+        path = Path(root)
+    else:
+        path = Path(__file__).resolve().parents[3] / "benchmarks" \
+            / "output"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def emit_artifact(name: str, text: str) -> None:
+    """Print an artifact and persist it as ``benchmarks/output/<name>``."""
+    banner = f"\n===== {name} =====\n"
+    print(banner + text)
+    (artifact_dir() / f"{name}.txt").write_text(text + "\n",
+                                                encoding="utf-8")

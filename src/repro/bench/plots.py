@@ -1,0 +1,39 @@
+"""ASCII plots: the figure artifacts of the paper, in terminal form."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def ascii_histogram(pairs: Sequence[tuple], width: int = 50,
+                    title: str | None = None,
+                    label_format: str = "{:>12}") -> str:
+    """Horizontal bar chart of (label, count) pairs."""
+    lines = [title] if title else []
+    if not pairs:
+        lines.append("(empty)")
+        return "\n".join(lines)
+    top = max(count for __, count in pairs) or 1
+    for label, count in pairs:
+        bar = "#" * max(1 if count else 0, round(count / top * width))
+        lines.append(f"{label_format.format(label)} |{bar} {count}")
+    return "\n".join(lines)
+
+
+def ascii_series(values: Sequence[float], height: int = 12,
+                 title: str | None = None) -> str:
+    """Vertical sparkline-style chart of a numeric series."""
+    lines = [title] if title else []
+    if not values:
+        lines.append("(empty)")
+        return "\n".join(lines)
+    top = max(values) or 1.0
+    rows = []
+    for level in range(height, 0, -1):
+        threshold = top * level / height
+        row = "".join("█" if value >= threshold else " "
+                      for value in values)
+        rows.append(f"{threshold:10.1f} |{row}")
+    rows.append(" " * 11 + "+" + "-" * len(values))
+    lines.extend(rows)
+    return "\n".join(lines)

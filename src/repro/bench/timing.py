@@ -1,0 +1,20 @@
+"""Timing helpers for the paper-artifact benchmarks."""
+
+from __future__ import annotations
+
+import statistics
+import time
+from typing import Callable
+
+
+def median_seconds(run: Callable[[], object], repetitions: int = 5,
+                   warmup: int = 1) -> float:
+    """Median wall-clock seconds of ``run`` over several repetitions."""
+    for __ in range(warmup):
+        run()
+    samples = []
+    for __ in range(repetitions):
+        started = time.perf_counter()
+        run()
+        samples.append(time.perf_counter() - started)
+    return statistics.median(samples)

@@ -1,0 +1,25 @@
+"""SNB-BI workload preview (paper §1, second workload).
+
+"This workload consists of a set of queries that access a large
+percentage of all entities in the dataset (the 'fact tables'), and
+groups these in various dimensions ... the distinguishing factor is the
+presence of graph traversal predicates and recursion."  SNB-BI was a
+working draft when the paper was published; this package implements four
+draft queries in that style over the relational engine's catalog,
+exercising full scans of the message fact table, multi-dimensional
+group-bys, and a friendship-graph predicate.
+"""
+
+from .queries import (
+    bi1_posting_summary,
+    bi2_tag_evolution,
+    bi3_popular_topics_by_country,
+    bi4_influential_posters,
+)
+
+__all__ = [
+    "bi1_posting_summary",
+    "bi2_tag_evolution",
+    "bi3_popular_topics_by_country",
+    "bi4_influential_posters",
+]

@@ -1,0 +1,153 @@
+"""Draft SNB-BI queries over the relational catalog.
+
+Each query is TPC-H-style: a scan of a fact table (message — by far the
+largest), grouped along dimensions (time, country, tag), one of them
+with a graph-traversal predicate (friend count), which is exactly the
+flavor the paper sketches for SNB-BI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..curation.buckets import bucket_key
+from ..engine.catalog import Catalog
+from ..engine.operators import Filter, GroupAggregate, Scan
+from ..sim_time import MILLIS_PER_MONTH, date_from_millis
+
+
+@dataclass(frozen=True)
+class Bi1Row:
+    """Message volume per (year, is_post) group."""
+
+    year: int
+    is_post: bool
+    message_count: int
+    total_length: int
+    average_length: float
+
+
+def bi1_posting_summary(catalog: Catalog) -> list[Bi1Row]:
+    """BI-1: full message scan grouped by year and message kind."""
+    message = catalog.table("message")
+    # Year extraction happens in a projection-like wrapper row.
+    rows: dict[tuple[int, bool], list[int]] = {}
+    scan = Scan(message)
+    for row in scan:
+        year = date_from_millis(row[3]).year
+        key = (year, row[8])
+        state = rows.get(key)
+        if state is None:
+            rows[key] = [1, row[5]]
+        else:
+            state[0] += 1
+            state[1] += row[5]
+    result = [Bi1Row(year, is_post, count, total, total / count)
+              for (year, is_post), (count, total)
+              in rows.items()]
+    result.sort(key=lambda r: (r.year, not r.is_post))
+    return result
+
+
+@dataclass(frozen=True)
+class Bi2Row:
+    """Tag activity across two consecutive month windows."""
+
+    tag_name: str
+    count_window_a: int
+    count_window_b: int
+
+    @property
+    def delta(self) -> int:
+        return self.count_window_b - self.count_window_a
+
+
+def bi2_tag_evolution(catalog: Catalog, month_start: int,
+                      limit: int = 20) -> list[Bi2Row]:
+    """BI-2: tag popularity change between two consecutive months."""
+    window_a = (month_start, month_start + MILLIS_PER_MONTH)
+    window_b = (window_a[1], window_a[1] + MILLIS_PER_MONTH)
+    message = catalog.table("message")
+    message_tag = catalog.table("message_tag")
+    counts: dict[int, list[int]] = {}
+    for slot, (low, high) in enumerate((window_a, window_b)):
+        for row in message.range_scan(low, high - 1):
+            for tag_row in message_tag.probe("message_id", row[0]):
+                state = counts.setdefault(tag_row[1], [0, 0])
+                state[slot] += 1
+    tag = catalog.table("tag")
+    rows = [Bi2Row(tag.by_pk(tag_id)[1], a, b)
+            for tag_id, (a, b) in counts.items()]
+    rows.sort(key=lambda r: (-abs(r.delta), r.tag_name))
+    return rows[:limit]
+
+
+@dataclass(frozen=True)
+class Bi3Row:
+    """Message count per (country, tag) group."""
+
+    country_name: str
+    tag_name: str
+    message_count: int
+
+
+def bi3_popular_topics_by_country(catalog: Catalog, top_per_country: int
+                                  = 3) -> list[Bi3Row]:
+    """BI-3: the most discussed tags per message country."""
+    message = catalog.table("message")
+    message_tag = catalog.table("message_tag")
+    counts: dict[tuple[int, int], int] = {}
+    for row in message.rows:
+        for tag_row in message_tag.probe("message_id", row[0]):
+            key = (row[7], tag_row[1])
+            counts[key] = counts.get(key, 0) + 1
+    by_country: dict[int, list[tuple[int, int]]] = {}
+    for (country_id, tag_id), count in counts.items():
+        by_country.setdefault(country_id, []).append((count, tag_id))
+    place = catalog.table("place")
+    tag = catalog.table("tag")
+    rows = []
+    for country_id, tag_counts in by_country.items():
+        tag_counts.sort(key=lambda pair: (-pair[0], pair[1]))
+        for count, tag_id in tag_counts[:top_per_country]:
+            rows.append(Bi3Row(place.by_pk(country_id)[1],
+                               tag.by_pk(tag_id)[1], count))
+    rows.sort(key=lambda r: (r.country_name, -r.message_count,
+                             r.tag_name))
+    return rows
+
+
+@dataclass(frozen=True)
+class Bi4Row:
+    """An influential poster: well-connected and prolific."""
+
+    person_id: int
+    first_name: str
+    last_name: str
+    friend_count: int
+    message_count: int
+
+
+def bi4_influential_posters(catalog: Catalog, min_friends: int,
+                            limit: int = 10) -> list[Bi4Row]:
+    """BI-4: top posters among persons with ≥ ``min_friends`` friends.
+
+    The graph-traversal predicate of the draft workload: the group-by
+    over the message fact table is restricted by a friendship-degree
+    condition evaluated on the knows graph.
+    """
+    message = catalog.table("message")
+    counts = GroupAggregate(Scan(message), ["creator_id"],
+                            {"messages": ("count", None)})
+    knows = catalog.table("knows")
+    person = catalog.table("person")
+    rows = []
+    for creator_id, message_count in counts:
+        friend_count = len(knows.probe("person1_id", creator_id))
+        if friend_count < min_friends:
+            continue
+        row = person.by_pk(creator_id)
+        rows.append(Bi4Row(creator_id, row[1], row[2], friend_count,
+                           message_count))
+    rows.sort(key=lambda r: (-r.message_count, r.person_id))
+    return rows[:limit]

@@ -1,0 +1,202 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands:
+
+* ``generate`` — run DATAGEN, print Table 3-style statistics, and
+  optionally export CSV bulk files;
+* ``validate`` — load a CSV export and run the integrity validator;
+* ``benchmark`` — run the full SNB-Interactive benchmark on a SUT and
+  print the full-disclosure report;
+* ``explain`` — show the optimizer's plan for the Figure 4 query (Q9);
+* ``curate`` — print curated parameter bindings for one query template.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import __version__
+from .datagen import DatagenConfig, generate
+from .datagen.serializer import read_csv, write_csv
+from .datagen.stats import DatasetStatistics
+from .schema import validate_network
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LDBC SNB Interactive reproduction (SIGMOD 2015)")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    gen = commands.add_parser("generate", help="run DATAGEN")
+    gen.add_argument("--persons", type=int, default=300)
+    gen.add_argument("--scale-factor", type=float, default=None,
+                     help="derive the person count from a scale factor")
+    gen.add_argument("--seed", type=int, default=42)
+    gen.add_argument("--out", default=None,
+                     help="directory for CSV bulk export")
+    gen.add_argument("--no-events", action="store_true",
+                     help="disable event-driven post spikes")
+
+    val = commands.add_parser("validate",
+                              help="validate a CSV export")
+    val.add_argument("directory")
+
+    bench = commands.add_parser("benchmark",
+                                help="run the interactive benchmark")
+    bench.add_argument("--persons", type=int, default=200)
+    bench.add_argument("--seed", type=int, default=42)
+    bench.add_argument("--sut", choices=("store", "engine"),
+                       default="store")
+    bench.add_argument("--partitions", type=int, default=4)
+    bench.add_argument("--acceleration", type=float, default=None,
+                       help="simulation/real time ratio "
+                            "(default: as fast as possible)")
+    bench.add_argument("--mode",
+                       choices=("parallel", "sequential", "windowed"),
+                       default="sequential")
+
+    explain = commands.add_parser(
+        "explain", help="EXPLAIN the Figure 4 plan for Q9")
+    explain.add_argument("--persons", type=int, default=300)
+    explain.add_argument("--seed", type=int, default=42)
+
+    curate = commands.add_parser(
+        "curate", help="print curated parameters for a query")
+    curate.add_argument("--persons", type=int, default=300)
+    curate.add_argument("--seed", type=int, default=42)
+    curate.add_argument("--query", type=int, default=9,
+                        choices=range(1, 15), metavar="1-14")
+    curate.add_argument("-k", type=int, default=10,
+                        help="number of bindings")
+    curate.add_argument("--uniform", action="store_true",
+                        help="uniform baseline instead of curated")
+
+    crosscheck = commands.add_parser(
+        "crosscheck",
+        help="validate the two SUTs against each other")
+    crosscheck.add_argument("--persons", type=int, default=200)
+    crosscheck.add_argument("--seed", type=int, default=42)
+    crosscheck.add_argument("-k", type=int, default=4,
+                            help="bindings per query template")
+    return parser
+
+
+def _cmd_generate(args) -> int:
+    if args.scale_factor is not None:
+        config = DatagenConfig.for_scale_factor(
+            args.scale_factor, seed=args.seed,
+            event_driven_posts=not args.no_events)
+    else:
+        config = DatagenConfig(num_persons=args.persons, seed=args.seed,
+                               event_driven_posts=not args.no_events)
+    print(f"generating {config.num_persons} persons "
+          f"(≈ SF {config.scale_factor:.4f}, seed {config.seed}) ...")
+    network = generate(config)
+    for name, value in DatasetStatistics.of(network).as_row().items():
+        print(f"  {name:<10} {value}")
+    report = validate_network(network)
+    print(f"integrity: {'clean' if report.ok else 'VIOLATIONS'} "
+          f"({report.checked} checks)")
+    if args.out:
+        write_csv(network, args.out)
+        print(f"CSV export written to {args.out}")
+    return 0 if report.ok else 1
+
+
+def _cmd_validate(args) -> int:
+    network = read_csv(args.directory)
+    report = validate_network(network)
+    print(f"entities checked: {report.checked}")
+    if report.ok:
+        print("integrity: clean")
+        return 0
+    print(f"integrity: {len(report.violations)} violations")
+    for violation in report.violations[:20]:
+        print(f"  {violation}")
+    return 1
+
+
+def _cmd_benchmark(args) -> int:
+    from .core import BenchmarkConfig, InteractiveBenchmark, \
+        render_report
+    from .driver.clock import AS_FAST_AS_POSSIBLE
+    from .driver.modes import ExecutionMode
+
+    config = BenchmarkConfig(
+        num_persons=args.persons,
+        seed=args.seed,
+        sut=args.sut,
+        num_partitions=args.partitions,
+        mode=ExecutionMode(args.mode),
+        acceleration=(args.acceleration if args.acceleration is not None
+                      else AS_FAST_AS_POSSIBLE),
+    )
+    report = InteractiveBenchmark(config).run()
+    print(render_report(report))
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    from .curation import ParameterCurator
+    from .engine import snb_queries
+    from .engine.catalog import load_catalog
+    from .engine.explain import explain_pipeline
+
+    network = generate(DatagenConfig(num_persons=args.persons,
+                                     seed=args.seed))
+    catalog = load_catalog(network)
+    params = ParameterCurator(network, seed=args.seed) \
+        .curate(3).by_query[9][0]
+    pipeline = snb_queries.q9_pipeline(catalog, params)
+    pipeline.execute()
+    print(explain_pipeline(pipeline, show_actuals=True))
+    return 0
+
+
+def _cmd_curate(args) -> int:
+    from .curation import ParameterCurator
+
+    network = generate(DatagenConfig(num_persons=args.persons,
+                                     seed=args.seed))
+    curator = ParameterCurator(network, seed=args.seed)
+    params = curator.curate(args.k, uniform=args.uniform)
+    label = "uniform" if args.uniform else "curated"
+    print(f"{label} bindings for Q{args.query}:")
+    for binding in params.by_query[args.query]:
+        print(f"  {binding}")
+    return 0
+
+
+def _cmd_crosscheck(args) -> int:
+    from .core import cross_validate, render_validation
+
+    network = generate(DatagenConfig(num_persons=args.persons,
+                                     seed=args.seed))
+    report = cross_validate(network, bindings_per_query=args.k,
+                            seed=args.seed)
+    print(render_validation(report))
+    return 0 if report.ok else 1
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "validate": _cmd_validate,
+    "benchmark": _cmd_benchmark,
+    "explain": _cmd_explain,
+    "curate": _cmd_curate,
+    "crosscheck": _cmd_crosscheck,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""The SNB-Interactive benchmark core: orchestration, rules, reporting.
+
+Gluing everything together the way the paper's "Rules and Metrics"
+prescribe: generate the dataset, bulk-load the first 32 months, curate
+query parameters, interleave the Table 4 query mix with the 4-month
+update stream, play it against a system under test at a chosen
+acceleration factor, and report sustained-acceleration + per-query
+latencies (the full-disclosure breakdown).
+"""
+
+from .benchmark import BenchmarkConfig, BenchmarkReport, InteractiveBenchmark
+from .connector import InteractiveConnector
+from .report import render_report
+from .sut import EngineSUT, StoreSUT, SystemUnderTest
+from .validation import ValidationReport, cross_validate, render_validation
+
+__all__ = [
+    "BenchmarkConfig",
+    "BenchmarkReport",
+    "EngineSUT",
+    "InteractiveBenchmark",
+    "InteractiveConnector",
+    "StoreSUT",
+    "SystemUnderTest",
+    "ValidationReport",
+    "cross_validate",
+    "render_report",
+    "render_validation",
+]

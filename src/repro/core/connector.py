@@ -1,0 +1,65 @@
+"""Driver connector executing the full interactive workload on a SUT.
+
+Updates pass straight through; complex reads additionally trigger the
+short-read random walk seeded from their results, with each short read
+timed into a dedicated recorder (the driver times the update/complex-read
+operation itself).
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..datagen.update_stream import UpdateOperation
+from ..driver.metrics import LatencyRecorder
+from ..rng import RandomStream
+from ..workload.operations import ReadOperation
+from ..workload.random_walk import (
+    RandomWalkConfig,
+    extract_entities,
+    run_walk,
+)
+from .sut import SystemUnderTest
+
+
+class InteractiveConnector:
+    """Dispatches driver operations to a system under test."""
+
+    def __init__(self, sut: SystemUnderTest,
+                 walk: RandomWalkConfig | None = None,
+                 seed: int = 0) -> None:
+        self.sut = sut
+        self.walk = walk or RandomWalkConfig()
+        self.seed = seed
+        #: Short-read latencies, recorded per S-class.
+        self.short_recorder = LatencyRecorder()
+        self.short_reads_executed = 0
+
+    def execute(self, operation) -> None:
+        if isinstance(operation, UpdateOperation):
+            self.sut.run_update(operation)
+            return
+        if isinstance(operation, ReadOperation):
+            result = self.sut.run_complex(operation.query_id,
+                                          operation.params)
+            self._run_short_walk(operation, result)
+            return
+        raise TypeError(f"unsupported operation {type(operation)}")
+
+    def _run_short_walk(self, operation: ReadOperation,
+                        result: object) -> None:
+        seeds = extract_entities(result)
+        if not seeds:
+            return
+        stream = RandomStream.for_key(self.seed, "walk",
+                                      operation.walk_seed)
+
+        def execute_short(query_id: int, entity: tuple[str, int]):
+            started = time.perf_counter()
+            short_result = self.sut.run_short(query_id, entity)
+            self.short_recorder.record(f"S{query_id}",
+                                       time.perf_counter() - started)
+            return short_result
+
+        self.short_reads_executed += run_walk(
+            execute_short, seeds, self.walk, stream)

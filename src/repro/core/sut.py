@@ -1,0 +1,87 @@
+"""System-under-test adapters.
+
+The benchmark core is SUT-agnostic: any object implementing the three
+``run_*`` methods can be measured.  Two built-in SUTs mirror the paper's
+evaluation: the native-API graph store (Sparksee's role) and the
+relational engine with explicit plans (Virtuoso's role).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from ..datagen.update_stream import UpdateOperation
+from ..engine.catalog import Catalog
+from ..engine import snb_queries as engine_queries
+from ..errors import WorkloadError
+from ..queries.registry import COMPLEX_QUERIES, SHORT_QUERIES
+from ..queries.updates import execute_update
+from ..store.graph import GraphStore
+
+
+class SystemUnderTest(Protocol):
+    """What the benchmark requires of a system."""
+
+    name: str
+
+    def run_complex(self, query_id: int, params: object) -> object:
+        """Execute one complex read; returns its result rows."""
+        ...
+
+    def run_short(self, query_id: int, entity: tuple[str, int]) -> object:
+        """Execute one short read on a (kind, id) entity."""
+        ...
+
+    def run_update(self, operation: UpdateOperation) -> None:
+        """Apply one update transactionally."""
+        ...
+
+
+class StoreSUT:
+    """The MVCC property-graph store (native-API implementation)."""
+
+    name = "graph-store"
+
+    def __init__(self, store: GraphStore) -> None:
+        self.store = store
+
+    def run_complex(self, query_id: int, params: object) -> object:
+        entry = COMPLEX_QUERIES.get(query_id)
+        if entry is None:
+            raise WorkloadError(f"unknown complex query Q{query_id}")
+        with self.store.transaction() as txn:
+            return entry.run(txn, params)
+
+    def run_short(self, query_id: int, entity: tuple[str, int]) -> object:
+        entry = SHORT_QUERIES.get(query_id)
+        if entry is None:
+            raise WorkloadError(f"unknown short query S{query_id}")
+        with self.store.transaction() as txn:
+            return entry.run(txn, entity[1])
+
+    def run_update(self, operation: UpdateOperation) -> None:
+        execute_update(self.store, operation)
+
+
+class EngineSUT:
+    """The relational volcano engine (explicit-plan implementation)."""
+
+    name = "relational-engine"
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+
+    def run_complex(self, query_id: int, params: object) -> object:
+        run = engine_queries.ENGINE_COMPLEX.get(query_id)
+        if run is None:
+            raise WorkloadError(f"unknown complex query Q{query_id}")
+        return run(self.catalog, params)
+
+    def run_short(self, query_id: int, entity: tuple[str, int]) -> object:
+        run = engine_queries.ENGINE_SHORT.get(query_id)
+        if run is None:
+            raise WorkloadError(f"unknown short query S{query_id}")
+        return run(self.catalog, entity[1])
+
+    def run_update(self, operation: UpdateOperation) -> None:
+        engine_queries.execute_engine_update(self.catalog, operation)

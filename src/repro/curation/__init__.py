@@ -1,0 +1,35 @@
+"""Parameter curation (paper §4.1, TPCTC'14 [6]).
+
+Uniformly sampled query parameters yield wildly varying runtimes on the
+correlated SNB graph (Fig. 5) — the 2-hop friendship circle is multimodal
+and heavy-tailed, so e.g. Q5's runtime spans two orders of magnitude.
+Curation selects parameter bindings whose *intermediate result sizes*
+(``C_out``) are as equal as possible across the intended query plan,
+yielding properties P1 (bounded runtime variance), P2 (stable distribution
+across streams) and P3 (one optimal plan per template).
+
+Pipeline:
+
+1. :mod:`repro.curation.pc_table` materializes Parameter-Count tables from
+   the frequency statistics DATAGEN keeps as a by-product;
+2. :mod:`repro.curation.greedy` runs the greedy minimal-variance window
+   refinement over the PC table columns;
+3. :mod:`repro.curation.buckets` handles continuous parameters
+   (timestamps) by month-bucketing;
+4. :mod:`repro.curation.curator` binds it all to the 14 query templates.
+"""
+
+from .buckets import bucket_key, bucket_timestamps
+from .curator import CuratedWorkloadParams, ParameterCurator
+from .greedy import GreedySelection, greedy_select
+from .pc_table import ParameterCountTable
+
+__all__ = [
+    "CuratedWorkloadParams",
+    "GreedySelection",
+    "ParameterCountTable",
+    "ParameterCurator",
+    "bucket_key",
+    "bucket_timestamps",
+    "greedy_select",
+]

@@ -1,0 +1,50 @@
+"""Continuous-parameter bucketing (paper §4.1 step 1, last paragraph).
+
+"While it is feasible for discrete parameters with reasonably small
+domains (like PersonID ...), it becomes too expensive for continuous
+parameters.  In that case, we introduce buckets of parameters (for
+example, group Timestamp parameter into buckets of one month length)."
+"""
+
+from __future__ import annotations
+
+from ..sim_time import MILLIS_PER_MONTH
+
+
+def bucket_key(timestamp: int, bucket_millis: int = MILLIS_PER_MONTH,
+               origin: int = 0) -> int:
+    """The bucket index a timestamp falls into."""
+    return (timestamp - origin) // bucket_millis
+
+
+def bucket_timestamps(timestamps: list[int],
+                      bucket_millis: int = MILLIS_PER_MONTH,
+                      origin: int = 0) -> dict[int, int]:
+    """Bucket index → count of timestamps in the bucket."""
+    counts: dict[int, int] = {}
+    for ts in timestamps:
+        key = bucket_key(ts, bucket_millis, origin)
+        counts[key] = counts.get(key, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def bucket_midpoint(bucket: int, bucket_millis: int = MILLIS_PER_MONTH,
+                    origin: int = 0) -> int:
+    """A representative timestamp (midpoint) for a bucket."""
+    return origin + bucket * bucket_millis + bucket_millis // 2
+
+
+def stable_buckets(counts: dict[int, int], k: int) -> list[int]:
+    """The ``k`` buckets whose counts are closest to the median count.
+
+    This is the bucket-level analog of the greedy row selection: choosing
+    timestamps from buckets with near-median activity keeps the date-range
+    selectivity of a query template stable across bindings.
+    """
+    if not counts:
+        return []
+    ordered = sorted(counts.items())
+    values = sorted(count for __, count in ordered)
+    median = values[len(values) // 2]
+    ranked = sorted(ordered, key=lambda kv: (abs(kv[1] - median), kv[0]))
+    return [bucket for bucket, __ in ranked[:k]]

@@ -1,0 +1,123 @@
+"""Greedy minimal-variance window selection (paper §4.1 step 2).
+
+"Once the intermediate results for the query template are computed, our
+Parameter Curation problem boils down to finding similar rows (i.e., with
+the smallest variance across all columns) in the Parameter-Count table.
+Here we rely on a greedy heuristics that forms windows of rows with the
+smallest variance":
+
+1. sort rows by the first column and find the contiguous window with the
+   minimum variance in that column;
+2. inside that window, sort by the second column and find the sub-window
+   with minimum variance there;
+3. repeat for the remaining columns; at the last column, keep the ``k``
+   rows closest to the window median.
+
+If the best window cannot supply ``k`` rows, subsequent windows (ranked by
+variance) contribute too — "across the entire Parameter-Count table".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CurationError
+from .pc_table import ParameterCountTable
+
+Row = tuple[int, tuple[int, ...]]
+
+
+@dataclass
+class GreedySelection:
+    """Outcome of a curation run."""
+
+    values: list[int]
+    #: Variance of each PC column over the selected rows.
+    variances: tuple[float, ...]
+    #: Windows inspected on the first column (for the Fig. 6 trace bench).
+    window_trace: list[tuple[int, int, float]]
+
+
+def _window_variance(rows: list[Row], column: int, start: int,
+                     size: int) -> float:
+    values = [rows[i][1][column] for i in range(start, start + size)]
+    mean = sum(values) / size
+    return sum((v - mean) ** 2 for v in values) / size
+
+
+def _best_windows(rows: list[Row], column: int, size: int,
+                  ) -> list[tuple[int, float]]:
+    """All window start offsets ranked by variance on ``column``."""
+    if size >= len(rows):
+        return [(0, _window_variance(rows, column, 0, len(rows)))]
+    scored = [(start, _window_variance(rows, column, start, size))
+              for start in range(0, len(rows) - size + 1)]
+    scored.sort(key=lambda pair: (pair[1], pair[0]))
+    return scored
+
+
+def _refine(rows: list[Row], column: int, num_columns: int,
+            k: int) -> list[Row]:
+    """Recursively refine a window on the remaining columns."""
+    rows = sorted(rows, key=lambda row: (row[1][column], row[0]))
+    if column == num_columns - 1:
+        # Last column: keep the k rows closest to the median value.
+        median = rows[len(rows) // 2][1][column]
+        rows.sort(key=lambda row: (abs(row[1][column] - median), row[0]))
+        return rows[:k]
+    size = min(len(rows), max(k * 2, k + 1))
+    starts = _best_windows(rows, column, size)
+    best_start = starts[0][0]
+    window = rows[best_start:best_start + size]
+    return _refine(window, column + 1, num_columns, k)
+
+
+def greedy_select(table: ParameterCountTable, k: int,
+                  window_factor: int = 4) -> GreedySelection:
+    """Select ``k`` parameter values with minimal C_out variance."""
+    if k <= 0:
+        raise CurationError("k must be positive")
+    rows = table.sorted_by_column(0)
+    if len(rows) <= k:
+        values = [value for value, __ in rows]
+        variances = tuple(table.column_variance(c, rows)
+                          for c in range(table.num_columns))
+        return GreedySelection(values, variances, [])
+
+    size = min(len(rows), max(k * window_factor, k + 1))
+    ranked = _best_windows(rows, 0, size)
+    trace = [(start, size, variance) for start, variance in ranked[:10]]
+
+    selected: list[Row] = []
+    seen: set[int] = set()
+    for start, __ in ranked:
+        window = rows[start:start + size]
+        refined = _refine(window, 1, table.num_columns, k - len(selected)) \
+            if table.num_columns > 1 else window[:k - len(selected)]
+        for row in refined:
+            if row[0] not in seen:
+                seen.add(row[0])
+                selected.append(row)
+        if len(selected) >= k:
+            break
+    selected = selected[:k]
+    variances = tuple(table.column_variance(c, selected)
+                      for c in range(table.num_columns))
+    return GreedySelection([value for value, __ in selected], variances,
+                           trace)
+
+
+def uniform_select(table: ParameterCountTable, k: int,
+                   seed: int = 0) -> list[int]:
+    """Baseline: uniform random sample of the parameter domain.
+
+    This is the conventional TPC-H/BSBM approach the paper contrasts
+    curation against (Fig. 5b's high-variance runtimes).
+    """
+    from ..rng import RandomStream
+
+    values = [value for value, __ in table.rows]
+    stream = RandomStream.for_key(seed, "uniform-params")
+    if k >= len(values):
+        return values
+    return stream.sample(values, k)

@@ -1,0 +1,110 @@
+"""Parameter-Count tables (paper Fig. 6b).
+
+A PC table has one row per candidate parameter value and one column per
+intermediate result of the intended query plan: for Q2, ``|⋈1|`` is the
+number of friends of the person and ``|⋈2|`` the number of messages those
+friends created.  The paper points out two ways of obtaining it — group-by
+queries around each subplan, or keeping counts as a by-product of data
+generation.  Like SNB-Interactive, we use the by-product strategy: the
+columns come from :class:`~repro.datagen.stats.FrequencyStatistics`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..datagen.stats import FrequencyStatistics
+from ..errors import CurationError
+
+
+@dataclass
+class ParameterCountTable:
+    """Rows of ``(parameter value, intermediate result counts...)``."""
+
+    column_names: tuple[str, ...]
+    rows: list[tuple[int, tuple[int, ...]]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for value, counts in self.rows:
+            if len(counts) != len(self.column_names):
+                raise CurationError(
+                    f"row {value} has {len(counts)} counts, expected "
+                    f"{len(self.column_names)}")
+
+    @property
+    def num_columns(self) -> int:
+        return len(self.column_names)
+
+    def sorted_by_column(self, column: int,
+                         ) -> list[tuple[int, tuple[int, ...]]]:
+        """Rows ordered by one column (ties by parameter value)."""
+        return sorted(self.rows,
+                      key=lambda row: (row[1][column], row[0]))
+
+    def column_variance(self, column: int,
+                        subset: list[tuple[int, tuple[int, ...]]]
+                        | None = None) -> float:
+        """Population variance of one column (over a subset if given)."""
+        rows = self.rows if subset is None else subset
+        if not rows:
+            return 0.0
+        values = [counts[column] for __, counts in rows]
+        mean = sum(values) / len(values)
+        return sum((v - mean) ** 2 for v in values) / len(values)
+
+    def total_cout(self, value: int) -> int:
+        """Total intermediate results for one parameter value."""
+        for row_value, counts in self.rows:
+            if row_value == value:
+                return sum(counts)
+        raise CurationError(f"parameter {value} not in PC table")
+
+
+def pc_table_q2(stats: FrequencyStatistics) -> ParameterCountTable:
+    """Fig. 6's example: Q2's PC table over PersonID.
+
+    Column ``|join1|`` = friends per person, ``|join2|`` = messages
+    created by those friends.
+    """
+    rows = [(person_id, (stats.friend_count[person_id],
+                         stats.friend_message_count[person_id]))
+            for person_id in stats.friend_count]
+    return ParameterCountTable(("|join1| friends", "|join2| messages"),
+                               rows)
+
+
+def pc_table_two_hop(stats: FrequencyStatistics) -> ParameterCountTable:
+    """PC table for 2-hop queries (Q5, Q9, ...): circle size, then the
+    messages created inside the circle."""
+    rows = [(person_id, (stats.friend_count[person_id],
+                         stats.two_hop_count[person_id],
+                         stats.two_hop_message_count[person_id]))
+            for person_id in stats.friend_count]
+    return ParameterCountTable(
+        ("|join1| friends", "|join2| two-hop", "|join3| messages"), rows)
+
+
+def pc_table_own_messages(stats: FrequencyStatistics,
+                          ) -> ParameterCountTable:
+    """PC table for queries over a person's own content (Q7, Q8)."""
+    rows = [(person_id, (stats.message_count.get(person_id, 0),))
+            for person_id in stats.friend_count]
+    return ParameterCountTable(("|join1| own messages",), rows)
+
+
+def log_spread(table: ParameterCountTable, values: list[int],
+               column: int = -1) -> float:
+    """``log10(max/min)`` of the (last) column over selected values.
+
+    The paper quantifies the uniform-sampling problem as "more than 100
+    times difference between the smallest and the largest runtime"; this
+    helper measures that spread for a selection (0 → perfectly equal).
+    """
+    if column < 0:
+        column = table.num_columns - 1
+    by_value = {value: counts for value, counts in table.rows}
+    counts = [max(by_value[v][column], 1) for v in values]
+    if not counts:
+        return 0.0
+    return math.log10(max(counts) / min(counts))

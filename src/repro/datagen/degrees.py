@@ -1,0 +1,134 @@
+"""Friendship degree model (paper §2.3, Figures 2b and 3a).
+
+DATAGEN "discretizes the power law distribution given by [the] Facebook
+graph, but scales this according to the size of the network":
+
+1. a target average degree ``avg = n^(0.512 - 0.028·log10 n)``;
+2. each person is assigned a percentile of the Facebook degree
+   distribution, then a target degree uniform between that percentile's
+   min and max;
+3. the target is scaled by ``avg / facebook_average``.
+
+We do not have the raw Facebook percentile table (Ugander et al., 2011), so
+we synthesize one from a truncated lognormal calibrated to the published
+summary statistics: median ≈ 100 (``μ = ln 100``), mean ≈ 190
+(``σ² = 2·ln(190/100)``), hard cap 5000 (Facebook's friend limit).
+Fig. 2b regenerates from this table.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..rng import RandomStream
+
+#: Facebook's friend cap (upper truncation of the degree distribution).
+FACEBOOK_MAX_DEGREE = 5000
+#: Lognormal parameters fitted to the published median/mean.
+_LOGNORMAL_MU = math.log(100.0)
+_LOGNORMAL_SIGMA = math.sqrt(2.0 * math.log(190.0 / 100.0))
+
+
+def _normal_quantile(q: float) -> float:
+    """Inverse standard-normal CDF (Acklam's rational approximation)."""
+    if not 0.0 < q < 1.0:
+        raise ValueError(f"quantile must be in (0,1), got {q}")
+    a = (-3.969683028665376e+01, 2.209460984245205e+02,
+         -2.759285104469687e+02, 1.383577518672690e+02,
+         -3.066479806614716e+01, 2.506628277459239e+00)
+    b = (-5.447609879822406e+01, 1.615858368580409e+02,
+         -1.556989798598866e+02, 6.680131188771972e+01,
+         -1.328068155288572e+01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01,
+         -2.400758277161838e+00, -2.549732539343734e+00,
+         4.374664141464968e+00, 2.938163982698783e+00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01,
+         2.445134137142996e+00, 3.754408661907416e+00)
+    p_low, p_high = 0.02425, 1 - 0.02425
+    if q < p_low:
+        t = math.sqrt(-2.0 * math.log(q))
+        return (((((c[0] * t + c[1]) * t + c[2]) * t + c[3]) * t
+                 + c[4]) * t + c[5]) / \
+               ((((d[0] * t + d[1]) * t + d[2]) * t + d[3]) * t + 1.0)
+    if q > p_high:
+        t = math.sqrt(-2.0 * math.log(1.0 - q))
+        return -(((((c[0] * t + c[1]) * t + c[2]) * t + c[3]) * t
+                  + c[4]) * t + c[5]) / \
+               ((((d[0] * t + d[1]) * t + d[2]) * t + d[3]) * t + 1.0)
+    t = q - 0.5
+    r = t * t
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r
+             + a[4]) * r + a[5]) * t / \
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r
+             + b[4]) * r + 1.0)
+
+
+def _truncated_pareto_quantile(q: float) -> float:
+    """Inverse CDF of the calibrated degree distribution (capped).
+
+    Kept under the historical name used by :func:`build_percentile_table`;
+    the underlying family is a lognormal truncated at the friend cap.
+    """
+    q = min(max(q, 1e-6), 1.0 - 1e-6)
+    value = math.exp(_LOGNORMAL_MU + _LOGNORMAL_SIGMA
+                     * _normal_quantile(q))
+    return min(value, float(FACEBOOK_MAX_DEGREE))
+
+
+def build_percentile_table() -> list[tuple[int, int]]:
+    """``(min_degree, max_degree)`` per percentile 0..99 (Fig. 2b data).
+
+    Percentile ``p`` covers quantiles ``[p/100, (p+1)/100)`` of the
+    truncated power law.
+    """
+    table: list[tuple[int, int]] = []
+    for p in range(100):
+        lo = _truncated_pareto_quantile(p / 100.0)
+        hi = _truncated_pareto_quantile(min((p + 1) / 100.0, 0.9999))
+        table.append((max(1, int(lo)), max(1, int(hi))))
+    # Pin the top percentile to the cap, as in the real table.
+    lo_last, _ = table[-1]
+    table[-1] = (lo_last, FACEBOOK_MAX_DEGREE)
+    return table
+
+
+#: Module-level table; deterministic, built once.
+PERCENTILE_TABLE: list[tuple[int, int]] = build_percentile_table()
+
+
+def facebook_average_degree() -> float:
+    """Mean of the discretized distribution (≈ 190 by calibration)."""
+    total = sum((lo + hi) / 2.0 for lo, hi in PERCENTILE_TABLE)
+    return total / len(PERCENTILE_TABLE)
+
+
+def average_degree_for(num_persons: int) -> float:
+    """Paper scaling law ``n^(0.512 - 0.028·log10 n)``."""
+    return num_persons ** (0.512 - 0.028 * math.log10(num_persons))
+
+
+def target_degree(person_serial: int, num_persons: int, seed: int) -> int:
+    """Target friendship degree for one person.
+
+    Deterministic per person: the percentile and the in-band uniform draw
+    come from a stream keyed by the person's serial, so the assignment does
+    not depend on generation order or worker count.
+    """
+    stream = RandomStream.for_key(seed, "degree", person_serial)
+    percentile = stream.randint(0, 99)
+    lo, hi = PERCENTILE_TABLE[percentile]
+    raw = stream.randint(lo, hi)
+    scale = average_degree_for(num_persons) / facebook_average_degree()
+    scaled = max(1, round(raw * scale))
+    # A person cannot have more friends than there are other members.
+    return min(scaled, num_persons - 1)
+
+
+def degree_histogram(degrees: list[int], bucket: int = 1,
+                     ) -> dict[int, int]:
+    """Histogram of degrees (Fig. 3a regeneration helper)."""
+    histogram: dict[int, int] = {}
+    for degree in degrees:
+        key = (degree // bucket) * bucket
+        histogram[key] = histogram.get(key, 0) + 1
+    return dict(sorted(histogram.items()))

@@ -1,0 +1,480 @@
+"""Value dictionaries: the DBpedia substitute.
+
+The original DATAGEN draws attribute values (names, universities, companies,
+tags, message text) from DBpedia.  We ship curated built-in dictionaries
+instead.  What matters for the benchmark — and what we preserve exactly — is
+the *correlation machinery*: every country sees the same skewed rank
+distribution over a dictionary, but the **order** of dictionary entries is
+permuted per country (paper §2.1: "the shape of the attribute value
+distributions is equal (and skewed), but the order of the values ... changes
+depending on the correlation parameters").
+
+For Germany and China the top-10 first names are the exact lists from the
+paper's Table 2, so the Table 2 bench regenerates the paper's artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..rng import RandomStream
+
+# --------------------------------------------------------------------------
+# Name cultures
+# --------------------------------------------------------------------------
+
+#: Per-culture first names.  Germany/China lead with the paper's Table 2
+#: top-10 lists (treated as the male dictionary heads).
+FIRST_NAMES: dict[str, dict[str, tuple[str, ...]]] = {
+    "germanic": {
+        "male": ("Karl", "Hans", "Wolfgang", "Fritz", "Rudolf", "Walter",
+                 "Franz", "Paul", "Otto", "Wilhelm", "Stefan", "Jürgen",
+                 "Klaus", "Dieter", "Heinz"),
+        "female": ("Anna", "Ursula", "Monika", "Petra", "Sabine", "Renate",
+                   "Helga", "Karin", "Brigitte", "Ingrid", "Claudia",
+                   "Susanne", "Andrea", "Gisela", "Erika"),
+    },
+    "chinese": {
+        "male": ("Yang", "Chen", "Wei", "Lei", "Jun", "Jie", "Li", "Hao",
+                 "Lin", "Peng", "Ming", "Feng", "Tao", "Bin", "Gang"),
+        "female": ("Fang", "Xiu", "Ying", "Na", "Min", "Jing", "Hua", "Yan",
+                   "Mei", "Juan", "Xia", "Lan", "Hong", "Qing", "Zhen"),
+    },
+    "anglo": {
+        "male": ("James", "John", "Robert", "Michael", "William", "David",
+                 "Richard", "Joseph", "Thomas", "Charles", "George", "Daniel",
+                 "Matthew", "Andrew", "Edward"),
+        "female": ("Mary", "Patricia", "Jennifer", "Linda", "Elizabeth",
+                   "Barbara", "Susan", "Jessica", "Sarah", "Karen", "Nancy",
+                   "Margaret", "Lisa", "Betty", "Dorothy"),
+    },
+    "romance": {
+        "male": ("José", "Antonio", "Juan", "Francisco", "Manuel", "Luis",
+                 "Carlos", "Miguel", "Pedro", "Rafael", "Marco", "Paolo",
+                 "Giovanni", "Pierre", "Jean"),
+        "female": ("María", "Carmen", "Josefa", "Isabel", "Ana", "Dolores",
+                   "Francisca", "Lucia", "Sofia", "Giulia", "Chiara",
+                   "Camille", "Marie", "Elena", "Paula"),
+    },
+    "slavic": {
+        "male": ("Ivan", "Dmitri", "Sergei", "Vladimir", "Andrei", "Alexei",
+                 "Nikolai", "Mikhail", "Pavel", "Yuri", "Boris", "Oleg",
+                 "Viktor", "Anton", "Roman"),
+        "female": ("Olga", "Natasha", "Svetlana", "Irina", "Tatiana", "Elena",
+                   "Anna", "Maria", "Ekaterina", "Ludmila", "Galina", "Vera",
+                   "Nadia", "Polina", "Daria"),
+    },
+    "indic": {
+        "male": ("Raj", "Amit", "Sanjay", "Vijay", "Rahul", "Arjun", "Ravi",
+                 "Anil", "Suresh", "Deepak", "Kiran", "Manoj", "Ashok",
+                 "Vikram", "Rohan"),
+        "female": ("Priya", "Anita", "Sunita", "Kavita", "Pooja", "Neha",
+                   "Meera", "Lakshmi", "Divya", "Asha", "Rani", "Sita",
+                   "Geeta", "Nisha", "Shanti"),
+    },
+    "arabic": {
+        "male": ("Mohammed", "Ahmed", "Ali", "Omar", "Hassan", "Hussein",
+                 "Khalid", "Ibrahim", "Youssef", "Mustafa", "Tariq", "Samir",
+                 "Karim", "Nabil", "Said"),
+        "female": ("Fatima", "Aisha", "Mariam", "Zainab", "Layla", "Amina",
+                   "Khadija", "Salma", "Nour", "Yasmin", "Huda", "Rania",
+                   "Samira", "Leila", "Dalia"),
+    },
+    "japanese": {
+        "male": ("Hiroshi", "Takashi", "Kenji", "Akira", "Yuki", "Satoshi",
+                 "Kazuo", "Makoto", "Shinji", "Taro", "Daisuke", "Ryo",
+                 "Kenta", "Sho", "Haruto"),
+        "female": ("Yoko", "Keiko", "Sakura", "Yumi", "Akiko", "Naoko",
+                   "Emi", "Mariko", "Haruka", "Aoi", "Rin", "Mei", "Hana",
+                   "Misaki", "Kaori"),
+    },
+}
+
+LAST_NAMES: dict[str, tuple[str, ...]] = {
+    "germanic": ("Müller", "Schmidt", "Schneider", "Fischer", "Weber",
+                 "Meyer", "Wagner", "Becker", "Schulz", "Hoffmann",
+                 "Koch", "Bauer", "Richter", "Klein", "Wolf"),
+    "chinese": ("Wang", "Li", "Zhang", "Liu", "Chen", "Yang", "Huang",
+                "Zhao", "Wu", "Zhou", "Xu", "Sun", "Ma", "Zhu", "Hu"),
+    "anglo": ("Smith", "Johnson", "Williams", "Brown", "Jones", "Miller",
+              "Davis", "Wilson", "Taylor", "Clark", "Hall", "Allen",
+              "Young", "King", "Wright"),
+    "romance": ("García", "Rodríguez", "Martínez", "López", "González",
+                "Rossi", "Ferrari", "Bianchi", "Martin", "Bernard",
+                "Dubois", "Moreau", "Silva", "Santos", "Costa"),
+    "slavic": ("Ivanov", "Petrov", "Sidorov", "Smirnov", "Kuznetsov",
+               "Popov", "Volkov", "Sokolov", "Novak", "Kowalski",
+               "Nowak", "Horvat", "Dvorak", "Svoboda", "Kovac"),
+    "indic": ("Sharma", "Patel", "Singh", "Kumar", "Gupta", "Verma", "Rao",
+              "Reddy", "Mehta", "Joshi", "Nair", "Iyer", "Das", "Bose",
+              "Chatterjee"),
+    "arabic": ("Al-Sayed", "Hassan", "Hussein", "Abdullah", "Rahman",
+               "Khalil", "Nasser", "Saleh", "Amin", "Aziz", "Farah",
+               "Haddad", "Khoury", "Najjar", "Sabbagh"),
+    "japanese": ("Sato", "Suzuki", "Takahashi", "Tanaka", "Watanabe", "Ito",
+                 "Yamamoto", "Nakamura", "Kobayashi", "Kato", "Yoshida",
+                 "Yamada", "Sasaki", "Matsumoto", "Inoue"),
+}
+
+# --------------------------------------------------------------------------
+# Geography: continents → countries → cities
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CountrySpec:
+    """Static description of one country in the built-in gazetteer."""
+
+    name: str
+    continent: str
+    culture: str
+    #: Relative membership weight (skewed, roughly population-shaped).
+    weight: float
+    languages: tuple[str, ...]
+    #: (city name, latitude, longitude) triples.
+    cities: tuple[tuple[str, float, float], ...]
+    universities: tuple[str, ...]
+    companies: tuple[str, ...]
+
+
+COUNTRIES: tuple[CountrySpec, ...] = (
+    CountrySpec("China", "Asia", "chinese", 20.0, ("zh",),
+                (("Beijing", 39.9, 116.4), ("Shanghai", 31.2, 121.5),
+                 ("Guangzhou", 23.1, 113.3), ("Chengdu", 30.6, 104.1)),
+                ("Tsinghua University", "Peking University",
+                 "Fudan University"),
+                ("Dragon Telecom", "Red Lantern Media", "Jade Motors",
+                 "Golden Harvest Foods")),
+    CountrySpec("India", "Asia", "indic", 18.0, ("hi", "en"),
+                (("Mumbai", 19.1, 72.9), ("Delhi", 28.6, 77.2),
+                 ("Bangalore", 13.0, 77.6), ("Chennai", 13.1, 80.3)),
+                ("IIT Bombay", "University of Delhi", "IISc Bangalore"),
+                ("Lotus Software", "Ganges Steel", "Peacock Textiles",
+                 "Monsoon Pharma")),
+    CountrySpec("United States", "NorthAmerica", "anglo", 15.0, ("en",),
+                (("New York", 40.7, -74.0), ("Los Angeles", 34.1, -118.2),
+                 ("Chicago", 41.9, -87.6), ("Houston", 29.8, -95.4)),
+                ("MIT", "Stanford University", "Harvard University"),
+                ("Apex Systems", "Liberty Logistics", "Summit Retail",
+                 "Pioneer Energy")),
+    CountrySpec("Indonesia", "Asia", "arabic", 8.0, ("id",),
+                (("Jakarta", -6.2, 106.8), ("Surabaya", -7.2, 112.7),
+                 ("Bandung", -6.9, 107.6)),
+                ("University of Indonesia", "Bandung Institute"),
+                ("Archipelago Air", "Spice Route Trading")),
+    CountrySpec("Brazil", "SouthAmerica", "romance", 7.0, ("pt",),
+                (("São Paulo", -23.6, -46.6), ("Rio de Janeiro", -22.9, -43.2),
+                 ("Brasília", -15.8, -47.9)),
+                ("University of São Paulo", "UNICAMP"),
+                ("Amazonia Mining", "Carnival Media", "Ipanema Foods")),
+    CountrySpec("Russia", "Europe", "slavic", 6.0, ("ru",),
+                (("Moscow", 55.8, 37.6), ("Saint Petersburg", 59.9, 30.4),
+                 ("Novosibirsk", 55.0, 82.9)),
+                ("Moscow State University", "SPbU"),
+                ("Volga Motors", "Siberia Gas", "Tundra Telecom")),
+    CountrySpec("Japan", "Asia", "japanese", 5.0, ("ja",),
+                (("Tokyo", 35.7, 139.7), ("Osaka", 34.7, 135.5),
+                 ("Nagoya", 35.2, 136.9)),
+                ("University of Tokyo", "Kyoto University"),
+                ("Sakura Electronics", "Fuji Precision", "Kaze Robotics")),
+    CountrySpec("Germany", "Europe", "germanic", 4.5, ("de",),
+                (("Berlin", 52.5, 13.4), ("Munich", 48.1, 11.6),
+                 ("Hamburg", 53.6, 10.0), ("Cologne", 50.9, 6.9)),
+                ("TU Munich", "Heidelberg University", "HU Berlin"),
+                ("Rhein Motoren", "Schwarzwald Pharma", "Hanse Logistik",
+                 "Alpen Software")),
+    CountrySpec("Mexico", "NorthAmerica", "romance", 4.0, ("es",),
+                (("Mexico City", 19.4, -99.1), ("Guadalajara", 20.7, -103.3),
+                 ("Monterrey", 25.7, -100.3)),
+                ("UNAM", "Tecnológico de Monterrey"),
+                ("Azteca Cement", "Sierra Foods")),
+    CountrySpec("France", "Europe", "romance", 3.5, ("fr",),
+                (("Paris", 48.9, 2.4), ("Lyon", 45.8, 4.8),
+                 ("Marseille", 43.3, 5.4)),
+                ("Sorbonne", "École Polytechnique"),
+                ("Lumière Cosmetics", "Gaulois Rail", "Provence Vins")),
+    CountrySpec("United Kingdom", "Europe", "anglo", 3.5, ("en",),
+                (("London", 51.5, -0.1), ("Manchester", 53.5, -2.2),
+                 ("Edinburgh", 55.9, -3.2)),
+                ("University of Oxford", "University of Cambridge",
+                 "Imperial College"),
+                ("Thames Bank", "Albion Press", "Crown Chemicals")),
+    CountrySpec("Italy", "Europe", "romance", 3.0, ("it",),
+                (("Rome", 41.9, 12.5), ("Milan", 45.5, 9.2),
+                 ("Naples", 40.9, 14.3)),
+                ("Sapienza University", "Politecnico di Milano"),
+                ("Vesuvio Fashion", "Adriatico Shipping")),
+    CountrySpec("Egypt", "Africa", "arabic", 3.0, ("ar",),
+                (("Cairo", 30.0, 31.2), ("Alexandria", 31.2, 29.9)),
+                ("Cairo University", "Alexandria University"),
+                ("Nile Cotton", "Pyramid Construction")),
+    CountrySpec("Nigeria", "Africa", "anglo", 3.0, ("en",),
+                (("Lagos", 6.5, 3.4), ("Abuja", 9.1, 7.4)),
+                ("University of Lagos", "University of Ibadan"),
+                ("Savanna Oil", "Harmattan Media")),
+    CountrySpec("Spain", "Europe", "romance", 2.5, ("es",),
+                (("Madrid", 40.4, -3.7), ("Barcelona", 41.4, 2.2),
+                 ("Valencia", 39.5, -0.4)),
+                ("UPC Barcelona", "Universidad Complutense"),
+                ("Iberia Solar", "Flamenco Media")),
+    CountrySpec("Netherlands", "Europe", "germanic", 2.0, ("nl", "en"),
+                (("Amsterdam", 52.4, 4.9), ("Rotterdam", 51.9, 4.5),
+                 ("Utrecht", 52.1, 5.1)),
+                ("University of Amsterdam", "VU University", "TU Delft"),
+                ("Tulip Bank", "Polder Logistics", "Delta Engineering")),
+    CountrySpec("Sweden", "Europe", "germanic", 1.5, ("sv", "en"),
+                (("Stockholm", 59.3, 18.1), ("Gothenburg", 57.7, 12.0)),
+                ("KTH Royal Institute", "Uppsala University"),
+                ("Norrland Timber", "Aurora Telecom")),
+    CountrySpec("Canada", "NorthAmerica", "anglo", 1.5, ("en", "fr"),
+                (("Toronto", 43.7, -79.4), ("Vancouver", 49.3, -123.1),
+                 ("Montreal", 45.5, -73.6)),
+                ("University of Toronto", "McGill University"),
+                ("Maple Rail", "Tundra Outfitters")),
+    CountrySpec("Australia", "Oceania", "anglo", 1.5, ("en",),
+                (("Sydney", -33.9, 151.2), ("Melbourne", -37.8, 145.0)),
+                ("University of Sydney", "University of Melbourne"),
+                ("Outback Mining", "Reef Tourism")),
+    CountrySpec("Argentina", "SouthAmerica", "romance", 1.5, ("es",),
+                (("Buenos Aires", -34.6, -58.4), ("Córdoba", -31.4, -64.2)),
+                ("University of Buenos Aires", "UNC Córdoba"),
+                ("Pampas Beef", "Tango Media")),
+    CountrySpec("Poland", "Europe", "slavic", 1.5, ("pl",),
+                (("Warsaw", 52.2, 21.0), ("Kraków", 50.1, 19.9)),
+                ("University of Warsaw", "Jagiellonian University"),
+                ("Vistula Shipyards", "Baltic Amber Works")),
+    CountrySpec("South Korea", "Asia", "chinese", 1.5, ("ko",),
+                (("Seoul", 37.6, 127.0), ("Busan", 35.2, 129.1)),
+                ("Seoul National University", "KAIST"),
+                ("Han River Electronics", "Mugunghwa Motors")),
+)
+
+CONTINENTS: tuple[str, ...] = tuple(sorted({c.continent for c in COUNTRIES}))
+
+BROWSERS: tuple[str, ...] = ("Firefox", "Chrome", "Internet Explorer",
+                             "Safari", "Opera")
+#: Skewed browser market shares.
+BROWSER_WEIGHTS: tuple[float, ...] = (0.30, 0.35, 0.20, 0.10, 0.05)
+
+GENDERS: tuple[str, ...] = ("male", "female")
+
+EMAIL_PROVIDERS: tuple[str, ...] = ("mail.example.org", "inbox.example.net",
+                                    "post.example.com")
+
+# --------------------------------------------------------------------------
+# Tags and tag classes (topics)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TagClassSpec:
+    """One tag class and its tags; ``parent`` names a broader class."""
+
+    name: str
+    parent: str | None
+    tags: tuple[str, ...]
+
+
+TAG_CLASSES: tuple[TagClassSpec, ...] = (
+    TagClassSpec("Thing", None, ()),
+    TagClassSpec("Person", "Thing", ()),
+    TagClassSpec("MusicalArtist", "Person",
+                 ("The Velvet Tides", "Elvis Presley", "Aurora Quartet",
+                  "Johann Sebastian Bach", "Neon Harbour", "Miles Davis",
+                  "The Paper Lanterns", "Ludwig van Beethoven",
+                  "Scarlet Meridian", "Ravi Shankar", "Midnight Express",
+                  "Edith Piaf", "Golden Pagoda", "Bob Marley",
+                  "Crystal Static", "Umm Kulthum")),
+    TagClassSpec("Athlete", "Person",
+                 ("Diego Maradona", "Serena Sprint", "Usain Bolt",
+                  "Vera Marathon", "Pelé", "Kim Slalom", "Roger Federer",
+                  "Nadia Vault", "Michael Jordan", "Yuki Blade")),
+    TagClassSpec("Politician", "Person",
+                 ("Winston Churchill", "Abraham Lincoln", "Indira Gandhi",
+                  "Nelson Mandela", "Golda Meir", "Simón Bolívar",
+                  "Otto von Bismarck", "Eleanor Roosevelt")),
+    TagClassSpec("Writer", "Person",
+                 ("Leo Tolstoy", "Jane Austen", "Gabriel García Márquez",
+                  "Franz Kafka", "Murasaki Shikibu", "Jorge Luis Borges",
+                  "Virginia Woolf", "Rabindranath Tagore", "Naguib Mahfouz",
+                  "Astrid Lindgren")),
+    TagClassSpec("Scientist", "Person",
+                 ("Albert Einstein", "Marie Curie", "Isaac Newton",
+                  "Ada Lovelace", "Charles Darwin", "Alan Turing",
+                  "Rosalind Franklin", "Nikola Tesla", "Emmy Noether",
+                  "Srinivasa Ramanujan")),
+    TagClassSpec("CreativeWork", "Thing", ()),
+    TagClassSpec("Film", "CreativeWork",
+                 ("Casablanca", "Seven Samurai", "The Clockwork Garden",
+                  "Metropolis", "Cinema Paradiso", "The Salt Road",
+                  "City Lights", "Winter Harbour", "The Glass Mountain",
+                  "Monsoon Season")),
+    TagClassSpec("Book", "CreativeWork",
+                 ("War and Peace", "Don Quixote", "The Dream of Red Mansions",
+                  "One Hundred Years of Solitude", "The Tale of Genji",
+                  "Things Fall Apart", "Crime and Punishment",
+                  "Pride and Prejudice", "The Metamorphosis", "Ramayana")),
+    TagClassSpec("VideoGame", "CreativeWork",
+                 ("Star Forge", "Pixel Kingdom", "Dungeon of Echoes",
+                  "Sky Racer", "Chrono Harvest", "Mecha Arena")),
+    TagClassSpec("Place", "Thing", ()),
+    TagClassSpec("Landmark", "Place",
+                 ("Great Wall of China", "Eiffel Tower", "Taj Mahal",
+                  "Machu Picchu", "Pyramids of Giza", "Mount Fuji",
+                  "Statue of Liberty", "Brandenburg Gate", "Sydney Opera",
+                  "Red Square")),
+    TagClassSpec("Activity", "Thing", ()),
+    TagClassSpec("Sport", "Activity",
+                 ("Football", "Cricket", "Basketball", "Tennis",
+                  "Table Tennis", "Swimming", "Athletics", "Chess",
+                  "Volleyball", "Cycling", "Baseball", "Rugby")),
+    TagClassSpec("Hobby", "Activity",
+                 ("Photography", "Cooking", "Gardening", "Hiking",
+                  "Painting", "Calligraphy", "Origami", "Birdwatching",
+                  "Astronomy", "Knitting")),
+    TagClassSpec("Technology", "Thing",
+                 ("Databases", "Machine Learning", "Graph Theory",
+                  "Operating Systems", "Compilers", "Distributed Systems",
+                  "Cryptography", "Robotics", "Semantic Web",
+                  "Computer Graphics", "Quantum Computing", "Networking")),
+)
+
+#: Word bank for generating message text; per-tag sub-vocabularies are
+#: carved out of this bank deterministically (the DBpedia-article-text
+#: substitute).
+WORD_BANK: tuple[str, ...] = (
+    "about", "above", "across", "album", "ancient", "annual", "archive",
+    "article", "artist", "audience", "author", "award", "ballad", "band",
+    "battle", "beautiful", "between", "border", "bridge", "bright",
+    "capital", "career", "century", "champion", "chapter", "character",
+    "city", "classic", "climate", "collection", "college", "colour",
+    "concert", "country", "critic", "culture", "debut", "decade", "defence",
+    "design", "director", "discovery", "district", "drama", "dynasty",
+    "early", "eastern", "edition", "emperor", "empire", "energy", "engine",
+    "episode", "equation", "event", "exhibition", "experiment", "famous",
+    "festival", "fiction", "field", "final", "forest", "formula", "founded",
+    "garden", "genre", "global", "gold", "government", "great", "harbour",
+    "heritage", "historic", "history", "honour", "island", "journal",
+    "journey", "kingdom", "language", "league", "legend", "library",
+    "literature", "local", "machine", "market", "match", "medal", "member",
+    "memory", "method", "modern", "monument", "mountain", "museum", "music",
+    "nation", "nature", "network", "northern", "notable", "novel", "ocean",
+    "opera", "orchestra", "origin", "palace", "paper", "period", "physics",
+    "player", "poem", "popular", "portrait", "premiere", "president",
+    "prize", "professor", "project", "province", "public", "publish",
+    "record", "reform", "region", "research", "result", "river", "royal",
+    "school", "science", "season", "senate", "series", "silver", "society",
+    "southern", "stadium", "state", "station", "statue", "story", "student",
+    "studio", "style", "summer", "symphony", "system", "teacher", "team",
+    "temple", "theatre", "theory", "title", "tournament", "tradition",
+    "treaty", "university", "valley", "victory", "village", "volume",
+    "western", "winner", "winter", "world", "writer", "young",
+)
+
+
+class Dictionaries:
+    """Accessor over the built-in dictionaries with correlation-aware picks.
+
+    The central primitive is :meth:`ranked`: given a dictionary (tuple of
+    values) and a correlation key (e.g. country name), it returns the values
+    re-ordered by a per-key deterministic permutation.  Drawing ranks from a
+    fixed skewed distribution over the re-ordered list realizes the paper's
+    "same shape, different order" correlated distributions.
+
+    For first names the permutation is anchored: the culture's own list is
+    kept in order at the head (so Table 2 reproduces), with other cultures'
+    names appended in permuted order as the rare tail ("there are Germans
+    with Chinese names, but these are infrequent").
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self.country_by_name = {c.name: c for c in COUNTRIES}
+        self._tag_names = tuple(
+            tag for spec in TAG_CLASSES for tag in spec.tags)
+        self._permutation_cache: dict[tuple, tuple] = {}
+
+    # -- generic correlated ordering ------------------------------------
+
+    def permuted(self, values: tuple, *key_parts: int | str) -> tuple:
+        """Deterministic permutation of ``values`` keyed by ``key_parts``."""
+        cache_key = (len(values), *key_parts)
+        cached = self._permutation_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        stream = RandomStream.for_key(self.seed, "perm", *key_parts)
+        order = list(values)
+        stream.shuffle(order)
+        result = tuple(order)
+        self._permutation_cache[cache_key] = result
+        return result
+
+    # -- names -----------------------------------------------------------
+
+    def first_names_for(self, country: str, gender: str) -> tuple[str, ...]:
+        """First-name dictionary for a (country, gender) pair.
+
+        The local culture's list leads in its canonical order; a permuted
+        sample of foreign names forms the rare tail.
+        """
+        culture = self.country_by_name[country].culture
+        local = FIRST_NAMES[culture][gender]
+        foreign: list[str] = []
+        for other_culture, by_gender in FIRST_NAMES.items():
+            if other_culture != culture:
+                foreign.extend(by_gender[gender])
+        tail = self.permuted(tuple(foreign), "first", country, gender)
+        return local + tail
+
+    def last_names_for(self, country: str) -> tuple[str, ...]:
+        """Last-name dictionary for a country (same anchoring scheme)."""
+        culture = self.country_by_name[country].culture
+        local = LAST_NAMES[culture]
+        foreign: list[str] = []
+        for other_culture, names in LAST_NAMES.items():
+            if other_culture != culture:
+                foreign.extend(names)
+        tail = self.permuted(tuple(foreign), "last", country)
+        return local + tail
+
+    # -- tags --------------------------------------------------------------
+
+    @property
+    def tag_names(self) -> tuple[str, ...]:
+        """All tag names across all classes."""
+        return self._tag_names
+
+    def tags_ranked_for_country(self, country: str) -> tuple[str, ...]:
+        """Tag popularity order as seen from one country.
+
+        Same skewed shape everywhere, country-specific order — the
+        "popular artist depends on location" correlation of Table 1.
+        """
+        return self.permuted(self._tag_names, "tags", country)
+
+    def words_for_tag(self, tag_name: str, vocabulary_size: int = 40,
+                      ) -> tuple[str, ...]:
+        """Per-topic sub-vocabulary of the word bank (DBpedia text stand-in)."""
+        ordered = self.permuted(WORD_BANK, "words", tag_name)
+        return ordered[:vocabulary_size]
+
+    # -- geography ---------------------------------------------------------
+
+    def country_weights(self) -> list[float]:
+        """Relative population weights aligned with ``COUNTRIES`` order."""
+        return [c.weight for c in COUNTRIES]
+
+    def pick_country(self, stream: RandomStream) -> CountrySpec:
+        """Draw a country by population weight."""
+        idx = stream.weighted_choice(self.country_weights())
+        return COUNTRIES[idx]
+
+
+def total_city_count() -> int:
+    """Number of cities in the gazetteer."""
+    return sum(len(c.cities) for c in COUNTRIES)
+
+
+def total_tag_count() -> int:
+    """Number of tags across all classes."""
+    return sum(len(spec.tags) for spec in TAG_CLASSES)

@@ -1,0 +1,137 @@
+"""Event-driven spiking trends (paper §2.2, Figure 2a).
+
+"The volume of person activity in a real social network ... is not uniform,
+but driven by real world events ...  Whenever an important real world event
+occurs, the amount of people and messages talking about that topic spikes."
+
+We simulate a calendar of world events.  Each event has a timestamp, a
+topic tag and an importance level; post volume around an event follows the
+rise-and-decay kernel proposed in Leskovec et al.'s meme-tracking study
+(sharp, short rise before/at the peak; slower power-law-ish decay after).
+When event-driven generation is enabled, a person interested in an event's
+topic redirects a share of their posts to the event: the post's timestamp
+is drawn from the kernel around the event and its topic becomes the event
+tag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..rng import RandomStream
+from ..sim_time import MILLIS_PER_DAY
+from .config import DatagenConfig
+from .universe import Universe
+
+#: Importance levels and their relative frequency / attraction weight.
+_LEVEL_WEIGHTS = (0.70, 0.25, 0.05)
+_LEVEL_MAGNITUDES = (1.0, 3.0, 9.0)
+#: Mean decay time of interest after an event, per level (days).
+_DECAY_DAYS = (2.0, 4.0, 8.0)
+#: Mean rise time before the event peak (days).
+_RISE_DAYS = 0.5
+#: Probability that a post by an interested person is about a live event.
+_EVENT_POST_PROBABILITY = 0.6
+
+
+@dataclass(frozen=True)
+class WorldEvent:
+    """One simulated real-world event (election, disaster, final, ...)."""
+
+    time: int
+    tag_id: int
+    #: 0 = minor, 1 = national, 2 = global.
+    level: int
+
+    @property
+    def magnitude(self) -> float:
+        return _LEVEL_MAGNITUDES[self.level]
+
+    @property
+    def decay_millis(self) -> float:
+        return _DECAY_DAYS[self.level] * MILLIS_PER_DAY
+
+
+class EventCalendar:
+    """The set of simulated events over the generation window."""
+
+    def __init__(self, events: list[WorldEvent]) -> None:
+        self.events = sorted(events, key=lambda e: e.time)
+        self._by_tag: dict[int, list[WorldEvent]] = {}
+        for event in self.events:
+            self._by_tag.setdefault(event.tag_id, []).append(event)
+
+    @classmethod
+    def generate(cls, config: DatagenConfig,
+                 universe: Universe) -> "EventCalendar":
+        """Simulate ``events_per_year`` events per simulated year."""
+        years = max(config.window.span / (365.25 * MILLIS_PER_DAY), 0.1)
+        count = max(1, round(config.events_per_year * years))
+        stream = RandomStream.for_key(config.seed, "events")
+        all_tags = [t.id for t in universe.tags]
+        events = []
+        for _ in range(count):
+            time = config.window.start + stream.randint(
+                0, config.window.span - 1)
+            # Popular (low-rank) tags are more likely to have events.
+            tag_id = all_tags[stream.zipf_index(len(all_tags), 1.05)]
+            level = stream.weighted_choice(_LEVEL_WEIGHTS)
+            events.append(WorldEvent(time, tag_id, level))
+        return cls(events)
+
+    def events_for_interests(self, interests: tuple[int, ...],
+                             start: int, end: int) -> list[WorldEvent]:
+        """Events on any interested-in tag peaking within ``[start, end]``."""
+        matching: list[WorldEvent] = []
+        for tag_id in interests:
+            for event in self._by_tag.get(tag_id, ()):
+                if start <= event.time <= end:
+                    matching.append(event)
+        return matching
+
+    def maybe_event_post(self, stream: RandomStream,
+                         interests: tuple[int, ...], start: int,
+                         end: int) -> tuple[int, int] | None:
+        """Decide whether a post is event-driven.
+
+        Returns ``(timestamp, tag_id)`` drawn from an event kernel, or
+        ``None`` for a regular (uniform-in-time, own-topic) post.  ``start``
+        is the earliest time the author may post (join + T_SAFE) and
+        ``end`` the end of the window.
+        """
+        if stream.random() >= _EVENT_POST_PROBABILITY:
+            return None
+        candidates = self.events_for_interests(interests, start, end)
+        if not candidates:
+            return None
+        weights = [event.magnitude for event in candidates]
+        event = candidates[stream.weighted_choice(weights)]
+        timestamp = self._sample_kernel(stream, event, start, end)
+        if timestamp is None:
+            return None
+        return timestamp, event.tag_id
+
+    @staticmethod
+    def _sample_kernel(stream: RandomStream, event: WorldEvent,
+                       start: int, end: int) -> int | None:
+        """Draw a post time from the rise/decay kernel around the event."""
+        if stream.random() < 0.15:
+            # Anticipation: short exponential rise before the peak.
+            offset = -int(stream.exponential(_RISE_DAYS * MILLIS_PER_DAY))
+        else:
+            # Decay: longer exponential tail after the peak.
+            offset = int(stream.exponential(event.decay_millis))
+        timestamp = event.time + offset
+        if timestamp < start or timestamp >= end:
+            return None
+        return timestamp
+
+    def density_series(self, timestamps: list[int], start: int, end: int,
+                       buckets: int = 100) -> list[int]:
+        """Bucketed post counts over time (Fig. 2a series helper)."""
+        series = [0] * buckets
+        span = max(end - start, 1)
+        for ts in timestamps:
+            if start <= ts < end:
+                series[min((ts - start) * buckets // span, buckets - 1)] += 1
+        return series

@@ -1,0 +1,160 @@
+"""Friendship (knows) edge generation (paper §2.3, Figure 1).
+
+The "Homophily Principle" is realized by a multi-stage edge generation
+process over correlation dimensions:
+
+* **pass 0 — where people studied**: persons are sorted by the composite
+  key ``(city Z-order << 24) | (university << 12) | class year``;
+* **pass 1 — interests**: sorted by their primary interest tag;
+* **pass 2 — random**: sorted by a keyed random number, reproducing the
+  inhomogeneities found in real data.
+
+In each pass every person walks a bounded window of the persons ahead of it
+in sort order and picks friends with a geometric probability that decays
+with window distance (zero outside the window).  Each person has a target
+degree drawn from the scaled Facebook distribution
+(:mod:`repro.datagen.degrees`); the per-pass budgets split it 45% / 45% /
+10% across the three dimensions.
+"""
+
+from __future__ import annotations
+
+from ..ids import serial_of
+from ..rng import RandomStream
+from ..schema.entities import Knows, Person
+from ..sim_time import MILLIS_PER_DAY
+from .config import DatagenConfig
+from .degrees import target_degree
+from .universe import Universe, university_serial
+from .zorder import study_location_key
+
+#: Attempt multiplier before a person gives up filling its pass budget.
+_ATTEMPTS_PER_EDGE = 12
+
+
+def sort_key_for_pass(person: Person, pass_index: int, universe: Universe,
+                      seed: int) -> int:
+    """The correlation-dimension sort key of ``person`` for a given pass."""
+    serial = serial_of(person.id)
+    if pass_index == 0:
+        if person.study_at:
+            study = person.study_at[0]
+            university = universe.organisation_by_id[study.organisation_id]
+            city_z = universe.city_zorder.get(university.location_id, 0)
+            return study_location_key(city_z,
+                                      university_serial(study.organisation_id),
+                                      study.class_year)
+        # Persons without a university sort by home city with the
+        # university slot saturated, so they cluster geographically after
+        # all alumni of local universities.
+        city_z = universe.city_zorder.get(person.city_id, 0)
+        return study_location_key(city_z, 0xFFF, 0)
+    if pass_index == 1:
+        if person.interests:
+            primary = serial_of(person.interests[0])
+            # Tie-break by a keyed random so same-interest persons mix.
+            jitter = RandomStream.for_key(seed, "dim1jitter", serial)
+            return (primary << 32) | (jitter.next_u64() & 0xFFFFFFFF)
+        jitter = RandomStream.for_key(seed, "dim1jitter", serial)
+        return (0xFFFF << 32) | (jitter.next_u64() & 0xFFFFFFFF)
+    if pass_index == 2:
+        return RandomStream.for_key(seed, "dim2key", serial).next_u64()
+    raise ValueError(f"unknown pass {pass_index}")
+
+
+def split_degree_budget(total: int,
+                        shares: tuple[float, float, float]) -> list[int]:
+    """Split a target degree over the three passes (45/45/10 by default)."""
+    first = round(total * shares[0])
+    second = round(total * shares[1])
+    rest = max(total - first - second, 0)
+    return [first, second, rest]
+
+
+class FriendshipGenerator:
+    """Runs the three sliding-window passes and accumulates knows edges."""
+
+    def __init__(self, config: DatagenConfig, universe: Universe) -> None:
+        self.config = config
+        self.universe = universe
+
+    def generate(self, persons: list[Person]) -> list[Knows]:
+        """Produce the friendship edge list for the given persons."""
+        config = self.config
+        n = len(persons)
+        targets = [target_degree(serial_of(p.id), n, config.seed)
+                   for p in persons]
+        # Per-pass budgets: an edge made in pass p consumes the pass-p
+        # budget of BOTH endpoints, so each correlation dimension keeps
+        # its 45/45/10 share of the final degree.
+        remaining = [split_degree_budget(t, config.dimension_shares)
+                     for t in targets]
+        edges: list[Knows] = []
+        edge_set: set[tuple[int, int]] = set()
+
+        for pass_index in range(3):
+            order = sorted(
+                range(n),
+                key=lambda i: (sort_key_for_pass(persons[i], pass_index,
+                                                 self.universe, config.seed),
+                               serial_of(persons[i].id)))
+            self._run_pass(pass_index, order, persons, remaining, edges,
+                           edge_set)
+        edges.sort(key=lambda e: (e.creation_date, e.person1_id,
+                                  e.person2_id))
+        return edges
+
+    def _run_pass(self, pass_index: int, order: list[int],
+                  persons: list[Person], remaining: list[list[int]],
+                  edges: list[Knows],
+                  edge_set: set[tuple[int, int]]) -> None:
+        """One sliding-window pass over persons in correlation-key order."""
+        config = self.config
+        window = config.friendship_window
+        n = len(order)
+        for position, person_index in enumerate(order):
+            budget = remaining[person_index][pass_index]
+            if budget <= 0:
+                continue
+            person = persons[person_index]
+            stream = RandomStream.for_key(config.seed, "friend", pass_index,
+                                          serial_of(person.id))
+            made = 0
+            attempts = 0
+            max_attempts = budget * _ATTEMPTS_PER_EDGE
+            while made < budget and attempts < max_attempts:
+                attempts += 1
+                offset = 1 + stream.geometric(config.window_geometric_p)
+                if offset > window:
+                    continue  # probability is zero outside the window
+                candidate_position = position + offset
+                if candidate_position >= n:
+                    continue
+                other_index = order[candidate_position]
+                if remaining[other_index][pass_index] <= 0:
+                    continue
+                other = persons[other_index]
+                key = (min(person.id, other.id), max(person.id, other.id))
+                if key in edge_set:
+                    continue
+                edge_set.add(key)
+                creation = self._edge_creation_date(stream, person, other)
+                edges.append(Knows(key[0], key[1], creation, pass_index))
+                remaining[person_index][pass_index] -= 1
+                remaining[other_index][pass_index] -= 1
+                made += 1
+
+    def _edge_creation_date(self, stream: RandomStream, a: Person,
+                            b: Person) -> int:
+        """Friendship date: after both joined, skewed toward soon-after."""
+        window = self.config.window
+        base = max(a.creation_date, b.creation_date) + MILLIS_PER_DAY
+        room = max(window.end - base - MILLIS_PER_DAY, 1)
+        lag = int(stream.exponential(room * 0.25))
+        return min(base + lag, window.end - 1)
+
+
+def generate_friendships(config: DatagenConfig, universe: Universe,
+                         persons: list[Person]) -> list[Knows]:
+    """Convenience wrapper over :class:`FriendshipGenerator`."""
+    return FriendshipGenerator(config, universe).generate(persons)

@@ -1,0 +1,174 @@
+"""Person generation (paper §2, "person generation" step).
+
+Each person is produced by an independent random stream keyed on the
+person's serial, which makes the step embarrassingly parallel *and*
+deterministic regardless of how persons are partitioned over workers —
+exactly the property the paper's Hadoop mappers have.
+
+The attribute correlations of Table 1 realized here:
+
+* ``person.location`` + ``person.gender`` → first-name ranking,
+* ``person.location`` → last name, university (nearby), company (in
+  country), spoken languages, interests (popular tags *in that country*),
+* ``person.employer`` → email domain,
+* ``person.birthDate`` < ``person.createdDate``.
+"""
+
+from __future__ import annotations
+
+from ..ids import EntityKind, make_id
+from ..rng import RandomStream
+from ..schema.entities import Person, StudyAt, WorkAt
+from ..sim_time import MILLIS_PER_DAY, MILLIS_PER_YEAR, date_from_millis
+from .config import DatagenConfig
+from .dictionaries import (
+    BROWSER_WEIGHTS,
+    BROWSERS,
+    EMAIL_PROVIDERS,
+    GENDERS,
+    Dictionaries,
+)
+from .universe import Universe
+
+#: Rank-selection skew for dictionary draws (names, interests).
+_NAME_SKEW = 1.3
+#: Fraction of persons with a recorded university.
+_STUDY_PROBABILITY = 0.8
+#: Fraction of studied-abroad persons (university outside home country).
+_FOREIGN_STUDY_PROBABILITY = 0.1
+#: Fraction of persons with at least one job.
+_WORK_PROBABILITY = 0.85
+
+
+def generate_person(serial: int, config: DatagenConfig,
+                    dictionaries: Dictionaries, universe: Universe) -> Person:
+    """Generate person ``serial`` (pure function of (config, serial))."""
+    stream = RandomStream.for_key(config.seed, "person", serial)
+    country_index = stream.weighted_choice(dictionaries.country_weights())
+    country = universe.countries[country_index]
+    city_id = stream.choice(country.city_ids)
+    gender = stream.choice(GENDERS)
+
+    first_names = dictionaries.first_names_for(country.spec.name, gender)
+    first_name = first_names[stream.zipf_index(len(first_names), _NAME_SKEW)]
+    last_names = dictionaries.last_names_for(country.spec.name)
+    last_name = last_names[stream.zipf_index(len(last_names), _NAME_SKEW)]
+
+    # Birthday: age 18-55 at network start.
+    age_years = stream.randint(18, 55)
+    birthday = (config.window.start - age_years * MILLIS_PER_YEAR
+                - stream.randint(0, 364) * MILLIS_PER_DAY)
+
+    # Join date: uniform over the window except the final 30 days, so even
+    # the latest joiners can produce some activity.
+    join_span = config.window.span - 30 * MILLIS_PER_DAY
+    creation_date = config.window.start + stream.randint(0, max(join_span, 1))
+
+    languages = list(country.spec.languages)
+    if "en" not in languages and stream.random() < 0.5:
+        languages.append("en")
+
+    interests = _pick_interests(stream, config, country.ranked_tag_ids)
+    study_at = _pick_university(stream, universe, country_index, birthday)
+    work_at = _pick_jobs(stream, config, country, creation_date)
+    emails = _make_emails(stream, first_name, last_name, serial, work_at,
+                          universe)
+
+    browser = BROWSERS[stream.weighted_choice(BROWSER_WEIGHTS)]
+    location_ip = (f"{country_index + 1}.{stream.randint(0, 255)}"
+                   f".{stream.randint(0, 255)}.{stream.randint(1, 254)}")
+
+    return Person(
+        id=make_id(EntityKind.PERSON, serial),
+        first_name=first_name,
+        last_name=last_name,
+        gender=gender,
+        birthday=birthday,
+        creation_date=creation_date,
+        location_ip=location_ip,
+        browser_used=browser,
+        city_id=city_id,
+        country_id=country.country_place_id,
+        languages=tuple(languages),
+        emails=emails,
+        interests=interests,
+        study_at=study_at,
+        work_at=work_at,
+    )
+
+
+def _pick_interests(stream: RandomStream, config: DatagenConfig,
+                    ranked_tags: tuple[int, ...]) -> tuple[int, ...]:
+    """Interests: skewed ranks over the country's tag popularity order."""
+    count = min(1 + stream.geometric(0.35), config.max_interests)
+    picked: list[int] = []
+    seen: set[int] = set()
+    attempts = 0
+    while len(picked) < count and attempts < count * 20:
+        attempts += 1
+        tag_id = ranked_tags[stream.zipf_index(len(ranked_tags), 1.1)]
+        if tag_id not in seen:
+            seen.add(tag_id)
+            picked.append(tag_id)
+    return tuple(picked)
+
+
+def _pick_university(stream: RandomStream, universe: Universe,
+                     home_country_index: int, birthday: int,
+                     ) -> tuple[StudyAt, ...]:
+    if stream.random() >= _STUDY_PROBABILITY:
+        return ()
+    country_index = home_country_index
+    if stream.random() < _FOREIGN_STUDY_PROBABILITY:
+        country_index = stream.randint(0, len(universe.countries) - 1)
+    universities = universe.countries[country_index].university_ids
+    university_id = stream.choice(universities)
+    birth_year = date_from_millis(birthday).year
+    class_year = birth_year + stream.randint(21, 24)
+    return (StudyAt(university_id, class_year),)
+
+
+def _pick_jobs(stream: RandomStream, config: DatagenConfig, country,
+               creation_date: int) -> tuple[WorkAt, ...]:
+    if stream.random() >= _WORK_PROBABILITY:
+        return ()
+    jobs = [WorkAt(stream.choice(country.company_ids),
+                   date_from_millis(creation_date).year
+                   - stream.randint(0, 10))]
+    if stream.random() < config.extra_affiliation_p:
+        other = stream.choice(country.company_ids)
+        if other != jobs[0].organisation_id:
+            jobs.append(WorkAt(other, jobs[0].work_from
+                               + stream.randint(1, 5)))
+    return tuple(jobs)
+
+
+def _make_emails(stream: RandomStream, first_name: str, last_name: str,
+                 serial: int, work_at: tuple[WorkAt, ...],
+                 universe: Universe) -> tuple[str, ...]:
+    """Emails correlate with the employer (Table 1: @company domain)."""
+    slug_first = _ascii_slug(first_name)
+    slug_last = _ascii_slug(last_name)
+    emails = [f"{slug_first}.{slug_last}{serial}@"
+              f"{stream.choice(EMAIL_PROVIDERS)}"]
+    if work_at:
+        employer = universe.organisation_by_id[work_at[0].organisation_id]
+        domain = _ascii_slug(employer.name).replace(" ", "") + ".example.com"
+        emails.append(f"{slug_first}.{slug_last}@{domain}")
+    return tuple(emails)
+
+
+def _ascii_slug(text: str) -> str:
+    """Lowercase ASCII-only slug of a name (for email local parts)."""
+    folded = []
+    for ch in text.lower():
+        if ch.isascii() and ch.isalnum():
+            folded.append(ch)
+    return "".join(folded) or "user"
+
+
+def generate_persons(config: DatagenConfig, dictionaries: Dictionaries,
+                     universe: Universe) -> list[Person]:
+    """Generate all persons, ordered by serial."""
+    return [generate_person(serial, config, dictionaries, universe)
+            for serial in range(config.num_persons)]

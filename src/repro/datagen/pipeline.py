@@ -1,0 +1,153 @@
+"""DATAGEN pipeline: person → friendship → activity stages (paper §2.4).
+
+The original generator runs as three groups of MapReduce jobs.  Here the
+stages run in-process, but the structure (and the determinism guarantee) is
+preserved:
+
+* **person generation** is embarrassingly parallel per person serial;
+* **friendship generation** is "a succession of stages, each of them based
+  on a different correlation dimension", each a sort followed by a
+  sequential sliding-window sweep;
+* **person activity generation** is parallel per forum owner.
+
+``config.num_workers`` emulates the cluster width: the pipeline records,
+per stage, how much of the work is partitionable, and
+:meth:`DatagenTimings.projected_seconds` projects multi-node runtimes the
+way Fig. 3b reports them (sort/sequential parts scale; per-item parts
+divide by the worker count).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..schema.dataset import SocialNetwork
+from .activity import ActivityGenerator
+from .config import DatagenConfig
+from .dictionaries import Dictionaries
+from .events import EventCalendar
+from .friendships import generate_friendships
+from .persons import generate_person
+from .universe import build_universe
+
+
+@dataclass
+class StageTiming:
+    """Wall-clock seconds of one stage, split by parallelizability."""
+
+    name: str
+    seconds: float
+    #: Fraction of the stage that partitions cleanly over workers.
+    parallel_fraction: float
+
+
+@dataclass
+class DatagenTimings:
+    """Per-stage timings of one generation run (Fig. 3b input)."""
+
+    stages: list[StageTiming] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(stage.seconds for stage in self.stages)
+
+    def projected_seconds(self, num_workers: int) -> float:
+        """Amdahl projection of the run on ``num_workers`` nodes."""
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        total = 0.0
+        for stage in self.stages:
+            parallel = stage.seconds * stage.parallel_fraction
+            serial = stage.seconds - parallel
+            total += serial + parallel / num_workers
+        return total
+
+
+class DatagenPipeline:
+    """Runs the full generation pipeline for one configuration."""
+
+    def __init__(self, config: DatagenConfig) -> None:
+        self.config = config
+        self.timings = DatagenTimings()
+
+    def run(self) -> SocialNetwork:
+        """Generate the network; timings are recorded on ``self.timings``."""
+        config = self.config
+        dictionaries = Dictionaries(config.seed)
+
+        started = time.perf_counter()
+        universe = build_universe(dictionaries)
+        self._record("universe", started, parallel_fraction=0.0)
+
+        started = time.perf_counter()
+        persons = self._generate_persons(dictionaries, universe)
+        self._record("persons", started, parallel_fraction=1.0)
+
+        started = time.perf_counter()
+        knows = generate_friendships(config, universe, persons)
+        # The three passes are dominated by the per-person window sweeps,
+        # which partition over workers; the sorts are the serial part.
+        self._record("friendships", started, parallel_fraction=0.8)
+
+        started = time.perf_counter()
+        calendar = EventCalendar.generate(config, universe)
+        adjacency = _adjacency(persons, knows)
+        activity = ActivityGenerator(config, dictionaries, universe,
+                                     calendar).generate(persons, adjacency)
+        self._record("activity", started, parallel_fraction=0.95)
+
+        return SocialNetwork(
+            persons=persons,
+            knows=knows,
+            forums=activity.forums,
+            memberships=activity.memberships,
+            posts=activity.posts,
+            comments=activity.comments,
+            likes=activity.likes,
+            tags=list(universe.tags),
+            tag_classes=list(universe.tag_classes),
+            places=list(universe.places),
+            organisations=list(universe.organisations),
+        )
+
+    def _generate_persons(self, dictionaries, universe):
+        """Person stage: chunked over workers, merged in serial order.
+
+        Chunks are processed in an order that depends on ``num_workers``
+        (round-robin, as a cluster would interleave them) and then merged
+        by serial — the output is identical for any worker count, and the
+        determinism test exercises exactly this.
+        """
+        config = self.config
+        chunk_size = max(1, -(-config.num_persons // config.num_workers))
+        chunks = [range(start, min(start + chunk_size, config.num_persons))
+                  for start in range(0, config.num_persons, chunk_size)]
+        by_serial = {}
+        for chunk in chunks:
+            for serial in chunk:
+                by_serial[serial] = generate_person(serial, config,
+                                                    dictionaries, universe)
+        return [by_serial[serial] for serial in range(config.num_persons)]
+
+    def _record(self, name: str, started: float,
+                parallel_fraction: float) -> None:
+        elapsed = time.perf_counter() - started
+        self.timings.stages.append(StageTiming(name, elapsed,
+                                               parallel_fraction))
+
+
+def _adjacency(persons, knows) -> dict[int, list[tuple[int, int]]]:
+    """Person id → [(friend id, friendship creation date)], both ways."""
+    adjacency: dict[int, list[tuple[int, int]]] = {p.id: [] for p in persons}
+    for edge in knows:
+        adjacency[edge.person1_id].append((edge.person2_id,
+                                           edge.creation_date))
+        adjacency[edge.person2_id].append((edge.person1_id,
+                                           edge.creation_date))
+    return adjacency
+
+
+def generate(config: DatagenConfig) -> SocialNetwork:
+    """Generate a social network for the given configuration."""
+    return DatagenPipeline(config).run()

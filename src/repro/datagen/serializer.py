@@ -1,0 +1,201 @@
+"""CSV serialization of a generated network (the paper's bulk-load format).
+
+One file per entity/relation kind, pipe-delimited with a header row, in the
+style of the official DATAGEN CSV output.  :func:`write_csv` dumps a
+:class:`~repro.schema.dataset.SocialNetwork` into a directory;
+:func:`read_csv` loads it back (round-trip is tested).  Scale factors are
+defined as *GB of CSV data* in the paper, so :func:`csv_size_bytes` is also
+what our miniature scale-factor reporting is based on.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from pathlib import Path
+
+from ..schema.dataset import SocialNetwork
+from ..schema.entities import (
+    Comment,
+    Forum,
+    ForumMembership,
+    Knows,
+    Like,
+    Organisation,
+    OrganisationType,
+    Person,
+    Place,
+    PlaceType,
+    Post,
+    StudyAt,
+    Tag,
+    TagClass,
+    WorkAt,
+)
+
+_DELIMITER = "|"
+
+
+def _write(path: Path, header: list[str], rows) -> None:
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle, delimiter=_DELIMITER)
+        writer.writerow(header)
+        writer.writerows(rows)
+
+
+def write_csv(network: SocialNetwork, directory: str | os.PathLike) -> None:
+    """Write the network as pipe-delimited CSV files into ``directory``."""
+    out = Path(directory)
+    out.mkdir(parents=True, exist_ok=True)
+
+    _write(out / "place.csv", ["id", "name", "type", "partOf", "zOrder"],
+           ([p.id, p.name, p.type.value, p.part_of if p.part_of is not None
+             else "", p.z_order] for p in network.places))
+    _write(out / "organisation.csv", ["id", "name", "type", "location"],
+           ([o.id, o.name, o.type.value, o.location_id]
+            for o in network.organisations))
+    _write(out / "tagclass.csv", ["id", "name", "parent"],
+           ([tc.id, tc.name, tc.parent_id if tc.parent_id is not None
+             else ""] for tc in network.tag_classes))
+    _write(out / "tag.csv", ["id", "name", "class"],
+           ([t.id, t.name, t.class_id] for t in network.tags))
+    _write(out / "person.csv",
+           ["id", "firstName", "lastName", "gender", "birthday",
+            "creationDate", "locationIP", "browserUsed", "city", "country",
+            "languages", "emails", "interests", "studyAt", "workAt"],
+           ([p.id, p.first_name, p.last_name, p.gender, p.birthday,
+             p.creation_date, p.location_ip, p.browser_used, p.city_id,
+             p.country_id, ";".join(p.languages), ";".join(p.emails),
+             ";".join(str(t) for t in p.interests),
+             ";".join(f"{s.organisation_id},{s.class_year}"
+                      for s in p.study_at),
+             ";".join(f"{w.organisation_id},{w.work_from}"
+                      for w in p.work_at)]
+            for p in network.persons))
+    _write(out / "knows.csv",
+           ["person1", "person2", "creationDate", "dimension"],
+           ([k.person1_id, k.person2_id, k.creation_date, k.dimension]
+            for k in network.knows))
+    _write(out / "forum.csv",
+           ["id", "title", "creationDate", "moderator", "tags"],
+           ([f.id, f.title, f.creation_date, f.moderator_id,
+             ";".join(str(t) for t in f.tag_ids)] for f in network.forums))
+    _write(out / "forum_hasMember.csv", ["forum", "person", "joinDate"],
+           ([m.forum_id, m.person_id, m.joined_date]
+            for m in network.memberships))
+    _write(out / "post.csv",
+           ["id", "creationDate", "author", "forum", "content", "length",
+            "language", "country", "tags", "imageFile", "locationIP",
+            "browserUsed", "latitude", "longitude"],
+           ([p.id, p.creation_date, p.author_id, p.forum_id, p.content,
+             p.length, p.language, p.country_id,
+             ";".join(str(t) for t in p.tag_ids), p.image_file or "",
+             p.location_ip, p.browser_used,
+             "" if p.latitude is None else p.latitude,
+             "" if p.longitude is None else p.longitude]
+            for p in network.posts))
+    _write(out / "comment.csv",
+           ["id", "creationDate", "author", "content", "length", "country",
+            "rootPost", "replyOf", "tags", "locationIP", "browserUsed"],
+           ([c.id, c.creation_date, c.author_id, c.content, c.length,
+             c.country_id, c.root_post_id, c.reply_of_id,
+             ";".join(str(t) for t in c.tag_ids), c.location_ip,
+             c.browser_used] for c in network.comments))
+    _write(out / "likes.csv",
+           ["person", "message", "creationDate", "isPost"],
+           ([like.person_id, like.message_id, like.creation_date,
+             int(like.is_post)] for like in network.likes))
+
+
+def _read(path: Path) -> list[dict[str, str]]:
+    with open(path, newline="", encoding="utf-8") as handle:
+        return list(csv.DictReader(handle, delimiter=_DELIMITER))
+
+
+def _ints(joined: str) -> tuple[int, ...]:
+    return tuple(int(part) for part in joined.split(";") if part)
+
+
+def read_csv(directory: str | os.PathLike) -> SocialNetwork:
+    """Load a network previously written by :func:`write_csv`."""
+    src = Path(directory)
+    network = SocialNetwork()
+    for row in _read(src / "place.csv"):
+        network.places.append(Place(
+            int(row["id"]), row["name"], PlaceType(row["type"]),
+            int(row["partOf"]) if row["partOf"] else None,
+            int(row["zOrder"])))
+    for row in _read(src / "organisation.csv"):
+        network.organisations.append(Organisation(
+            int(row["id"]), row["name"], OrganisationType(row["type"]),
+            int(row["location"])))
+    for row in _read(src / "tagclass.csv"):
+        network.tag_classes.append(TagClass(
+            int(row["id"]), row["name"],
+            int(row["parent"]) if row["parent"] else None))
+    for row in _read(src / "tag.csv"):
+        network.tags.append(Tag(int(row["id"]), row["name"],
+                                int(row["class"])))
+    for row in _read(src / "person.csv"):
+        study = tuple(StudyAt(int(org), int(year))
+                      for org, year in (pair.split(",")
+                                        for pair in row["studyAt"].split(";")
+                                        if pair))
+        work = tuple(WorkAt(int(org), int(year))
+                     for org, year in (pair.split(",")
+                                       for pair in row["workAt"].split(";")
+                                       if pair))
+        network.persons.append(Person(
+            id=int(row["id"]), first_name=row["firstName"],
+            last_name=row["lastName"], gender=row["gender"],
+            birthday=int(row["birthday"]),
+            creation_date=int(row["creationDate"]),
+            location_ip=row["locationIP"], browser_used=row["browserUsed"],
+            city_id=int(row["city"]), country_id=int(row["country"]),
+            languages=tuple(part for part in row["languages"].split(";")
+                            if part),
+            emails=tuple(part for part in row["emails"].split(";") if part),
+            interests=_ints(row["interests"]),
+            study_at=study, work_at=work))
+    for row in _read(src / "knows.csv"):
+        network.knows.append(Knows(
+            int(row["person1"]), int(row["person2"]),
+            int(row["creationDate"]), int(row["dimension"])))
+    for row in _read(src / "forum.csv"):
+        network.forums.append(Forum(
+            int(row["id"]), row["title"], int(row["creationDate"]),
+            int(row["moderator"]), _ints(row["tags"])))
+    for row in _read(src / "forum_hasMember.csv"):
+        network.memberships.append(ForumMembership(
+            int(row["forum"]), int(row["person"]), int(row["joinDate"])))
+    for row in _read(src / "post.csv"):
+        network.posts.append(Post(
+            id=int(row["id"]), creation_date=int(row["creationDate"]),
+            author_id=int(row["author"]), forum_id=int(row["forum"]),
+            content=row["content"], length=int(row["length"]),
+            language=row["language"], country_id=int(row["country"]),
+            tag_ids=_ints(row["tags"]),
+            image_file=row["imageFile"] or None,
+            location_ip=row["locationIP"], browser_used=row["browserUsed"],
+            latitude=float(row["latitude"]) if row["latitude"] else None,
+            longitude=float(row["longitude"]) if row["longitude"]
+            else None))
+    for row in _read(src / "comment.csv"):
+        network.comments.append(Comment(
+            id=int(row["id"]), creation_date=int(row["creationDate"]),
+            author_id=int(row["author"]), content=row["content"],
+            length=int(row["length"]), country_id=int(row["country"]),
+            root_post_id=int(row["rootPost"]),
+            reply_of_id=int(row["replyOf"]), tag_ids=_ints(row["tags"]),
+            location_ip=row["locationIP"], browser_used=row["browserUsed"]))
+    for row in _read(src / "likes.csv"):
+        network.likes.append(Like(
+            int(row["person"]), int(row["message"]),
+            int(row["creationDate"]), bool(int(row["isPost"]))))
+    return network
+
+
+def csv_size_bytes(directory: str | os.PathLike) -> int:
+    """Total size of the CSV files (what the paper's SF measures, in GB)."""
+    return sum(path.stat().st_size
+               for path in Path(directory).glob("*.csv"))

@@ -1,0 +1,134 @@
+"""Dataset statistics (paper Table 3) and frequency statistics for curation.
+
+Two consumers:
+
+* the Table 3 bench reports entity counts per scale factor;
+* parameter curation (paper §4.1 "since we are generating the data anyway,
+  we can keep the corresponding counts ... as a by-product of data
+  generation") consumes per-person frequency statistics: friend counts,
+  2-hop neighborhood sizes, message counts, etc.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..schema.dataset import SocialNetwork
+
+
+@dataclass
+class DatasetStatistics:
+    """Aggregate counts of a generated network (Table 3 columns)."""
+
+    nodes: int
+    edges: int
+    persons: int
+    friendships: int
+    messages: int
+    forums: int
+
+    @classmethod
+    def of(cls, network: SocialNetwork) -> "DatasetStatistics":
+        return cls(
+            nodes=network.num_nodes,
+            edges=network.num_edges,
+            persons=len(network.persons),
+            friendships=len(network.knows),
+            messages=len(network.posts) + len(network.comments),
+            forums=len(network.forums),
+        )
+
+    def as_row(self) -> dict[str, int]:
+        """Table 3 row (entity counts)."""
+        return {
+            "Nodes": self.nodes,
+            "Edges": self.edges,
+            "Persons": self.persons,
+            "Friends": self.friendships,
+            "Messages": self.messages,
+            "Forums": self.forums,
+        }
+
+
+@dataclass
+class FrequencyStatistics:
+    """Per-person frequency counts kept as a by-product of generation.
+
+    These are the raw columns Parameter-Count tables are assembled from
+    (paper Fig. 6: ``|⋈1|`` = friends per person, ``|⋈2|`` = posts of those
+    friends, ...).
+    """
+
+    #: person id → number of friends (1-hop).
+    friend_count: dict[int, int] = field(default_factory=dict)
+    #: person id → number of distinct friends-of-friends (2 hops, exclusive).
+    two_hop_count: dict[int, int] = field(default_factory=dict)
+    #: person id → number of messages (posts+comments) the person created.
+    message_count: dict[int, int] = field(default_factory=dict)
+    #: person id → total messages created by the person's friends.
+    friend_message_count: dict[int, int] = field(default_factory=dict)
+    #: person id → total messages created by friends + friends-of-friends.
+    two_hop_message_count: dict[int, int] = field(default_factory=dict)
+    #: tag id → number of messages carrying the tag.
+    tag_message_count: dict[int, int] = field(default_factory=dict)
+    #: forum id → number of posts in the forum.
+    forum_post_count: dict[int, int] = field(default_factory=dict)
+
+    @classmethod
+    def of(cls, network: SocialNetwork) -> "FrequencyStatistics":
+        stats = cls()
+        neighbors: dict[int, set[int]] = {p.id: set()
+                                          for p in network.persons}
+        for edge in network.knows:
+            neighbors[edge.person1_id].add(edge.person2_id)
+            neighbors[edge.person2_id].add(edge.person1_id)
+
+        for person in network.persons:
+            friends = neighbors[person.id]
+            stats.friend_count[person.id] = len(friends)
+            two_hop: set[int] = set()
+            for friend in friends:
+                two_hop |= neighbors[friend]
+            two_hop.discard(person.id)
+            two_hop |= friends
+            stats.two_hop_count[person.id] = len(two_hop)
+
+        message_count: dict[int, int] = {p.id: 0 for p in network.persons}
+        for message in network.messages():
+            message_count[message.author_id] = (
+                message_count.get(message.author_id, 0) + 1)
+            for tag_id in message.tag_ids:
+                stats.tag_message_count[tag_id] = (
+                    stats.tag_message_count.get(tag_id, 0) + 1)
+        stats.message_count = message_count
+
+        for person in network.persons:
+            friends = neighbors[person.id]
+            friend_total = sum(message_count.get(f, 0) for f in friends)
+            stats.friend_message_count[person.id] = friend_total
+            two_hop: set[int] = set(friends)
+            for friend in friends:
+                two_hop |= neighbors[friend]
+            two_hop.discard(person.id)
+            stats.two_hop_message_count[person.id] = sum(
+                message_count.get(p, 0) for p in two_hop)
+
+        for post in network.posts:
+            stats.forum_post_count[post.forum_id] = (
+                stats.forum_post_count.get(post.forum_id, 0) + 1)
+        return stats
+
+
+def two_hop_histogram(stats: FrequencyStatistics, buckets: int = 30,
+                      ) -> list[tuple[int, int]]:
+    """Histogram of 2-hop neighborhood sizes (paper Fig. 5a)."""
+    values = sorted(stats.two_hop_count.values())
+    if not values:
+        return []
+    top = values[-1] or 1
+    width = max(top // buckets, 1)
+    histogram: dict[int, int] = {}
+    for value in values:
+        key = (value // width) * width
+        histogram[key] = histogram.get(key, 0) + 1
+    return sorted(histogram.items())

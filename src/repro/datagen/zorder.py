@@ -1,0 +1,46 @@
+"""Z-order (Morton) encoding of geographic coordinates.
+
+The paper's study-location correlation dimension is a composite key: "the
+Z-order location of the university's city (bits 31-24), the university ID
+(bits 23-12), and the studied year (bits 11-0)".  This module provides the
+8-bit Z-order of a (latitude, longitude) pair and the composite-key builder.
+"""
+
+from __future__ import annotations
+
+
+def _quantize(value: float, low: float, high: float, bits: int) -> int:
+    """Map ``value`` in ``[low, high]`` onto ``[0, 2^bits - 1]``."""
+    span = high - low
+    clamped = min(max(value, low), high)
+    scaled = int((clamped - low) / span * ((1 << bits) - 1) + 0.5)
+    return scaled
+
+
+def interleave_bits(x: int, y: int, bits: int) -> int:
+    """Interleave the low ``bits`` of x and y (x in even positions)."""
+    z = 0
+    for i in range(bits):
+        z |= ((x >> i) & 1) << (2 * i)
+        z |= ((y >> i) & 1) << (2 * i + 1)
+    return z
+
+
+def zorder8(latitude: float, longitude: float) -> int:
+    """8-bit Morton code of a lat/lon pair (4 bits per axis)."""
+    qlat = _quantize(latitude, -90.0, 90.0, 4)
+    qlon = _quantize(longitude, -180.0, 180.0, 4)
+    return interleave_bits(qlat, qlon, 4)
+
+
+def study_location_key(city_z: int, university_serial: int,
+                       class_year: int) -> int:
+    """Composite sort key for the first friendship correlation dimension.
+
+    Bits 31-24: city Z-order; bits 23-12: university id; bits 11-0: studied
+    year — exactly the layout described in the paper (§2.3).
+    """
+    z = city_z & 0xFF
+    uni = university_serial & 0xFFF
+    year = class_year & 0xFFF
+    return (z << 24) | (uni << 12) | year

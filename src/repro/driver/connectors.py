@@ -1,0 +1,79 @@
+"""System-under-test connectors.
+
+The driver is SUT-agnostic: it hands each
+:class:`~repro.datagen.update_stream.UpdateOperation` (or read operation)
+to a connector.  Three implementations:
+
+* :class:`SleepingConnector` — the paper's "dummy database connector that,
+  rather than executing transactions against a database, simply sleeps for
+  a configured duration" (Table 5 driver-scalability experiments);
+* :class:`StoreConnector` — executes updates against the MVCC graph store;
+* :class:`RecordingConnector` — records the execution order and T_GC at
+  execution time, used by the dependency-correctness tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Protocol
+
+from ..datagen.update_stream import UpdateOperation
+from ..queries.updates import execute_update
+from ..store.graph import GraphStore, IsolationLevel
+
+
+class Connector(Protocol):
+    """What the driver requires of a system under test."""
+
+    def execute(self, operation: UpdateOperation) -> None:
+        """Run one operation to completion (raising on failure)."""
+        ...
+
+
+class SleepingConnector:
+    """Sleeps a fixed duration per operation (the Table 5 dummy SUT)."""
+
+    def __init__(self, sleep_seconds: float) -> None:
+        self.sleep_seconds = sleep_seconds
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def execute(self, operation: UpdateOperation) -> None:
+        time.sleep(self.sleep_seconds)
+        with self._lock:
+            self._count += 1
+
+    @property
+    def executed(self) -> int:
+        return self._count
+
+
+class StoreConnector:
+    """Applies update operations to the graph store transactionally."""
+
+    def __init__(self, store: GraphStore,
+                 isolation: IsolationLevel = IsolationLevel.SNAPSHOT,
+                 ) -> None:
+        self.store = store
+        self.isolation = isolation
+
+    def execute(self, operation: UpdateOperation) -> None:
+        execute_update(self.store, operation, self.isolation)
+
+
+class RecordingConnector:
+    """Records (operation, T_GC at execution) for dependency tests."""
+
+    def __init__(self, gds=None, delegate: Connector | None = None) -> None:
+        self.gds = gds
+        self.delegate = delegate
+        self.records: list[tuple[UpdateOperation, int]] = []
+        self._lock = threading.Lock()
+
+    def execute(self, operation: UpdateOperation) -> None:
+        gct = self.gds.global_completion_time if self.gds is not None else 0
+        with self._lock:
+            self.records.append((operation, gct))
+        if self.delegate is not None:
+            self.delegate.execute(operation)

@@ -1,0 +1,128 @@
+"""Latency and throughput metrics for driver runs.
+
+The paper's run rules: "it is required that latencies of the complex
+read-only queries are stable as measured by a maximum latency on the 99th
+percentile.  These latencies are reported as a result of the run."
+:class:`LatencyRecorder` collects per-class latencies; per-window p99
+series support the stability check.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+
+def percentile(values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of a non-empty list (fraction in [0,1])."""
+    if not values:
+        raise ValueError("cannot take a percentile of nothing")
+    ordered = sorted(values)
+    rank = min(int(fraction * len(ordered)), len(ordered) - 1)
+    return ordered[rank]
+
+
+@dataclass
+class ClassStats:
+    """Aggregate statistics of one operation class."""
+
+    name: str
+    count: int
+    mean_ms: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    max_ms: float
+
+
+class LatencyRecorder:
+    """Thread-safe per-class latency collection."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._latencies: dict[str, list[float]] = {}
+        #: (class, wall-clock start offset, latency) for windowed series.
+        self._timeline: list[tuple[str, float, float]] = []
+
+    def record(self, op_class: str, latency_seconds: float,
+               at_offset: float = 0.0) -> None:
+        with self._lock:
+            self._latencies.setdefault(op_class, []).append(
+                latency_seconds)
+            self._timeline.append((op_class, at_offset, latency_seconds))
+
+    def stats(self) -> dict[str, ClassStats]:
+        """Aggregate statistics per operation class."""
+        with self._lock:
+            snapshot = {name: list(vals)
+                        for name, vals in self._latencies.items()}
+        result = {}
+        for name, values in snapshot.items():
+            ms = [v * 1000.0 for v in values]
+            result[name] = ClassStats(
+                name=name,
+                count=len(ms),
+                mean_ms=sum(ms) / len(ms),
+                p50_ms=percentile(ms, 0.50),
+                p95_ms=percentile(ms, 0.95),
+                p99_ms=percentile(ms, 0.99),
+                max_ms=max(ms),
+            )
+        return result
+
+    def p99_series(self, op_class: str, window_seconds: float,
+                   ) -> list[float]:
+        """Per-window p99 latencies (ms) — the steady-state series."""
+        with self._lock:
+            rows = [(offset, latency) for name, offset, latency
+                    in self._timeline if name == op_class]
+        if not rows:
+            return []
+        rows.sort()
+        horizon = rows[-1][0]
+        series = []
+        start = 0.0
+        while start <= horizon:
+            window = [latency * 1000.0 for offset, latency in rows
+                      if start <= offset < start + window_seconds]
+            if window:
+                series.append(percentile(window, 0.99))
+            start += window_seconds
+        return series
+
+    @property
+    def total_operations(self) -> int:
+        with self._lock:
+            return sum(len(v) for v in self._latencies.values())
+
+
+@dataclass
+class DriverMetrics:
+    """Final metrics of one driver run."""
+
+    wall_seconds: float
+    operations: int
+    per_class: dict[str, ClassStats] = field(default_factory=dict)
+    #: Fraction of operations that started late (behind the clock).
+    late_fraction: float = 0.0
+    #: Maximum observed scheduling lateness (seconds).
+    max_lateness: float = 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Operations per second of wall-clock time."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.operations / self.wall_seconds
+
+
+def steady_state_ok(p99_series: list[float],
+                    tolerance_ratio: float = 3.0) -> bool:
+    """Is the per-window p99 stable (max within ratio of median)?"""
+    if len(p99_series) < 2:
+        return True
+    ordered = sorted(p99_series)
+    median = ordered[len(ordered) // 2]
+    if median <= 0:
+        return True
+    return max(p99_series) <= median * tolerance_ratio

@@ -1,0 +1,27 @@
+"""Stream execution modes (paper §4.2).
+
+* **PARALLEL** — the default: every Dependencies operation registers in
+  IT/CT, every Dependents operation blocks on T_GC ≥ T_DEP.
+* **SEQUENTIAL** — "instead of classifying stream operations as
+  Dependent/Dependency, the same dependencies can be captured by executing
+  that stream sequentially, thereby guaranteeing causal order".  Used for
+  intra-forum trees (posts/comments/likes of one forum land in one
+  partition, in due-time order); only the person-graph component of a
+  dependency still synchronizes via T_GC.
+* **WINDOWED** — operations are grouped by T_DUE into windows no longer
+  than T_SAFE; inside a window they may run in any order, and T_GC is
+  consulted only at window boundaries.  Sound because DATAGEN guarantees
+  every Dependents operation trails its dependency by at least T_SAFE.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class ExecutionMode(Enum):
+    """How a partition's stream schedules its operations."""
+
+    PARALLEL = "parallel"
+    SEQUENTIAL = "sequential"
+    WINDOWED = "windowed"

@@ -1,0 +1,393 @@
+"""Volcano-style physical operators.
+
+Every operator is an iterable of tuples with a :class:`~.rows.Schema`.
+Operators count the tuples they produce (``tuples_out``) — these are the
+*de facto* intermediate result cardinalities the parameter-curation cost
+function ``C_out`` is defined over (paper §4.1: "as opposed to estimates
+of C_out ... we use the de facto amounts of intermediate result
+cardinalities"), and what the Figure 4 bench reports per plan node.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator
+
+from ..errors import EngineError
+from .rows import Schema, Table
+
+
+class Operator:
+    """Base class: iterable of tuples with an output schema."""
+
+    def __init__(self, schema: Schema, label: str) -> None:
+        self.schema = schema
+        self.label = label
+        self.tuples_out = 0
+        self.children: list["Operator"] = []
+
+    def _produce(self) -> Iterator[tuple]:
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[tuple]:
+        for row in self._produce():
+            self.tuples_out += 1
+            yield row
+
+    def execute(self) -> list[tuple]:
+        """Materialize the full result."""
+        return list(self)
+
+    def reset_counters(self) -> None:
+        self.tuples_out = 0
+        for child in self.children:
+            child.reset_counters()
+
+
+class Scan(Operator):
+    """Full table scan with an optional residual predicate."""
+
+    def __init__(self, table: Table,
+                 predicate: Callable[[tuple], bool] | None = None) -> None:
+        super().__init__(table.schema, f"scan({table.name})")
+        self.table = table
+        self.predicate = predicate
+
+    def _produce(self) -> Iterator[tuple]:
+        if self.predicate is None:
+            yield from self.table.rows
+        else:
+            for row in self.table.rows:
+                if self.predicate(row):
+                    yield row
+
+
+class IndexRangeScan(Operator):
+    """Ordered-index range scan (message.creation_date et al.)."""
+
+    def __init__(self, table: Table, low: Any = None, high: Any = None,
+                 reverse: bool = False) -> None:
+        super().__init__(table.schema,
+                         f"ixrange({table.name})[{low}..{high}]")
+        self.table = table
+        self.low = low
+        self.high = high
+        self.reverse = reverse
+
+    def _produce(self) -> Iterator[tuple]:
+        yield from self.table.range_scan(self.low, self.high,
+                                         self.reverse)
+
+
+class KeyLookup(Operator):
+    """Primary-key or hash-index point lookups from a key iterable."""
+
+    def __init__(self, table: Table, keys: Iterable[Any],
+                 column: str | None = None) -> None:
+        name = column or table.primary_key
+        super().__init__(table.schema, f"lookup({table.name}.{name})")
+        self.table = table
+        self.keys = keys
+        self.column = column
+
+    def _produce(self) -> Iterator[tuple]:
+        if self.column is None:
+            for key in self.keys:
+                row = self.table.get_pk(key)
+                if row is not None:
+                    yield row
+        else:
+            for key in self.keys:
+                yield from self.table.probe(self.column, key)
+
+
+class Filter(Operator):
+    """Residual predicate over any input operator."""
+
+    def __init__(self, child: Operator,
+                 predicate: Callable[[tuple], bool],
+                 label: str = "filter") -> None:
+        super().__init__(child.schema, label)
+        self.child = child
+        self.children = [child]
+        self.predicate = predicate
+
+    def _produce(self) -> Iterator[tuple]:
+        for row in self.child:
+            if self.predicate(row):
+                yield row
+
+
+class Project(Operator):
+    """Column projection / renaming."""
+
+    def __init__(self, child: Operator, columns: list[str],
+                 output_names: list[str] | None = None) -> None:
+        schema = Schema(output_names or columns)
+        super().__init__(schema, f"project({','.join(columns)})")
+        self.child = child
+        self.children = [child]
+        self.positions = [child.schema.position(c) for c in columns]
+
+    def _produce(self) -> Iterator[tuple]:
+        for row in self.child:
+            yield tuple(row[p] for p in self.positions)
+
+
+class IndexNestedLoopJoin(Operator):
+    """For each outer row, probe an index on the inner table.
+
+    The optimal choice when the outer side is small (Fig. 4's ⨝1/⨝2:
+    "This is best done by looking up these 120 tuples in the index on the
+    primary key of Friends, i.e. by performing an index nested loop
+    join").
+    """
+
+    def __init__(self, outer: Operator, inner: Table, outer_key: str,
+                 inner_column: str | None = None,
+                 label: str | None = None) -> None:
+        schema = outer.schema.concat(inner.schema, prefix="inner_")
+        name = label or (f"inl({inner.name} on "
+                         f"{inner_column or inner.primary_key})")
+        super().__init__(schema, name)
+        self.outer = outer
+        self.children = [outer]
+        self.inner = inner
+        self.outer_position = outer.schema.position(outer_key)
+        self.inner_column = inner_column
+
+    def _produce(self) -> Iterator[tuple]:
+        if self.inner_column is None:
+            for outer_row in self.outer:
+                inner_row = self.inner.get_pk(
+                    outer_row[self.outer_position])
+                if inner_row is not None:
+                    yield outer_row + inner_row
+        else:
+            for outer_row in self.outer:
+                for inner_row in self.inner.probe(
+                        self.inner_column, outer_row[self.outer_position]):
+                    yield outer_row + inner_row
+
+
+class HashJoin(Operator):
+    """Build a hash table on the build side, probe with the probe side.
+
+    The optimal choice when both inputs are large or the inner side has
+    no usable index (Fig. 4's ⨝3: "the inputs of the last ⨝3 are too
+    large, and the corresponding index is not available in Post, so Hash
+    join is the optimal algorithm here").
+    """
+
+    def __init__(self, build: Operator, probe: Operator, build_key: str,
+                 probe_key: str, label: str | None = None,
+                 prefix: str = "build_") -> None:
+        # Output column order is probe ++ build so that a hash join is
+        # plan-compatible with an INL join of the same step (outer side
+        # first); ``prefix`` disambiguates colliding column names.
+        schema = probe.schema.concat(build.schema, prefix=prefix)
+        super().__init__(schema, label or "hashjoin")
+        self.build = build
+        self.probe = probe
+        self.children = [build, probe]
+        self.build_position = build.schema.position(build_key)
+        self.probe_position = probe.schema.position(probe_key)
+
+    def _produce(self) -> Iterator[tuple]:
+        table: dict[Any, list[tuple]] = {}
+        for row in self.build:
+            table.setdefault(row[self.build_position], []).append(row)
+        for probe_row in self.probe:
+            for build_row in table.get(probe_row[self.probe_position], ()):
+                yield probe_row + build_row
+
+
+class Sort(Operator):
+    """Full sort on a key function."""
+
+    def __init__(self, child: Operator,
+                 key: Callable[[tuple], Any],
+                 descending: bool = False) -> None:
+        super().__init__(child.schema, "sort")
+        self.child = child
+        self.children = [child]
+        self.key = key
+        self.descending = descending
+
+    def _produce(self) -> Iterator[tuple]:
+        yield from sorted(self.child, key=self.key,
+                          reverse=self.descending)
+
+
+class TopK(Operator):
+    """Sort + limit fused (bounded memory)."""
+
+    def __init__(self, child: Operator, key: Callable[[tuple], Any],
+                 k: int, descending: bool = False) -> None:
+        super().__init__(child.schema, f"top{k}")
+        self.child = child
+        self.children = [child]
+        self.key = key
+        self.k = k
+        self.descending = descending
+
+    def _produce(self) -> Iterator[tuple]:
+        import heapq
+
+        if self.descending:
+            rows = heapq.nsmallest(self.k, self.child,
+                                   key=lambda r: _neg(self.key(r)))
+        else:
+            rows = heapq.nsmallest(self.k, self.child, key=self.key)
+        yield from rows
+
+
+def _neg(key):
+    """Negate a sort key for descending heapq selection."""
+    if isinstance(key, tuple):
+        return tuple(_neg(part) for part in key)
+    if isinstance(key, (int, float)):
+        return -key
+    raise EngineError(f"cannot order descending on {type(key)}")
+
+
+class Limit(Operator):
+    """First ``k`` rows of the input."""
+
+    def __init__(self, child: Operator, k: int) -> None:
+        super().__init__(child.schema, f"limit({k})")
+        self.child = child
+        self.children = [child]
+        self.k = k
+
+    def _produce(self) -> Iterator[tuple]:
+        for i, row in enumerate(self.child):
+            if i >= self.k:
+                return
+            yield row
+
+
+class Distinct(Operator):
+    """Duplicate elimination (hash-based)."""
+
+    def __init__(self, child: Operator) -> None:
+        super().__init__(child.schema, "distinct")
+        self.child = child
+        self.children = [child]
+
+    def _produce(self) -> Iterator[tuple]:
+        seen: set[tuple] = set()
+        for row in self.child:
+            if row not in seen:
+                seen.add(row)
+                yield row
+
+
+class GroupAggregate(Operator):
+    """Hash group-by with count/sum/min/max aggregates.
+
+    ``aggregates`` maps output column name to ``(kind, input column)``
+    where kind is one of ``count``, ``sum``, ``min``, ``max``.
+    """
+
+    def __init__(self, child: Operator, group_by: list[str],
+                 aggregates: dict[str, tuple[str, str | None]]) -> None:
+        schema = Schema(list(group_by) + list(aggregates))
+        super().__init__(schema, f"groupby({','.join(group_by)})")
+        self.child = child
+        self.children = [child]
+        self.group_positions = [child.schema.position(c) for c in group_by]
+        self.aggregates = [
+            (kind, child.schema.position(column)
+             if column is not None else None)
+            for kind, column in aggregates.values()]
+
+    def _produce(self) -> Iterator[tuple]:
+        groups: dict[tuple, list] = {}
+        for row in self.child:
+            key = tuple(row[p] for p in self.group_positions)
+            state = groups.get(key)
+            if state is None:
+                state = groups[key] = [None] * len(self.aggregates)
+            for i, (kind, position) in enumerate(self.aggregates):
+                value = row[position] if position is not None else 1
+                current = state[i]
+                if kind == "count":
+                    state[i] = (current or 0) + 1
+                elif kind == "sum":
+                    state[i] = (current or 0) + value
+                elif kind == "min":
+                    state[i] = value if current is None \
+                        else min(current, value)
+                elif kind == "max":
+                    state[i] = value if current is None \
+                        else max(current, value)
+                else:
+                    raise EngineError(f"unknown aggregate {kind}")
+        for key, state in groups.items():
+            yield key + tuple(state)
+
+
+class Union(Operator):
+    """Bag union of same-schema inputs."""
+
+    def __init__(self, inputs: list[Operator]) -> None:
+        if not inputs:
+            raise EngineError("union of nothing")
+        super().__init__(inputs[0].schema, "union")
+        self.inputs = inputs
+        self.children = list(inputs)
+
+    def _produce(self) -> Iterator[tuple]:
+        for child in self.inputs:
+            yield from child
+
+
+class TransitiveExpand(Operator):
+    """Bounded-depth BFS over a two-column edge table.
+
+    The "vendor-specific extension to SQL" (paper §1: Virtuoso introduces
+    "shortcuts for recursive SQL subqueries to run specific graph
+    algorithms inside SQL queries").  Output schema: ``(node, distance)``
+    for 1 ≤ distance ≤ max_depth, excluding the source.
+    """
+
+    def __init__(self, edges: Table, source: Any, max_depth: int,
+                 from_column: str = "person1_id",
+                 to_column: str = "person2_id") -> None:
+        super().__init__(Schema(("node", "distance")),
+                         f"transitive({edges.name},d≤{max_depth})")
+        self.edges = edges
+        self.source = source
+        self.max_depth = max_depth
+        self.from_column = from_column
+        self.to_column = to_column
+
+    def _produce(self) -> Iterator[tuple]:
+        to_position = self.edges.schema.position(self.to_column)
+        seen = {self.source}
+        frontier = [self.source]
+        for depth in range(1, self.max_depth + 1):
+            next_frontier = []
+            for node in frontier:
+                for row in self.edges.probe(self.from_column, node):
+                    neighbor = row[to_position]
+                    if neighbor not in seen:
+                        seen.add(neighbor)
+                        next_frontier.append(neighbor)
+                        yield neighbor, depth
+            frontier = next_frontier
+            if not frontier:
+                return
+
+
+def collect_cardinalities(root: Operator) -> dict[str, int]:
+    """Post-execution ``label → tuples_out`` over the whole plan tree."""
+    result: dict[str, int] = {}
+
+    def visit(op: Operator) -> None:
+        result[op.label] = op.tuples_out
+        for child in op.children:
+            visit(child)
+
+    visit(root)
+    return result

@@ -1,0 +1,73 @@
+"""Exception hierarchy for the SNB Interactive reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers embedding the library can catch a single base class.  Subsystems
+define narrower classes below; modules should raise the most specific type
+that applies.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SchemaError(ReproError):
+    """An entity or relation violates the SNB schema."""
+
+
+class DatagenError(ReproError):
+    """The data generator was configured or driven incorrectly."""
+
+
+class StoreError(ReproError):
+    """Base class for graph-store errors."""
+
+
+class TransactionError(StoreError):
+    """A transaction could not proceed (conflict, aborted, misuse)."""
+
+
+class WriteConflictError(TransactionError):
+    """First-committer-wins conflict under snapshot isolation."""
+
+
+class TransactionStateError(TransactionError):
+    """Operation on a transaction in the wrong state (e.g. after commit)."""
+
+
+class NotFoundError(StoreError):
+    """A vertex, edge or index entry does not exist."""
+
+
+class DuplicateError(StoreError):
+    """An entity with the same key already exists."""
+
+
+class EngineError(ReproError):
+    """Base class for relational-engine errors."""
+
+
+class PlanError(EngineError):
+    """A logical or physical plan is malformed."""
+
+
+class CurationError(ReproError):
+    """Parameter curation failed (e.g. not enough distinct bindings)."""
+
+
+class DriverError(ReproError):
+    """The workload driver was misconfigured or violated a dependency."""
+
+
+class DependencyViolationError(DriverError):
+    """An operation executed before one of its dependencies completed."""
+
+
+class WorkloadError(ReproError):
+    """Workload definition or query-mix configuration error."""
+
+
+class BenchmarkError(ReproError):
+    """Benchmark orchestration error (invalid run rules, missing data)."""

@@ -1,0 +1,36 @@
+"""SNB-Interactive query implementations against the graph store.
+
+Three query classes (paper §4):
+
+* :mod:`repro.queries.complex_reads` — the 14 complex read-only queries
+  (one module per query, ``q1`` … ``q14``), matching the appendix
+  definitions;
+* :mod:`repro.queries.short_reads` — the 7 simple read-only lookups
+  (profile/post views and their satellites);
+* :mod:`repro.queries.updates` — the 8 transactional update types, driven
+  by :class:`~repro.datagen.update_stream.UpdateOperation` payloads.
+
+All queries are implemented "Sparksee style": programs against the store's
+native traversal API, inside a transaction, so they observe a consistent
+snapshot while the update stream runs concurrently.
+:mod:`repro.queries.registry` exposes a uniform callable registry used by
+the workload mix and the driver.
+"""
+
+from .registry import (
+    COMPLEX_QUERIES,
+    SHORT_QUERIES,
+    UPDATE_EXECUTORS,
+    QueryRegistryEntry,
+    complex_query,
+    short_query,
+)
+
+__all__ = [
+    "COMPLEX_QUERIES",
+    "SHORT_QUERIES",
+    "UPDATE_EXECUTORS",
+    "QueryRegistryEntry",
+    "complex_query",
+    "short_query",
+]

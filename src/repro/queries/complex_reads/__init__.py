@@ -1,0 +1,27 @@
+"""The 14 complex read-only queries (paper appendix, one module each).
+
+Every module exposes a ``run(txn, params) -> list[result dataclass]``
+function plus a module-level ``QUERY_ID``.  The registry in
+:mod:`repro.queries.registry` wires them to the workload mix.
+"""
+
+from . import (
+    q1,
+    q2,
+    q3,
+    q4,
+    q5,
+    q6,
+    q7,
+    q8,
+    q9,
+    q10,
+    q11,
+    q12,
+    q13,
+    q14,
+)
+
+ALL_COMPLEX = (q1, q2, q3, q4, q5, q6, q7, q8, q9, q10, q11, q12, q13, q14)
+
+__all__ = ["ALL_COMPLEX"] + [f"q{i}" for i in range(1, 15)]

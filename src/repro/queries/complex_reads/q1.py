@@ -1,0 +1,93 @@
+"""Q1 — Extract description of friends with a given name.
+
+"Given a person's firstName, return up to 20 people with the same first
+name, sorted by increasing distance (max 3) from a given person, and for
+people within the same distance sorted by last name.  Results should
+include the list of workplaces and places of study."
+
+Choke points: transitive expansion with early termination, index lookup
+combined with traversal, multi-valued attribute retrieval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...store.graph import Transaction
+from ...store.loader import EdgeLabel, VertexLabel
+from ..helpers import friends_within
+
+QUERY_ID = 1
+LIMIT = 20
+MAX_DISTANCE = 3
+
+
+@dataclass(frozen=True)
+class Q1Params:
+    """Query parameters: the start person and the first name to match."""
+
+    person_id: int
+    first_name: str
+
+
+@dataclass(frozen=True)
+class Q1Result:
+    """One matching person with affiliation details."""
+
+    person_id: int
+    last_name: str
+    distance: int
+    birthday: int
+    creation_date: int
+    gender: str
+    browser_used: str
+    location_ip: str
+    emails: tuple[str, ...]
+    languages: tuple[str, ...]
+    city_name: str
+    universities: tuple[tuple[str, int, str], ...]
+    companies: tuple[tuple[str, int, str], ...]
+
+
+def run(txn: Transaction, params: Q1Params) -> list[Q1Result]:
+    """Execute Q1: same-first-name persons by graph distance."""
+    distances = friends_within(txn, params.person_id, MAX_DISTANCE)
+    matches = []
+    for person_id, distance in distances.items():
+        props = txn.vertex(VertexLabel.PERSON, person_id)
+        if props is None or props["first_name"] != params.first_name:
+            continue
+        matches.append((distance, props["last_name"], person_id, props))
+    matches.sort(key=lambda row: row[:3])
+    results = []
+    for distance, last_name, person_id, props in matches[:LIMIT]:
+        city = txn.require_vertex(VertexLabel.PLACE, props["city_id"])
+        results.append(Q1Result(
+            person_id=person_id,
+            last_name=last_name,
+            distance=distance,
+            birthday=props["birthday"],
+            creation_date=props["creation_date"],
+            gender=props["gender"],
+            browser_used=props["browser_used"],
+            location_ip=props["location_ip"],
+            emails=tuple(props["emails"]),
+            languages=tuple(props["languages"]),
+            city_name=city["name"],
+            universities=_affiliations(txn, person_id, EdgeLabel.STUDY_AT,
+                                       "class_year"),
+            companies=_affiliations(txn, person_id, EdgeLabel.WORK_AT,
+                                    "work_from"),
+        ))
+    return results
+
+
+def _affiliations(txn: Transaction, person_id: int, edge_label: str,
+                  year_prop: str) -> tuple[tuple[str, int, str], ...]:
+    """(organisation name, year, place name) triples for a person."""
+    rows = []
+    for org_id, props in txn.neighbors(edge_label, person_id):
+        org = txn.require_vertex(VertexLabel.ORGANISATION, org_id)
+        place = txn.require_vertex(VertexLabel.PLACE, org["location_id"])
+        rows.append((org["name"], props[year_prop], place["name"]))
+    return tuple(sorted(rows))

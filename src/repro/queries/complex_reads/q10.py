@@ -1,0 +1,94 @@
+"""Q10 — Friend recommendation.
+
+"Find top 10 friends of a friend who posts much about the interests of
+Person and little about not interesting topics for the user.  The search
+is restricted by the candidate's horoscopeSign.  Returns friends for whom
+the difference between the total number of their posts about the interests
+of the specified user and the total number of their posts about topics
+that are not interests of the user, is as large as possible.  Sort the
+result descending by this difference."
+
+The horoscope restriction follows the SNB spec: the candidate's birthday
+falls on or after the 21st of the given month or before the 22nd of the
+next month.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...ids import EntityKind, is_kind
+from ...sim_time import date_from_millis
+from ...store.graph import Transaction
+from ...store.loader import EdgeLabel, VertexLabel
+from ..helpers import friends_of, messages_of, tags_of
+
+QUERY_ID = 10
+LIMIT = 10
+
+
+@dataclass(frozen=True)
+class Q10Params:
+    """Start person and the horoscope month (1-12)."""
+
+    person_id: int
+    month: int
+
+
+@dataclass(frozen=True)
+class Q10Result:
+    """A recommended friend-of-friend with the interest similarity score."""
+
+    person_id: int
+    first_name: str
+    last_name: str
+    similarity: int
+    gender: str
+    city_name: str
+
+
+def _in_horoscope_window(birthday: int, month: int) -> bool:
+    """Birthday on/after the 21st of ``month`` or before the 22nd of the
+    following month."""
+    moment = date_from_millis(birthday)
+    next_month = month % 12 + 1
+    if moment.month == month and moment.day >= 21:
+        return True
+    return moment.month == next_month and moment.day < 22
+
+
+def run(txn: Transaction, params: Q10Params) -> list[Q10Result]:
+    """Execute Q10: horoscope-restricted interest-based recommendation."""
+    interests = {tag_id for tag_id, __ in txn.neighbors(
+        EdgeLabel.HAS_INTEREST, params.person_id)}
+    friends = friends_of(txn, params.person_id)
+    candidates: set[int] = set()
+    for friend_id in friends:
+        for fof_id in friends_of(txn, friend_id):
+            if fof_id != params.person_id and fof_id not in friends:
+                candidates.add(fof_id)
+    rows = []
+    for candidate_id in candidates:
+        person = txn.require_vertex(VertexLabel.PERSON, candidate_id)
+        if not _in_horoscope_window(person["birthday"], params.month):
+            continue
+        common = 0
+        uncommon = 0
+        for message_id in messages_of(txn, candidate_id):
+            if not is_kind(message_id, EntityKind.POST):
+                continue
+            if tags_of(txn, message_id) & interests:
+                common += 1
+            else:
+                uncommon += 1
+        city = txn.require_vertex(VertexLabel.PLACE, person["city_id"])
+        rows.append(Q10Result(
+            person_id=candidate_id,
+            first_name=person["first_name"],
+            last_name=person["last_name"],
+            similarity=common - uncommon,
+            gender=person["gender"],
+            city_name=city["name"],
+        ))
+    rows.sort(key=lambda r: (-r.similarity, r.person_id))
+    return rows[:LIMIT]

@@ -1,0 +1,61 @@
+"""Q11 — Job referral.
+
+"Find top 10 friends of the specified Person, or a friend of her friend
+(excluding the specified person), who has long worked in a company in a
+specified Country.  Sort ascending by start date, and then ascending by
+person identifier."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...store.graph import Transaction
+from ...store.loader import EdgeLabel, VertexLabel
+from ..helpers import two_hop_circle
+
+QUERY_ID = 11
+LIMIT = 10
+
+
+@dataclass(frozen=True)
+class Q11Params:
+    """Start person, country of the workplace, and the year cutoff."""
+
+    person_id: int
+    country_id: int
+    max_work_from: int
+
+
+@dataclass(frozen=True)
+class Q11Result:
+    """A referral candidate with their workplace."""
+
+    person_id: int
+    first_name: str
+    last_name: str
+    organisation_name: str
+    work_from: int
+
+
+def run(txn: Transaction, params: Q11Params) -> list[Q11Result]:
+    """Execute Q11: long-time employees in the country, 2-hop circle."""
+    rows = []
+    for friend_id in two_hop_circle(txn, params.person_id):
+        for org_id, props in txn.neighbors(EdgeLabel.WORK_AT, friend_id):
+            if props["work_from"] >= params.max_work_from:
+                continue
+            org = txn.require_vertex(VertexLabel.ORGANISATION, org_id)
+            if org["location_id"] != params.country_id:
+                continue
+            person = txn.require_vertex(VertexLabel.PERSON, friend_id)
+            rows.append(Q11Result(
+                person_id=friend_id,
+                first_name=person["first_name"],
+                last_name=person["last_name"],
+                organisation_name=org["name"],
+                work_from=props["work_from"],
+            ))
+    rows.sort(key=lambda r: (r.work_from, r.person_id,
+                             r.organisation_name))
+    return rows[:LIMIT]

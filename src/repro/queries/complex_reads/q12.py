@@ -1,0 +1,93 @@
+"""Q12 — Expert Search.
+
+"Find friends of a Person who have replied the most to posts with a tag in
+a given TagCategory.  Return top 20 persons, sorted descending by number
+of replies."
+
+The tag category matches the tag's class or any descendant class
+(the *isSubclassOf* hierarchy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...ids import EntityKind, is_kind
+from ...store.graph import Transaction
+from ...store.loader import VertexLabel
+from ..helpers import friends_of, messages_of, tags_of
+
+QUERY_ID = 12
+LIMIT = 20
+
+
+@dataclass(frozen=True)
+class Q12Params:
+    """Start person and the tag class (category)."""
+
+    person_id: int
+    tag_class_id: int
+
+
+@dataclass(frozen=True)
+class Q12Result:
+    """An expert friend with reply count and the tags they replied to."""
+
+    person_id: int
+    first_name: str
+    last_name: str
+    reply_count: int
+    tag_names: tuple[str, ...]
+
+
+def _descendant_classes(txn: Transaction, class_id: int) -> set[int]:
+    """The class and every (transitive) subclass of it."""
+    all_classes = {}
+    # The hierarchy is small; materialize parent links once.
+    table = txn.store._vertices.get(VertexLabel.TAG_CLASS, {})
+    for vid in table:
+        props = txn.vertex(VertexLabel.TAG_CLASS, vid)
+        if props is not None:
+            all_classes[vid] = props.get("parent_id")
+    result = {class_id}
+    changed = True
+    while changed:
+        changed = False
+        for vid, parent in all_classes.items():
+            if parent in result and vid not in result:
+                result.add(vid)
+                changed = True
+    return result
+
+
+def run(txn: Transaction, params: Q12Params) -> list[Q12Result]:
+    """Execute Q12: friends ranked by replies to in-category posts."""
+    classes = _descendant_classes(txn, params.tag_class_id)
+    rows = []
+    for friend_id in friends_of(txn, params.person_id):
+        reply_count = 0
+        tag_ids: set[int] = set()
+        for message_id in messages_of(txn, friend_id):
+            if not is_kind(message_id, EntityKind.COMMENT):
+                continue
+            comment = txn.require_vertex(VertexLabel.COMMENT, message_id)
+            parent_id = comment["reply_of_id"]
+            if not is_kind(parent_id, EntityKind.POST):
+                continue  # only direct replies to posts count
+            matching = set()
+            for tag_id in tags_of(txn, parent_id):
+                tag = txn.require_vertex(VertexLabel.TAG, tag_id)
+                if tag["class_id"] in classes:
+                    matching.add(tag_id)
+            if matching:
+                reply_count += 1
+                tag_ids |= matching
+        if reply_count > 0:
+            person = txn.require_vertex(VertexLabel.PERSON, friend_id)
+            names = tuple(sorted(
+                txn.require_vertex(VertexLabel.TAG, t)["name"]
+                for t in tag_ids))
+            rows.append(Q12Result(friend_id, person["first_name"],
+                                  person["last_name"], reply_count, names))
+    rows.sort(key=lambda r: (-r.reply_count, r.person_id))
+    return rows[:LIMIT]

@@ -1,0 +1,126 @@
+"""Q14 — Weighted paths.
+
+"Given PersonX and PersonY, find all weighted paths of the shortest length
+between them in the subgraph induced by the Knows relationship.  The
+weight of the path takes into consideration amount of Posts/Comments
+exchanged."
+
+Weighting follows the SNB specification: every reply of one endpoint to a
+*post* of the other contributes 1.0 to the pair's interaction weight,
+every reply to a *comment* contributes 0.5; the path weight is the sum
+over consecutive pairs.  Paths are returned sorted by weight descending.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ...ids import EntityKind, is_kind
+from ...store.graph import Direction, Transaction
+from ...store.loader import EdgeLabel, VertexLabel
+from ..helpers import creator_of
+
+QUERY_ID = 14
+#: Safety valve: social graphs can hold combinatorially many equal-length
+#: paths; the spec does not cap them, but an implementation must bound its
+#: memory.  The cap is far above anything the benchmark produces.
+MAX_PATHS = 1000
+
+
+@dataclass(frozen=True)
+class Q14Params:
+    """The two endpoints."""
+
+    person_x_id: int
+    person_y_id: int
+
+
+@dataclass(frozen=True)
+class Q14Result:
+    """One shortest path with its interaction weight."""
+
+    path: tuple[int, ...]
+    weight: float
+
+
+def run(txn: Transaction, params: Q14Params) -> list[Q14Result]:
+    """Execute Q14: enumerate all shortest paths and weight them."""
+    source, target = params.person_x_id, params.person_y_id
+    if source == target:
+        return [Q14Result((source,), 0.0)]
+    distances = _bfs_distances(txn, source, target)
+    if target not in distances:
+        return []
+    paths = _enumerate_shortest_paths(txn, distances, source, target)
+    weight_cache: dict[tuple[int, int], float] = {}
+    results = [Q14Result(tuple(path),
+                         _path_weight(txn, path, weight_cache))
+               for path in paths]
+    results.sort(key=lambda r: (-r.weight, r.path))
+    return results
+
+
+def _bfs_distances(txn: Transaction, source: int, target: int,
+                   ) -> dict[int, int]:
+    """BFS distances from source, stopping one level past the target."""
+    distances = {source: 0}
+    frontier = deque([source])
+    target_depth: int | None = None
+    while frontier:
+        current = frontier.popleft()
+        depth = distances[current]
+        if target_depth is not None and depth >= target_depth:
+            break
+        for neighbor, __ in txn.neighbors(EdgeLabel.KNOWS, current):
+            if neighbor not in distances:
+                distances[neighbor] = depth + 1
+                frontier.append(neighbor)
+                if neighbor == target:
+                    target_depth = depth + 1
+    return distances
+
+
+def _enumerate_shortest_paths(txn: Transaction, distances: dict[int, int],
+                              source: int, target: int) -> list[list[int]]:
+    """Walk backward from the target along strictly decreasing distances."""
+    paths: list[list[int]] = []
+    stack: list[list[int]] = [[target]]
+    while stack and len(paths) < MAX_PATHS:
+        partial = stack.pop()
+        head = partial[-1]
+        if head == source:
+            paths.append(list(reversed(partial)))
+            continue
+        want = distances[head] - 1
+        for neighbor, __ in txn.neighbors(EdgeLabel.KNOWS, head):
+            if distances.get(neighbor) == want:
+                stack.append(partial + [neighbor])
+    return paths
+
+
+def _path_weight(txn: Transaction, path: list[int],
+                 cache: dict[tuple[int, int], float]) -> float:
+    total = 0.0
+    for a, b in zip(path, path[1:]):
+        key = (min(a, b), max(a, b))
+        if key not in cache:
+            cache[key] = (_replies_weight(txn, a, b)
+                          + _replies_weight(txn, b, a))
+        total += cache[key]
+    return total
+
+
+def _replies_weight(txn: Transaction, replier: int, author: int) -> float:
+    """Weight of all of ``replier``'s comments on ``author``'s messages."""
+    weight = 0.0
+    for message_id, __ in txn.neighbors(EdgeLabel.HAS_CREATOR, replier,
+                                        Direction.IN):
+        if not is_kind(message_id, EntityKind.COMMENT):
+            continue
+        comment = txn.require_vertex(VertexLabel.COMMENT, message_id)
+        parent_id = comment["reply_of_id"]
+        if creator_of(txn, parent_id) != author:
+            continue
+        weight += 1.0 if is_kind(parent_id, EntityKind.POST) else 0.5
+    return weight

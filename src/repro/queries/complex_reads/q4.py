@@ -1,0 +1,73 @@
+"""Q4 — New Topics.
+
+"Given a start Person, find the top 10 most popular Tags (by total number
+of posts with the tag) that are attached to Posts that were created by
+that Person's friends within a given time interval."
+
+Per the SNB specification, only *new* topics count: tags that appear on
+friend posts inside the window but on none before it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...ids import EntityKind, is_kind
+from ...sim_time import MILLIS_PER_DAY
+from ...store.graph import Transaction
+from ...store.loader import VertexLabel
+from ..helpers import friends_of, message_props, messages_of, tags_of
+
+QUERY_ID = 4
+LIMIT = 10
+
+
+@dataclass(frozen=True)
+class Q4Params:
+    """Start person and the [start, start + duration) window."""
+
+    person_id: int
+    start_date: int
+    duration_days: int
+
+    @property
+    def end_date(self) -> int:
+        return self.start_date + self.duration_days * MILLIS_PER_DAY
+
+
+@dataclass(frozen=True)
+class Q4Result:
+    """A newly trending tag among the person's friends."""
+
+    tag_name: str
+    post_count: int
+
+
+def run(txn: Transaction, params: Q4Params) -> list[Q4Result]:
+    """Execute Q4: tags new to the window over friend posts."""
+    in_window: dict[int, int] = {}
+    before_window: set[int] = set()
+    for friend_id in friends_of(txn, params.person_id):
+        for message_id in messages_of(txn, friend_id):
+            if not is_kind(message_id, EntityKind.POST):
+                continue
+            props = message_props(txn, message_id)
+            if props is None:
+                continue
+            when = props["creation_date"]
+            if when >= params.end_date:
+                continue
+            tags = tags_of(txn, message_id)
+            if when < params.start_date:
+                before_window |= tags
+            else:
+                for tag_id in tags:
+                    in_window[tag_id] = in_window.get(tag_id, 0) + 1
+    rows = []
+    for tag_id, count in in_window.items():
+        if tag_id in before_window:
+            continue
+        tag = txn.require_vertex(VertexLabel.TAG, tag_id)
+        rows.append(Q4Result(tag["name"], count))
+    rows.sort(key=lambda r: (-r.post_count, r.tag_name))
+    return rows[:LIMIT]

@@ -1,0 +1,61 @@
+"""Q5 — New groups.
+
+"Given a start Person, find the top 20 Forums the friends and friends of
+friends of that Person joined after a given Date.  Sort results descending
+by the number of Posts in each Forum that were created by any of these
+Persons."
+
+This is the query the paper uses to demonstrate why parameter curation is
+needed (Fig. 5): its cost is driven by the size of the 2-hop friendship
+circle, which has a multimodal, high-variance distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...store.graph import Direction, Transaction
+from ...store.loader import EdgeLabel, VertexLabel
+from ..helpers import two_hop_circle
+
+QUERY_ID = 5
+LIMIT = 20
+
+
+@dataclass(frozen=True)
+class Q5Params:
+    """Start person and the minimum join date."""
+
+    person_id: int
+    min_date: int
+
+
+@dataclass(frozen=True)
+class Q5Result:
+    """A forum with the number of in-circle posts."""
+
+    forum_id: int
+    forum_title: str
+    post_count: int
+
+
+def run(txn: Transaction, params: Q5Params) -> list[Q5Result]:
+    """Execute Q5: freshly joined forums ranked by in-circle posts."""
+    circle = two_hop_circle(txn, params.person_id)
+    joined_forums: set[int] = set()
+    for friend_id in circle:
+        for forum_id, props in txn.neighbors(EdgeLabel.HAS_MEMBER,
+                                             friend_id, Direction.IN):
+            if props["joined_date"] > params.min_date:
+                joined_forums.add(forum_id)
+    rows = []
+    for forum_id in joined_forums:
+        post_count = 0
+        for post_id, __ in txn.neighbors(EdgeLabel.CONTAINER_OF, forum_id):
+            post = txn.vertex(VertexLabel.POST, post_id)
+            if post is not None and post["author_id"] in circle:
+                post_count += 1
+        forum = txn.require_vertex(VertexLabel.FORUM, forum_id)
+        rows.append(Q5Result(forum_id, forum["title"], post_count))
+    rows.sort(key=lambda r: (-r.post_count, r.forum_id))
+    return rows[:LIMIT]

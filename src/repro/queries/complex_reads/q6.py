@@ -1,0 +1,57 @@
+"""Q6 — Tag co-occurrence.
+
+"Given a start Person and some Tag, find the other Tags that occur
+together with this Tag on Posts that were created by Person's friends and
+friends of friends.  Return top 10 Tags, sorted descending by the count of
+Posts that were created by these Persons, which contain both this Tag and
+the given Tag."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...ids import EntityKind, is_kind
+from ...store.graph import Transaction
+from ...store.loader import VertexLabel
+from ..helpers import messages_of, tags_of, two_hop_circle
+
+QUERY_ID = 6
+LIMIT = 10
+
+
+@dataclass(frozen=True)
+class Q6Params:
+    """Start person and the anchor tag."""
+
+    person_id: int
+    tag_id: int
+
+
+@dataclass(frozen=True)
+class Q6Result:
+    """A co-occurring tag with its joint post count."""
+
+    tag_name: str
+    post_count: int
+
+
+def run(txn: Transaction, params: Q6Params) -> list[Q6Result]:
+    """Execute Q6: co-occurrence counts over the 2-hop circle's posts."""
+    co_counts: dict[int, int] = {}
+    for friend_id in two_hop_circle(txn, params.person_id):
+        for message_id in messages_of(txn, friend_id):
+            if not is_kind(message_id, EntityKind.POST):
+                continue
+            tags = tags_of(txn, message_id)
+            if params.tag_id not in tags:
+                continue
+            for tag_id in tags:
+                if tag_id != params.tag_id:
+                    co_counts[tag_id] = co_counts.get(tag_id, 0) + 1
+    rows = []
+    for tag_id, count in co_counts.items():
+        tag = txn.require_vertex(VertexLabel.TAG, tag_id)
+        rows.append(Q6Result(tag["name"], count))
+    rows.sort(key=lambda r: (-r.post_count, r.tag_name))
+    return rows[:LIMIT]

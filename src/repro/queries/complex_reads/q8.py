@@ -1,0 +1,62 @@
+"""Q8 — Most recent replies.
+
+"This query retrieves the 20 most recent reply comments to all the posts
+and comments of Person, ordered descending by creation date."
+
+The cheapest complex query (frequency 13 in Table 4): one hop to the
+person's messages and one hop to their direct replies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...store.graph import Transaction
+from ...store.loader import VertexLabel
+from ..helpers import messages_of, replies_of
+
+QUERY_ID = 8
+LIMIT = 20
+
+
+@dataclass(frozen=True)
+class Q8Params:
+    """The person whose content's replies are retrieved."""
+
+    person_id: int
+
+
+@dataclass(frozen=True)
+class Q8Result:
+    """One reply comment with its author."""
+
+    comment_id: int
+    creation_date: int
+    content: str
+    author_id: int
+    first_name: str
+    last_name: str
+
+
+def run(txn: Transaction, params: Q8Params) -> list[Q8Result]:
+    """Execute Q8: newest direct replies to the person's messages."""
+    candidates: list[tuple[int, int]] = []  # (-date, comment id)
+    for message_id in messages_of(txn, params.person_id):
+        for comment_id in replies_of(txn, message_id):
+            comment = txn.require_vertex(VertexLabel.COMMENT, comment_id)
+            candidates.append((-comment["creation_date"], comment_id))
+    candidates.sort()
+    results = []
+    for neg_date, comment_id in candidates[:LIMIT]:
+        comment = txn.require_vertex(VertexLabel.COMMENT, comment_id)
+        author = txn.require_vertex(VertexLabel.PERSON,
+                                    comment["author_id"])
+        results.append(Q8Result(
+            comment_id=comment_id,
+            creation_date=-neg_date,
+            content=comment["content"],
+            author_id=comment["author_id"],
+            first_name=author["first_name"],
+            last_name=author["last_name"],
+        ))
+    return results

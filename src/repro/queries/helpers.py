@@ -1,0 +1,109 @@
+"""Shared traversal helpers for the SNB queries.
+
+These are the building blocks the paper's complexity analysis refers to:
+1-hop / 2-hop friendship circles (``O(D)`` / ``O(D²)`` neighborhoods),
+message retrieval per creator, and discussion-tree navigation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator
+
+from ..ids import EntityKind, is_kind
+from ..store.graph import Direction, Transaction
+from ..store.loader import EdgeLabel, VertexLabel
+
+
+def friends_of(txn: Transaction, person_id: int) -> set[int]:
+    """Direct friends (1-hop circle)."""
+    return {other for other, __ in txn.neighbors(EdgeLabel.KNOWS,
+                                                 person_id)}
+
+
+def friendship_dates(txn: Transaction, person_id: int,
+                     ) -> dict[int, int]:
+    """Friend id → friendship creation date."""
+    return {other: props["creation_date"]
+            for other, props in txn.neighbors(EdgeLabel.KNOWS, person_id)}
+
+
+def friends_within(txn: Transaction, person_id: int, max_hops: int,
+                   ) -> dict[int, int]:
+    """BFS over *knows*: person id → distance, for 1 ≤ distance ≤ max_hops.
+
+    The start person is excluded (distance 0 is not reported).
+    """
+    distances: dict[int, int] = {person_id: 0}
+    frontier = deque([person_id])
+    while frontier:
+        current = frontier.popleft()
+        depth = distances[current]
+        if depth >= max_hops:
+            continue
+        for other, __ in txn.neighbors(EdgeLabel.KNOWS, current):
+            if other not in distances:
+                distances[other] = depth + 1
+                frontier.append(other)
+    distances.pop(person_id, None)
+    return distances
+
+
+def two_hop_circle(txn: Transaction, person_id: int) -> set[int]:
+    """Friends and friends-of-friends, excluding the person."""
+    return set(friends_within(txn, person_id, 2))
+
+
+def messages_of(txn: Transaction, person_id: int) -> Iterator[int]:
+    """Ids of posts and comments created by the person."""
+    for message_id, __ in txn.neighbors(EdgeLabel.HAS_CREATOR, person_id,
+                                        Direction.IN):
+        yield message_id
+
+
+def message_props(txn: Transaction, message_id: int) -> dict | None:
+    """Properties of a post or comment, dispatching on the id space."""
+    if is_kind(message_id, EntityKind.POST):
+        return txn.vertex(VertexLabel.POST, message_id)
+    return txn.vertex(VertexLabel.COMMENT, message_id)
+
+
+def message_label(message_id: int) -> str:
+    """Vertex label for a message id."""
+    return (VertexLabel.POST if is_kind(message_id, EntityKind.POST)
+            else VertexLabel.COMMENT)
+
+
+def is_post(message_id: int) -> bool:
+    return is_kind(message_id, EntityKind.POST)
+
+
+def creator_of(txn: Transaction, message_id: int) -> int:
+    """Author person id of a message."""
+    for person_id, __ in txn.neighbors(EdgeLabel.HAS_CREATOR, message_id):
+        return person_id
+    raise LookupError(f"message {message_id} has no creator")
+
+
+def replies_of(txn: Transaction, message_id: int) -> Iterator[int]:
+    """Comment ids directly replying to the message."""
+    for comment_id, __ in txn.neighbors(EdgeLabel.REPLY_OF, message_id,
+                                        Direction.IN):
+        yield comment_id
+
+
+def tags_of(txn: Transaction, message_id: int) -> set[int]:
+    """Tag ids attached to a message."""
+    return {tag_id for tag_id, __ in txn.neighbors(EdgeLabel.HAS_TAG,
+                                                   message_id)}
+
+
+def person_name(txn: Transaction, person_id: int) -> tuple[str, str]:
+    """(first name, last name) of a person."""
+    props = txn.require_vertex(VertexLabel.PERSON, person_id)
+    return props["first_name"], props["last_name"]
+
+
+def top_k(rows: list, key, k: int) -> list:
+    """Sort rows by ``key`` and keep the first ``k`` (stable)."""
+    return sorted(rows, key=key)[:k]

@@ -1,0 +1,115 @@
+"""Uniform registry over all SNB-Interactive queries.
+
+The workload mix (:mod:`repro.workload`) and the benchmark harness need to
+treat queries generically: look them up by number, know their parameter
+shape, and know their complexity class (how many friendship hops they
+touch — the paper scales complex-read frequencies by ``O(D^h log n)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import WorkloadError
+from . import short_reads
+from .complex_reads import (
+    q1,
+    q2,
+    q3,
+    q4,
+    q5,
+    q6,
+    q7,
+    q8,
+    q9,
+    q10,
+    q11,
+    q12,
+    q13,
+    q14,
+)
+from .updates import execute_update, executor_for
+
+
+@dataclass(frozen=True)
+class QueryRegistryEntry:
+    """Metadata + executor of one complex read query."""
+
+    query_id: int
+    name: str
+    run: Callable
+    params_type: type
+    #: Friendship hops the query touches (1, 2 or 3) — determines its
+    #: ``O(D^hops · log n)`` complexity class (paper §4 "Scaling the
+    #: workload").
+    hops: int
+
+
+COMPLEX_QUERIES: dict[int, QueryRegistryEntry] = {
+    1: QueryRegistryEntry(1, "friends-with-name", q1.run, q1.Q1Params, 3),
+    2: QueryRegistryEntry(2, "recent-messages", q2.run, q2.Q2Params, 1),
+    3: QueryRegistryEntry(3, "friends-that-traveled", q3.run,
+                          q3.Q3Params, 2),
+    4: QueryRegistryEntry(4, "new-topics", q4.run, q4.Q4Params, 1),
+    5: QueryRegistryEntry(5, "new-groups", q5.run, q5.Q5Params, 2),
+    6: QueryRegistryEntry(6, "tag-cooccurrence", q6.run, q6.Q6Params, 2),
+    7: QueryRegistryEntry(7, "recent-likes", q7.run, q7.Q7Params, 1),
+    8: QueryRegistryEntry(8, "recent-replies", q8.run, q8.Q8Params, 1),
+    9: QueryRegistryEntry(9, "latest-posts", q9.run, q9.Q9Params, 2),
+    10: QueryRegistryEntry(10, "friend-recommendation", q10.run,
+                           q10.Q10Params, 2),
+    11: QueryRegistryEntry(11, "job-referral", q11.run, q11.Q11Params, 2),
+    12: QueryRegistryEntry(12, "expert-search", q12.run, q12.Q12Params, 1),
+    13: QueryRegistryEntry(13, "shortest-path", q13.run, q13.Q13Params, 3),
+    14: QueryRegistryEntry(14, "weighted-paths", q14.run,
+                           q14.Q14Params, 3),
+}
+
+
+@dataclass(frozen=True)
+class ShortQueryEntry:
+    """Metadata + executor of one short read query."""
+
+    query_id: int
+    name: str
+    run: Callable
+    #: "person" or "message" — which entity kind the lookup takes.
+    input_kind: str
+
+
+SHORT_QUERIES: dict[int, ShortQueryEntry] = {
+    1: ShortQueryEntry(1, "person-profile", short_reads.s1_person_profile,
+                       "person"),
+    2: ShortQueryEntry(2, "person-recent-messages",
+                       short_reads.s2_recent_messages, "person"),
+    3: ShortQueryEntry(3, "person-friends", short_reads.s3_friends,
+                       "person"),
+    4: ShortQueryEntry(4, "message-content",
+                       short_reads.s4_message_content, "message"),
+    5: ShortQueryEntry(5, "message-creator",
+                       short_reads.s5_message_creator, "message"),
+    6: ShortQueryEntry(6, "message-forum", short_reads.s6_message_forum,
+                       "message"),
+    7: ShortQueryEntry(7, "message-replies",
+                       short_reads.s7_message_replies, "message"),
+}
+
+#: Convenience re-exports for driver wiring.
+UPDATE_EXECUTORS = {"execute": execute_update, "for_kind": executor_for}
+
+
+def complex_query(query_id: int) -> QueryRegistryEntry:
+    """Look up a complex query by its 1-14 number."""
+    entry = COMPLEX_QUERIES.get(query_id)
+    if entry is None:
+        raise WorkloadError(f"unknown complex query Q{query_id}")
+    return entry
+
+
+def short_query(query_id: int) -> ShortQueryEntry:
+    """Look up a short read by its 1-7 number."""
+    entry = SHORT_QUERIES.get(query_id)
+    if entry is None:
+        raise WorkloadError(f"unknown short query S{query_id}")
+    return entry

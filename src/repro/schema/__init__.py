@@ -1,0 +1,45 @@
+"""SNB schema: the 11 entities and 20 relations of the benchmark dataset.
+
+The schema follows the LDBC SNB specification as summarized in Section 2 of
+the paper: Persons, Tags (with TagClasses), Forums, Messages (Posts,
+Comments, Photos-as-posts), Likes, Organisations and Places, connected by
+relations such as *knows*, *hasInterest*, *studyAt*, *workAt*, *hasMember*,
+*containerOf*, *hasCreator*, *replyOf*, *hasTag* and *likes*.
+"""
+
+from .entities import (
+    Comment,
+    Forum,
+    ForumMembership,
+    Knows,
+    Like,
+    Organisation,
+    OrganisationType,
+    Person,
+    Place,
+    PlaceType,
+    Post,
+    Tag,
+    TagClass,
+)
+from .dataset import SocialNetwork
+from .validation import IntegrityReport, validate_network
+
+__all__ = [
+    "Comment",
+    "Forum",
+    "ForumMembership",
+    "IntegrityReport",
+    "Knows",
+    "Like",
+    "Organisation",
+    "OrganisationType",
+    "Person",
+    "Place",
+    "PlaceType",
+    "Post",
+    "SocialNetwork",
+    "Tag",
+    "TagClass",
+    "validate_network",
+]

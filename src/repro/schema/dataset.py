@@ -1,0 +1,122 @@
+"""In-memory container for a generated social network.
+
+:class:`SocialNetwork` is the hand-off format between DATAGEN and every
+consumer (bulk loader, curation, statistics, serializer).  It is a plain
+collection of entity lists plus id-keyed lookup maps; it has no query or
+transaction semantics of its own — those live in :mod:`repro.store`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .entities import (
+    Comment,
+    Forum,
+    ForumMembership,
+    Knows,
+    Like,
+    Organisation,
+    Person,
+    Place,
+    Post,
+    Tag,
+    TagClass,
+)
+
+
+@dataclass
+class SocialNetwork:
+    """All entities of one generated network, in creation-time order."""
+
+    persons: list[Person] = field(default_factory=list)
+    knows: list[Knows] = field(default_factory=list)
+    forums: list[Forum] = field(default_factory=list)
+    memberships: list[ForumMembership] = field(default_factory=list)
+    posts: list[Post] = field(default_factory=list)
+    comments: list[Comment] = field(default_factory=list)
+    likes: list[Like] = field(default_factory=list)
+    tags: list[Tag] = field(default_factory=list)
+    tag_classes: list[TagClass] = field(default_factory=list)
+    places: list[Place] = field(default_factory=list)
+    organisations: list[Organisation] = field(default_factory=list)
+
+    def person_by_id(self) -> dict[int, Person]:
+        """Id → person map (built on demand; cache at call sites)."""
+        return {p.id: p for p in self.persons}
+
+    def forum_by_id(self) -> dict[int, Forum]:
+        return {f.id: f for f in self.forums}
+
+    def post_by_id(self) -> dict[int, Post]:
+        return {p.id: p for p in self.posts}
+
+    def comment_by_id(self) -> dict[int, Comment]:
+        return {c.id: c for c in self.comments}
+
+    def tag_by_id(self) -> dict[int, Tag]:
+        return {t.id: t for t in self.tags}
+
+    def place_by_id(self) -> dict[int, Place]:
+        return {p.id: p for p in self.places}
+
+    def organisation_by_id(self) -> dict[int, Organisation]:
+        return {o.id: o for o in self.organisations}
+
+    def friendships_of(self) -> dict[int, list[Knows]]:
+        """Person id → list of incident friendship edges."""
+        adj: dict[int, list[Knows]] = {p.id: [] for p in self.persons}
+        for edge in self.knows:
+            adj[edge.person1_id].append(edge)
+            adj[edge.person2_id].append(edge)
+        return adj
+
+    def messages(self) -> Iterator[Post | Comment]:
+        """All messages (posts then comments)."""
+        yield from self.posts
+        yield from self.comments
+
+    @property
+    def num_nodes(self) -> int:
+        """Vertex count across all entity kinds (paper Table 3 'Nodes')."""
+        return (len(self.persons) + len(self.forums) + len(self.posts)
+                + len(self.comments) + len(self.tags) + len(self.tag_classes)
+                + len(self.places) + len(self.organisations))
+
+    @property
+    def num_edges(self) -> int:
+        """Edge count across all relation kinds (paper Table 3 'Edges')."""
+        person_edges = sum(
+            len(p.interests) + len(p.study_at) + len(p.work_at) + 1  # +city
+            for p in self.persons)
+        forum_edges = sum(1 + len(f.tag_ids) for f in self.forums)  # moderator
+        post_edges = sum(3 + len(p.tag_ids) for p in self.posts)
+        # creator + container + country (+tags)
+        comment_edges = sum(3 + len(c.tag_ids) for c in self.comments)
+        # creator + replyOf + country (+tags)
+        tag_edges = len(self.tags)  # hasType
+        tagclass_edges = sum(1 for tc in self.tag_classes
+                             if tc.parent_id is not None)
+        place_edges = sum(1 for pl in self.places if pl.part_of is not None)
+        return (len(self.knows) + len(self.memberships) + len(self.likes)
+                + person_edges + forum_edges + post_edges + comment_edges
+                + tag_edges + tagclass_edges + place_edges)
+
+    def summary(self) -> dict[str, int]:
+        """Entity counts by kind, for stats tables and quick inspection."""
+        return {
+            "persons": len(self.persons),
+            "knows": len(self.knows),
+            "forums": len(self.forums),
+            "memberships": len(self.memberships),
+            "posts": len(self.posts),
+            "comments": len(self.comments),
+            "likes": len(self.likes),
+            "tags": len(self.tags),
+            "tag_classes": len(self.tag_classes),
+            "places": len(self.places),
+            "organisations": len(self.organisations),
+            "nodes": self.num_nodes,
+            "edges": self.num_edges,
+        }

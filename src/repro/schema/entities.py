@@ -1,0 +1,225 @@
+"""Entity dataclasses of the SNB schema.
+
+All timestamps are simulation-time integer milliseconds (see
+:mod:`repro.sim_time`).  All cross-entity references are by id.  Entities
+are plain data: generation logic lives in :mod:`repro.datagen` and storage
+concerns in :mod:`repro.store`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class PlaceType(str, Enum):
+    """Kind of place in the place hierarchy (city ⊂ country ⊂ continent)."""
+
+    CITY = "city"
+    COUNTRY = "country"
+    CONTINENT = "continent"
+
+
+class OrganisationType(str, Enum):
+    """Kind of organisation a person studies at or works for."""
+
+    UNIVERSITY = "university"
+    COMPANY = "company"
+
+
+@dataclass(frozen=True)
+class Place:
+    """A city, country or continent; cities/countries nest via ``part_of``."""
+
+    id: int
+    name: str
+    type: PlaceType
+    part_of: int | None = None
+    #: Z-order curve coordinate of the place (used for the study-location
+    #: correlation dimension, bits 31-24 of the composite key).
+    z_order: int = 0
+
+
+@dataclass(frozen=True)
+class Organisation:
+    """A university (located in a city) or company (located in a country)."""
+
+    id: int
+    name: str
+    type: OrganisationType
+    location_id: int
+
+
+@dataclass(frozen=True)
+class TagClass:
+    """Category of tags; classes form a small subclass hierarchy."""
+
+    id: int
+    name: str
+    parent_id: int | None = None
+
+
+@dataclass(frozen=True)
+class Tag:
+    """A topic persons are interested in and messages are about."""
+
+    id: int
+    name: str
+    class_id: int
+
+
+@dataclass(frozen=True)
+class StudyAt:
+    """Person studied at a university, graduating in ``class_year``."""
+
+    organisation_id: int
+    class_year: int
+
+
+@dataclass(frozen=True)
+class WorkAt:
+    """Person works at a company since ``work_from`` (a year)."""
+
+    organisation_id: int
+    work_from: int
+
+
+@dataclass
+class Person:
+    """A member of the social network."""
+
+    id: int
+    first_name: str
+    last_name: str
+    gender: str
+    birthday: int
+    creation_date: int
+    location_ip: str
+    browser_used: str
+    city_id: int
+    country_id: int
+    languages: tuple[str, ...] = ()
+    emails: tuple[str, ...] = ()
+    interests: tuple[int, ...] = ()
+    study_at: tuple[StudyAt, ...] = ()
+    work_at: tuple[WorkAt, ...] = ()
+
+
+@dataclass(frozen=True)
+class Knows:
+    """Undirected friendship edge; stored once with ``person1 < person2``."""
+
+    person1_id: int
+    person2_id: int
+    creation_date: int
+    #: Which correlation dimension produced the edge (0 = study location,
+    #: 1 = interest, 2 = random); kept for datagen validation benches.
+    dimension: int = 0
+
+    def other(self, person_id: int) -> int:
+        """The endpoint that is not ``person_id``."""
+        if person_id == self.person1_id:
+            return self.person2_id
+        if person_id == self.person2_id:
+            return self.person1_id
+        raise ValueError(f"person {person_id} is not an endpoint")
+
+
+@dataclass
+class Forum:
+    """A discussion container: a person's wall, a group, or a photo album."""
+
+    id: int
+    title: str
+    creation_date: int
+    moderator_id: int
+    tag_ids: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class ForumMembership:
+    """Person joined forum at ``joined_date``."""
+
+    forum_id: int
+    person_id: int
+    joined_date: int
+
+
+@dataclass
+class Post:
+    """A root message of a discussion tree; photos are posts with an image."""
+
+    id: int
+    creation_date: int
+    author_id: int
+    forum_id: int
+    content: str
+    length: int
+    language: str
+    country_id: int
+    tag_ids: tuple[int, ...] = ()
+    image_file: str | None = None
+    location_ip: str = ""
+    browser_used: str = ""
+    #: Photo geolocation (Table 1: post.photoLocation matches the
+    #: location) — None for text posts.
+    latitude: float | None = None
+    longitude: float | None = None
+
+    @property
+    def is_photo(self) -> bool:
+        return self.image_file is not None
+
+
+@dataclass
+class Comment:
+    """A reply to a post or to another comment (forms discussion trees)."""
+
+    id: int
+    creation_date: int
+    author_id: int
+    content: str
+    length: int
+    country_id: int
+    #: Root post of the discussion tree this comment belongs to.
+    root_post_id: int
+    #: Direct parent: a post id or a comment id.
+    reply_of_id: int
+    tag_ids: tuple[int, ...] = ()
+    location_ip: str = ""
+    browser_used: str = ""
+
+
+@dataclass(frozen=True)
+class Like:
+    """Person liked a message (post or comment) at ``creation_date``."""
+
+    person_id: int
+    message_id: int
+    creation_date: int
+    is_post: bool = True
+
+
+#: Names of the 20 relations of the schema, for documentation/validation.
+RELATION_NAMES: tuple[str, ...] = (
+    "knows",                 # person  - person
+    "hasInterest",           # person  - tag
+    "studyAt",               # person  - university
+    "workAt",                # person  - company
+    "personIsLocatedIn",     # person  - city
+    "forumHasModerator",     # forum   - person
+    "forumHasMember",        # forum   - person
+    "forumHasTag",           # forum   - tag
+    "containerOf",           # forum   - post
+    "postHasCreator",        # post    - person
+    "postHasTag",            # post    - tag
+    "postIsLocatedIn",       # post    - country
+    "commentHasCreator",     # comment - person
+    "commentHasTag",         # comment - tag
+    "commentIsLocatedIn",    # comment - country
+    "replyOf",               # comment - message
+    "likes",                 # person  - message
+    "hasType",               # tag     - tagclass
+    "isSubclassOf",          # tagclass- tagclass
+    "isPartOf",              # place   - place
+)

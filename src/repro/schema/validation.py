@@ -1,0 +1,185 @@
+"""Referential-integrity and temporal-ordering validation for a network.
+
+The paper's Table 1 lists temporal correlation rules ("left determines
+right"): a person's creation date must exceed the birth date, messages must
+be created after their author joined, comments after their parent, likes
+after the liked message and after the liker befriended (or equals) the
+author's social context, memberships after both forum and person exist.
+:func:`validate_network` checks all of them and returns a report; DATAGEN is
+tested to always produce a clean report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .dataset import SocialNetwork
+
+
+@dataclass
+class IntegrityReport:
+    """Outcome of validating a :class:`SocialNetwork`."""
+
+    violations: list[str] = field(default_factory=list)
+    checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def add(self, message: str) -> None:
+        # Cap retained messages so a badly broken network does not blow up
+        # memory; the count is what tests assert on.
+        if len(self.violations) < 1000:
+            self.violations.append(message)
+        else:
+            self.violations[-1] = "... further violations suppressed"
+
+
+def validate_network(network: SocialNetwork) -> IntegrityReport:
+    """Run all referential and temporal checks; return the report."""
+    report = IntegrityReport()
+    persons = network.person_by_id()
+    forums = network.forum_by_id()
+    posts = network.post_by_id()
+    comments = network.comment_by_id()
+    tags = network.tag_by_id()
+    places = network.place_by_id()
+    organisations = network.organisation_by_id()
+
+    _check_persons(network, report, places, organisations, tags)
+    _check_knows(network, report, persons)
+    _check_forums(network, report, persons, forums, tags)
+    _check_messages(network, report, persons, forums, posts, comments, tags)
+    _check_likes(network, report, persons, posts, comments)
+    return report
+
+
+def _check_persons(network, report, places, organisations, tags) -> None:
+    seen: set[int] = set()
+    for person in network.persons:
+        report.checked += 1
+        if person.id in seen:
+            report.add(f"duplicate person id {person.id}")
+        seen.add(person.id)
+        if person.creation_date <= person.birthday:
+            report.add(f"person {person.id} created before birth")
+        if person.city_id not in places:
+            report.add(f"person {person.id} city {person.city_id} missing")
+        for interest in person.interests:
+            if interest not in tags:
+                report.add(f"person {person.id} interest {interest} missing")
+        for study in person.study_at:
+            if study.organisation_id not in organisations:
+                report.add(f"person {person.id} university missing")
+        for work in person.work_at:
+            if work.organisation_id not in organisations:
+                report.add(f"person {person.id} company missing")
+
+
+def _check_knows(network, report, persons) -> None:
+    seen: set[tuple[int, int]] = set()
+    for edge in network.knows:
+        report.checked += 1
+        if edge.person1_id >= edge.person2_id:
+            report.add(f"knows edge not normalized: {edge}")
+        key = (edge.person1_id, edge.person2_id)
+        if key in seen:
+            report.add(f"duplicate knows edge {key}")
+        seen.add(key)
+        p1 = persons.get(edge.person1_id)
+        p2 = persons.get(edge.person2_id)
+        if p1 is None or p2 is None:
+            report.add(f"knows edge {key} references missing person")
+            continue
+        if edge.creation_date < max(p1.creation_date, p2.creation_date):
+            report.add(f"friendship {key} predates a member joining")
+
+
+def _check_forums(network, report, persons, forums, tags) -> None:
+    for forum in network.forums:
+        report.checked += 1
+        moderator = persons.get(forum.moderator_id)
+        if moderator is None:
+            report.add(f"forum {forum.id} moderator missing")
+        elif forum.creation_date < moderator.creation_date:
+            report.add(f"forum {forum.id} predates its moderator")
+        for tag_id in forum.tag_ids:
+            if tag_id not in tags:
+                report.add(f"forum {forum.id} tag {tag_id} missing")
+    for membership in network.memberships:
+        report.checked += 1
+        forum = forums.get(membership.forum_id)
+        member = persons.get(membership.person_id)
+        if forum is None or member is None:
+            report.add(f"membership {membership} references missing entity")
+            continue
+        if membership.joined_date < forum.creation_date:
+            report.add(f"membership in {forum.id} predates the forum")
+        if membership.joined_date < member.creation_date:
+            report.add(f"membership of {member.id} predates the person")
+
+
+def _check_messages(network, report, persons, forums, posts, comments,
+                    tags) -> None:
+    for post in network.posts:
+        report.checked += 1
+        author = persons.get(post.author_id)
+        forum = forums.get(post.forum_id)
+        if author is None:
+            report.add(f"post {post.id} author missing")
+        elif post.creation_date < author.creation_date:
+            report.add(f"post {post.id} predates its author")
+        if forum is None:
+            report.add(f"post {post.id} forum missing")
+        elif post.creation_date < forum.creation_date:
+            report.add(f"post {post.id} predates its forum")
+        if post.length != len(post.content):
+            report.add(f"post {post.id} length mismatch")
+        for tag_id in post.tag_ids:
+            if tag_id not in tags:
+                report.add(f"post {post.id} tag {tag_id} missing")
+    for comment in network.comments:
+        report.checked += 1
+        author = persons.get(comment.author_id)
+        if author is None:
+            report.add(f"comment {comment.id} author missing")
+        elif comment.creation_date < author.creation_date:
+            report.add(f"comment {comment.id} predates its author")
+        root = posts.get(comment.root_post_id)
+        if root is None:
+            report.add(f"comment {comment.id} root post missing")
+        parent_ts = None
+        if comment.reply_of_id in posts:
+            parent_ts = posts[comment.reply_of_id].creation_date
+        elif comment.reply_of_id in comments:
+            parent_ts = comments[comment.reply_of_id].creation_date
+        else:
+            report.add(f"comment {comment.id} parent missing")
+        if parent_ts is not None and comment.creation_date <= parent_ts:
+            report.add(f"comment {comment.id} not after its parent")
+        if comment.length != len(comment.content):
+            report.add(f"comment {comment.id} length mismatch")
+
+
+def _check_likes(network, report, persons, posts, comments) -> None:
+    seen: set[tuple[int, int]] = set()
+    for like in network.likes:
+        report.checked += 1
+        key = (like.person_id, like.message_id)
+        if key in seen:
+            report.add(f"duplicate like {key}")
+        seen.add(key)
+        liker = persons.get(like.person_id)
+        if liker is None:
+            report.add(f"like {key} liker missing")
+            continue
+        message = posts.get(like.message_id) if like.is_post \
+            else comments.get(like.message_id)
+        if message is None:
+            report.add(f"like {key} message missing")
+            continue
+        if like.creation_date <= message.creation_date:
+            report.add(f"like {key} not after the message")
+        if like.creation_date < liker.creation_date:
+            report.add(f"like {key} predates the liker")

@@ -1,0 +1,89 @@
+"""Simulation-time calendar for the SNB dataset.
+
+All timestamps in the generated network are integer **milliseconds since the
+Unix epoch**, in simulation time.  The standard network covers three years
+(the paper: "a standard scale factor covers three years. Of this 32 months
+are bulkloaded at benchmark start, whereas the data from the last 4 months is
+added using individual DML statements").
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+
+MILLIS_PER_SECOND = 1_000
+MILLIS_PER_MINUTE = 60 * MILLIS_PER_SECOND
+MILLIS_PER_HOUR = 60 * MILLIS_PER_MINUTE
+MILLIS_PER_DAY = 24 * MILLIS_PER_HOUR
+#: Average month length used for the 32/36 bulk-load split.
+MILLIS_PER_MONTH = int(30.4375 * MILLIS_PER_DAY)
+MILLIS_PER_YEAR = 12 * MILLIS_PER_MONTH
+
+
+def millis_from_date(year: int, month: int, day: int,
+                     hour: int = 0, minute: int = 0, second: int = 0) -> int:
+    """Convert a calendar date (UTC) to simulation milliseconds."""
+    moment = _dt.datetime(year, month, day, hour, minute, second,
+                          tzinfo=_dt.timezone.utc)
+    return int(moment.timestamp() * 1000)
+
+
+def date_from_millis(ts: int) -> _dt.datetime:
+    """Convert simulation milliseconds back to an aware UTC datetime."""
+    return _dt.datetime.fromtimestamp(ts / 1000.0, tz=_dt.timezone.utc)
+
+
+def iso(ts: int) -> str:
+    """Human-readable ISO rendering of a simulation timestamp."""
+    return date_from_millis(ts).strftime("%Y-%m-%dT%H:%M:%SZ")
+
+
+#: Start of the simulated network (persons may join from here on).
+NETWORK_START = millis_from_date(2010, 1, 1)
+#: End of the simulated period (3 years later).
+NETWORK_END = millis_from_date(2013, 1, 1)
+#: Total simulated span in ms.
+NETWORK_SPAN = NETWORK_END - NETWORK_START
+
+
+def bulk_load_cut(start: int = NETWORK_START, end: int = NETWORK_END) -> int:
+    """Timestamp splitting bulk-loaded data (before) from the update stream.
+
+    The paper bulk-loads the first 32 of 36 months; the final 4 months
+    become the transactional update stream.
+    """
+    return start + (end - start) * 32 // 36
+
+
+@dataclass(frozen=True)
+class SimulationWindow:
+    """A contiguous span of simulation time ``[start, end)``."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"window end {self.end} before start {self.start}")
+
+    @property
+    def span(self) -> int:
+        return self.end - self.start
+
+    def contains(self, ts: int) -> bool:
+        return self.start <= ts < self.end
+
+    def clamp(self, ts: int) -> int:
+        """Clamp a timestamp into the window (end-exclusive)."""
+        return min(max(ts, self.start), self.end - 1)
+
+    def at_fraction(self, fraction: float) -> int:
+        """Timestamp at a fractional position within the window."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0,1], got {fraction}")
+        return self.start + int(self.span * fraction)
+
+
+#: The default three-year window the benchmark generates data for.
+DEFAULT_WINDOW = SimulationWindow(NETWORK_START, NETWORK_END)

@@ -1,0 +1,40 @@
+"""Transactional in-memory property-graph store (the "Sparksee" SUT).
+
+The paper requires that "all transactions have ACID guarantees, with
+serializability as a consistency requirement.  Note that given the nature
+of the update workload, systems providing snapshot isolation behave
+identically to serializable."  This store implements multi-version
+concurrency control with snapshot isolation (first-committer-wins
+write-write conflict detection); because the SNB-Interactive update
+workload is insert-only, SI is indeed serializable here.
+
+Highlights:
+
+* versioned vertices and append-only adjacency lists; readers never block
+  and never take locks — commits serialize on a single commit mutex and
+  publish a new snapshot atomically;
+* hash and ordered (range-scannable) secondary indexes, also versioned;
+* storage accounting per table/index (paper Table 8);
+* a bulk loader mapping a generated :class:`~repro.schema.SocialNetwork`
+  onto the SNB graph schema.
+"""
+
+from .graph import Direction, GraphStore, IsolationLevel, Transaction
+from .loader import EdgeLabel, VertexLabel, load_network
+from .accounting import StorageReport, storage_report
+from .wal import WriteAheadLog, attach_wal, recover_store
+
+__all__ = [
+    "Direction",
+    "EdgeLabel",
+    "GraphStore",
+    "IsolationLevel",
+    "StorageReport",
+    "Transaction",
+    "VertexLabel",
+    "WriteAheadLog",
+    "attach_wal",
+    "load_network",
+    "recover_store",
+    "storage_report",
+]

@@ -1,0 +1,90 @@
+"""Storage accounting (paper Table 8: sizes of largest tables/indices).
+
+The paper reports allocated megabytes per table and largest index for the
+Virtuoso SF300 load.  Our equivalent: recursively estimated in-memory bytes
+of each vertex table, adjacency table and secondary index, so the Table 8
+bench can print the same "3 largest tables + their biggest index" rows.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+
+from .graph import GraphStore
+
+
+def deep_size(obj, _seen: set[int] | None = None, _depth: int = 0) -> int:
+    """Approximate recursive ``sys.getsizeof`` (cycle-safe, depth-capped)."""
+    if _seen is None:
+        _seen = set()
+    identity = id(obj)
+    if identity in _seen or _depth > 8:
+        return 0
+    _seen.add(identity)
+    size = sys.getsizeof(obj)
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            size += deep_size(key, _seen, _depth + 1)
+            size += deep_size(value, _seen, _depth + 1)
+    elif isinstance(obj, (list, tuple, set, frozenset)):
+        for item in obj:
+            size += deep_size(item, _seen, _depth + 1)
+    elif hasattr(obj, "__slots__"):
+        for slot in obj.__slots__:
+            if hasattr(obj, slot):
+                size += deep_size(getattr(obj, slot), _seen, _depth + 1)
+    elif hasattr(obj, "__dict__"):
+        size += deep_size(obj.__dict__, _seen, _depth + 1)
+    return size
+
+
+@dataclass
+class TableSize:
+    """One row of the storage report."""
+
+    name: str
+    kind: str          # "vertices" | "edges" | "index"
+    entries: int
+    bytes: int
+
+    @property
+    def megabytes(self) -> float:
+        return self.bytes / (1024.0 * 1024.0)
+
+
+@dataclass
+class StorageReport:
+    """All table/index sizes of a loaded store."""
+
+    tables: list[TableSize]
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(table.bytes for table in self.tables)
+
+    def largest(self, count: int = 3, kind: str | None = None,
+                ) -> list[TableSize]:
+        pool = [t for t in self.tables if kind is None or t.kind == kind]
+        return sorted(pool, key=lambda t: t.bytes, reverse=True)[:count]
+
+
+def storage_report(store: GraphStore) -> StorageReport:
+    """Measure every vertex table, adjacency table and index."""
+    tables: list[TableSize] = []
+    for label, table in store._vertices.items():
+        tables.append(TableSize(label, "vertices", len(table),
+                                deep_size(table)))
+    for label, table in store._out.items():
+        entries = sum(len(records) for records in table.values())
+        # The IN direction mirrors OUT; count both sides as one edge table.
+        in_table = store._in.get(label, {})
+        size = deep_size(table) + deep_size(in_table)
+        tables.append(TableSize(label, "edges", entries, size))
+    for (label, prop), index in store._hash_indexes.items():
+        tables.append(TableSize(f"{label}.{prop} (hash)", "index",
+                                len(index), deep_size(index._entries)))
+    for (label, prop), index in store._ordered_indexes.items():
+        tables.append(TableSize(f"{label}.{prop} (ordered)", "index",
+                                len(index), deep_size(index._rows)))
+    return StorageReport(tables)

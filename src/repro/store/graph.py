@@ -1,0 +1,411 @@
+"""The MVCC property-graph store and its transactions.
+
+Concurrency design (documented here because it is the point of the SUT):
+
+* Every committed write is tagged with a commit timestamp drawn from a
+  global counter.  A transaction's *snapshot* is the counter value at its
+  start (snapshot isolation) or at each read (read committed).
+* Readers never take locks: vertex version chains, adjacency lists and
+  index postings are append-only, and the commit counter is advanced only
+  **after** all of a commit's writes are applied, so a snapshot can never
+  observe a partially applied commit.
+* Commits serialize on a single mutex; before applying, a commit validates
+  its write set first-committer-wins: any record touched by a commit newer
+  than the transaction's snapshot raises
+  :class:`~repro.errors.WriteConflictError` (or
+  :class:`~repro.errors.DuplicateError` for conflicting inserts).
+
+Because SNB-Interactive updates are pure inserts, snapshot isolation is
+serializable for this workload — precisely the observation the paper makes
+in "Rules and Metrics".
+"""
+
+from __future__ import annotations
+
+import threading
+from enum import Enum
+from typing import Any, Iterator
+
+from ..errors import (
+    DuplicateError,
+    NotFoundError,
+    TransactionStateError,
+    WriteConflictError,
+)
+from .indexes import HashIndex, OrderedIndex
+
+
+class IsolationLevel(Enum):
+    """Supported isolation levels."""
+
+    SNAPSHOT = "snapshot"
+    READ_COMMITTED = "read-committed"
+
+
+class Direction(Enum):
+    """Edge traversal direction."""
+
+    OUT = "out"
+    IN = "in"
+
+
+class _VertexRecord:
+    """Version chain of one vertex: ``(commit ts, props-or-None)`` pairs."""
+
+    __slots__ = ("versions",)
+
+    def __init__(self) -> None:
+        self.versions: list[tuple[int, dict[str, Any] | None]] = []
+
+    def visible(self, snapshot: int) -> dict[str, Any] | None:
+        """Latest version at or before ``snapshot`` (None if tombstoned)."""
+        for ts, props in reversed(self.versions):
+            if ts <= snapshot:
+                return props
+        return None
+
+    @property
+    def last_ts(self) -> int:
+        return self.versions[-1][0] if self.versions else 0
+
+
+class _EdgeRecord:
+    """One directed adjacency entry."""
+
+    __slots__ = ("other", "props", "ts")
+
+    def __init__(self, other: int, props: dict[str, Any] | None,
+                 ts: int) -> None:
+        self.other = other
+        self.props = props
+        self.ts = ts
+
+
+class GraphStore:
+    """In-memory transactional property graph."""
+
+    def __init__(self) -> None:
+        self._vertices: dict[str, dict[int, _VertexRecord]] = {}
+        self._out: dict[str, dict[int, list[_EdgeRecord]]] = {}
+        self._in: dict[str, dict[int, list[_EdgeRecord]]] = {}
+        self._hash_indexes: dict[tuple[str, str], HashIndex] = {}
+        self._ordered_indexes: dict[tuple[str, str], OrderedIndex] = {}
+        self._commit_lock = threading.Lock()
+        self._last_committed = 0
+        self._commits = 0
+        self._aborts = 0
+
+    # -- schema ----------------------------------------------------------
+
+    def create_hash_index(self, vertex_label: str, prop: str) -> None:
+        """Register an equality index (must exist before inserts use it)."""
+        self._hash_indexes.setdefault((vertex_label, prop), HashIndex())
+
+    def create_ordered_index(self, vertex_label: str, prop: str) -> None:
+        """Register a range-scannable index."""
+        self._ordered_indexes.setdefault((vertex_label, prop),
+                                         OrderedIndex())
+
+    # -- transactions ------------------------------------------------------
+
+    def transaction(self, isolation: IsolationLevel = IsolationLevel.SNAPSHOT,
+                    ) -> "Transaction":
+        """Begin a transaction (usable as a context manager)."""
+        return Transaction(self, isolation)
+
+    @property
+    def last_committed(self) -> int:
+        """Commit timestamp of the newest fully applied commit."""
+        return self._last_committed
+
+    @property
+    def commit_count(self) -> int:
+        return self._commits
+
+    @property
+    def abort_count(self) -> int:
+        return self._aborts
+
+    # -- internals used by Transaction ------------------------------------
+
+    def _vertex_table(self, label: str) -> dict[int, _VertexRecord]:
+        return self._vertices.setdefault(label, {})
+
+    def _adjacency(self, label: str, direction: Direction,
+                   ) -> dict[int, list[_EdgeRecord]]:
+        table = self._out if direction is Direction.OUT else self._in
+        return table.setdefault(label, {})
+
+    def _apply_commit(self, txn: "Transaction") -> int:
+        """Validate and apply a transaction's write set; return commit ts."""
+        with self._commit_lock:
+            snapshot = txn.snapshot
+            for (label, vid), props in txn.new_vertices.items():
+                record = self._vertex_table(label).get(vid)
+                if record is not None and record.visible(
+                        self._last_committed) is not None:
+                    if record.last_ts > snapshot:
+                        raise DuplicateError(
+                            f"concurrent insert of {label}:{vid}")
+                    raise DuplicateError(f"{label}:{vid} already exists")
+            for (label, vid) in txn.updated_vertices:
+                record = self._vertex_table(label).get(vid)
+                if record is None or not record.versions:
+                    raise NotFoundError(f"{label}:{vid} does not exist")
+                if record.last_ts > snapshot:
+                    raise WriteConflictError(
+                        f"write-write conflict on {label}:{vid}")
+
+            ts = self._last_committed + 1
+            for (label, vid), props in txn.new_vertices.items():
+                table = self._vertex_table(label)
+                record = table.get(vid)
+                if record is None:
+                    record = table[vid] = _VertexRecord()
+                record.versions.append((ts, props))
+                self._index_vertex(label, vid, props, ts)
+            for (label, vid), changes in txn.updated_vertices.items():
+                record = self._vertex_table(label)[vid]
+                base = record.visible(self._last_committed) or {}
+                merged = {**base, **changes}
+                record.versions.append((ts, merged))
+                self._index_vertex(label, vid, changes, ts)
+            for label, src, dst, props in txn.new_edges:
+                self._adjacency(label, Direction.OUT).setdefault(
+                    src, []).append(_EdgeRecord(dst, props, ts))
+                self._adjacency(label, Direction.IN).setdefault(
+                    dst, []).append(_EdgeRecord(src, props, ts))
+            # Publish: the new snapshot becomes visible atomically here.
+            self._last_committed = ts
+            self._commits += 1
+            return ts
+
+    def _index_vertex(self, label: str, vid: int, props: dict[str, Any],
+                      ts: int) -> None:
+        for (index_label, prop), index in self._hash_indexes.items():
+            if index_label == label and prop in props:
+                index.insert(props[prop], vid, ts)
+        for (index_label, prop), index in self._ordered_indexes.items():
+            if index_label == label and prop in props:
+                index.insert(props[prop], vid, ts)
+
+    # -- bulk-load fast path (no transaction, store must be quiescent) ----
+
+    def bulk_insert_vertices(self, label: str,
+                             rows: list[tuple[int, dict[str, Any]]]) -> None:
+        """Load vertices at timestamp 1 without transaction overhead."""
+        table = self._vertex_table(label)
+        for vid, props in rows:
+            if vid in table:
+                raise DuplicateError(f"{label}:{vid} already exists")
+            record = _VertexRecord()
+            record.versions.append((1, props))
+            table[vid] = record
+        for (index_label, prop), index in self._hash_indexes.items():
+            if index_label == label:
+                for vid, props in rows:
+                    if prop in props:
+                        index.insert(props[prop], vid, 1)
+        for (index_label, prop), index in self._ordered_indexes.items():
+            if index_label == label:
+                sortable = sorted((props[prop], vid, 1)
+                                  for vid, props in rows if prop in props)
+                if len(index) == 0:
+                    index.extend_sorted(sortable)
+                else:
+                    for key, vid, ts in sortable:
+                        index.insert(key, vid, ts)
+        if self._last_committed < 1:
+            self._last_committed = 1
+
+    def bulk_insert_edges(self, label: str,
+                          rows: list[tuple[int, int, dict | None]]) -> None:
+        """Load directed edges at timestamp 1."""
+        out_table = self._adjacency(label, Direction.OUT)
+        in_table = self._adjacency(label, Direction.IN)
+        for src, dst, props in rows:
+            out_table.setdefault(src, []).append(_EdgeRecord(dst, props, 1))
+            in_table.setdefault(dst, []).append(_EdgeRecord(src, props, 1))
+        if self._last_committed < 1:
+            self._last_committed = 1
+
+
+class Transaction:
+    """A unit of work against the store; use as a context manager.
+
+    Reads see the transaction's snapshot plus its own uncommitted writes.
+    """
+
+    def __init__(self, store: GraphStore, isolation: IsolationLevel) -> None:
+        self.store = store
+        self.isolation = isolation
+        self._start_snapshot = store.last_committed
+        self._done = False
+        self.new_vertices: dict[tuple[str, int], dict[str, Any]] = {}
+        self.updated_vertices: dict[tuple[str, int], dict[str, Any]] = {}
+        self.new_edges: list[tuple[str, int, int, dict | None]] = []
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None and not self._done:
+            self.commit()
+        elif not self._done:
+            self.abort()
+
+    @property
+    def snapshot(self) -> int:
+        """The snapshot reads are served from."""
+        if self.isolation is IsolationLevel.READ_COMMITTED:
+            return self.store.last_committed
+        return self._start_snapshot
+
+    def commit(self) -> int:
+        """Apply the write set; returns the commit timestamp (0 if empty)."""
+        self._check_open()
+        self._done = True
+        if not (self.new_vertices or self.updated_vertices
+                or self.new_edges):
+            return 0
+        try:
+            return self.store._apply_commit(self)
+        except Exception:
+            self.store._aborts += 1
+            raise
+
+    def abort(self) -> None:
+        """Discard the write set."""
+        self._check_open()
+        self._done = True
+        if self.new_vertices or self.updated_vertices or self.new_edges:
+            self.store._aborts += 1
+
+    def _check_open(self) -> None:
+        if self._done:
+            raise TransactionStateError("transaction already finished")
+
+    # -- writes -------------------------------------------------------------
+
+    def insert_vertex(self, label: str, vid: int,
+                      props: dict[str, Any]) -> None:
+        self._check_open()
+        key = (label, vid)
+        if key in self.new_vertices:
+            raise DuplicateError(f"{label}:{vid} inserted twice in txn")
+        self.new_vertices[key] = props
+
+    def update_vertex(self, label: str, vid: int, **changes: Any) -> None:
+        self._check_open()
+        key = (label, vid)
+        if key in self.new_vertices:
+            self.new_vertices[key] = {**self.new_vertices[key], **changes}
+            return
+        merged = {**self.updated_vertices.get(key, {}), **changes}
+        self.updated_vertices[key] = merged
+
+    def insert_edge(self, label: str, src: int, dst: int,
+                    props: dict[str, Any] | None = None) -> None:
+        self._check_open()
+        self.new_edges.append((label, src, dst, props))
+
+    def insert_undirected_edge(self, label: str, a: int, b: int,
+                               props: dict[str, Any] | None = None) -> None:
+        """Store an undirected edge as two directed ones."""
+        self.insert_edge(label, a, b, props)
+        self.insert_edge(label, b, a, props)
+
+    # -- reads --------------------------------------------------------------
+
+    def vertex(self, label: str, vid: int) -> dict[str, Any] | None:
+        """Properties of a vertex, or None if not visible."""
+        self._check_open()
+        own = self.new_vertices.get((label, vid))
+        committed = None
+        record = self.store._vertices.get(label, {}).get(vid)
+        if record is not None:
+            committed = record.visible(self.snapshot)
+        if own is not None:
+            return {**(committed or {}), **own}
+        if committed is not None:
+            changes = self.updated_vertices.get((label, vid))
+            if changes:
+                return {**committed, **changes}
+        return committed
+
+    def require_vertex(self, label: str, vid: int) -> dict[str, Any]:
+        """Like :meth:`vertex` but raises if missing."""
+        props = self.vertex(label, vid)
+        if props is None:
+            raise NotFoundError(f"{label}:{vid} not visible")
+        return props
+
+    def vertex_exists(self, label: str, vid: int) -> bool:
+        return self.vertex(label, vid) is not None
+
+    def neighbors(self, edge_label: str, vid: int,
+                  direction: Direction = Direction.OUT,
+                  ) -> Iterator[tuple[int, dict[str, Any] | None]]:
+        """Yield ``(other id, edge props)`` over visible adjacency."""
+        self._check_open()
+        snapshot = self.snapshot
+        table = (self.store._out if direction is Direction.OUT
+                 else self.store._in).get(edge_label)
+        if table is not None:
+            # Take a length snapshot so concurrent appends past it (from
+            # commits newer than our snapshot anyway) are not scanned.
+            records = table.get(vid)
+            if records is not None:
+                for position in range(len(records)):
+                    record = records[position]
+                    if record.ts <= snapshot:
+                        yield record.other, record.props
+        for label, src, dst, props in self.new_edges:
+            if label != edge_label:
+                continue
+            if direction is Direction.OUT and src == vid:
+                yield dst, props
+            elif direction is Direction.IN and dst == vid:
+                yield src, props
+
+    def degree(self, edge_label: str, vid: int,
+               direction: Direction = Direction.OUT) -> int:
+        """Number of visible neighbors."""
+        return sum(1 for __ in self.neighbors(edge_label, vid, direction))
+
+    def lookup(self, vertex_label: str, prop: str, value: Any) -> list[int]:
+        """Equality index lookup."""
+        self._check_open()
+        index = self.store._hash_indexes.get((vertex_label, prop))
+        if index is None:
+            raise NotFoundError(
+                f"no hash index on {vertex_label}.{prop}")
+        found = index.lookup(value, self.snapshot)
+        for (label, vid), props in self.new_vertices.items():
+            if label == vertex_label and props.get(prop) == value:
+                found.append(vid)
+        return found
+
+    def scan_range(self, vertex_label: str, prop: str, low: Any = None,
+                   high: Any = None, *, reverse: bool = False,
+                   ) -> Iterator[tuple[Any, int]]:
+        """Ordered index range scan: yields ``(key, vertex id)``."""
+        self._check_open()
+        index = self.store._ordered_indexes.get((vertex_label, prop))
+        if index is None:
+            raise NotFoundError(
+                f"no ordered index on {vertex_label}.{prop}")
+        yield from index.range(low, high, snapshot=self.snapshot,
+                               reverse=reverse)
+
+    def count_vertices(self, label: str) -> int:
+        """Number of visible vertices with the label (scan)."""
+        self._check_open()
+        snapshot = self.snapshot
+        table = self.store._vertices.get(label, {})
+        total = sum(1 for record in table.values()
+                    if record.visible(snapshot) is not None)
+        total += sum(1 for (lbl, __) in self.new_vertices if lbl == label)
+        return total

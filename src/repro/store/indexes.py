@@ -1,0 +1,90 @@
+"""Secondary indexes for the graph store.
+
+Two kinds:
+
+* :class:`HashIndex` — equality lookups (e.g. person.firstName);
+* :class:`OrderedIndex` — bisect-based sorted index supporting range scans
+  (e.g. message.creationDate — the paper's §3 notes date-range selections
+  over time-ordered ids have high locality; the ordered index is what
+  provides the ``O(log n)`` lookups the workload-complexity analysis in
+  §4 assumes).
+
+Both are versioned the same way vertices are: entries carry the commit
+timestamp that created them, and reads filter by the transaction snapshot.
+The workload is insert-only, so tombstones are supported but rarely used.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Any, Iterator
+
+
+class HashIndex:
+    """Versioned equality index: key → [(vertex id, created_ts)]."""
+
+    __slots__ = ("_entries",)
+
+    def __init__(self) -> None:
+        self._entries: dict[Any, list[tuple[int, int]]] = {}
+
+    def insert(self, key: Any, vertex_id: int, ts: int) -> None:
+        self._entries.setdefault(key, []).append((vertex_id, ts))
+
+    def lookup(self, key: Any, snapshot: int) -> list[int]:
+        """Vertex ids with ``key`` visible at ``snapshot``."""
+        return [vid for vid, ts in self._entries.get(key, ())
+                if ts <= snapshot]
+
+    def keys(self) -> Iterator[Any]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return sum(len(postings) for postings in self._entries.values())
+
+
+class OrderedIndex:
+    """Versioned ordered index over ``(key, vertex id, created_ts)`` rows.
+
+    Inserts keep the row list sorted by ``(key, vertex id)`` via bisect;
+    bulk loading uses :meth:`extend_sorted` for O(n) ingestion.  Range
+    scans return ids in key order (ascending or descending).
+    """
+
+    __slots__ = ("_keys", "_rows")
+
+    def __init__(self) -> None:
+        # Parallel arrays: _keys for bisect, _rows holds (key, vid, ts).
+        self._keys: list[Any] = []
+        self._rows: list[tuple[Any, int, int]] = []
+
+    def insert(self, key: Any, vertex_id: int, ts: int) -> None:
+        position = bisect_right(self._keys, key)
+        self._keys.insert(position, key)
+        self._rows.insert(position, (key, vertex_id, ts))
+
+    def extend_sorted(self, rows: list[tuple[Any, int, int]]) -> None:
+        """Bulk-append rows already sorted by key (loader fast path)."""
+        if self._keys and rows and rows[0][0] < self._keys[-1]:
+            raise ValueError("extend_sorted rows must not precede "
+                             "existing keys")
+        self._rows.extend(rows)
+        self._keys.extend(row[0] for row in rows)
+
+    def range(self, low: Any = None, high: Any = None, *,
+              snapshot: int, reverse: bool = False,
+              ) -> Iterator[tuple[Any, int]]:
+        """Yield ``(key, vertex id)`` with low ≤ key ≤ high at snapshot."""
+        start = 0 if low is None else bisect_left(self._keys, low)
+        stop = len(self._keys) if high is None \
+            else bisect_right(self._keys, high)
+        rows = range(start, stop)
+        if reverse:
+            rows = reversed(rows)
+        for position in rows:
+            key, vertex_id, ts = self._rows[position]
+            if ts <= snapshot:
+                yield key, vertex_id
+
+    def __len__(self) -> int:
+        return len(self._rows)

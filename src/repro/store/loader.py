@@ -1,0 +1,287 @@
+"""Mapping the SNB schema onto the graph store, plus the bulk loader.
+
+This module is the single source of truth for how SNB entities become
+store vertices/edges: both the bulk loader (32 months of data at benchmark
+start) and the transactional update implementations
+(:mod:`repro.queries.updates`, the last 4 months) go through the same
+converters, so bulk-loaded and DML-inserted data are indistinguishable.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..schema.dataset import SocialNetwork
+from ..schema.entities import (
+    Comment,
+    Forum,
+    ForumMembership,
+    Knows,
+    Like,
+    Person,
+    Post,
+)
+from .graph import GraphStore, Transaction
+
+
+class VertexLabel:
+    """Vertex label constants of the SNB graph schema."""
+
+    PERSON = "person"
+    FORUM = "forum"
+    POST = "post"
+    COMMENT = "comment"
+    TAG = "tag"
+    TAG_CLASS = "tagclass"
+    PLACE = "place"
+    ORGANISATION = "organisation"
+
+
+class EdgeLabel:
+    """Edge label constants of the SNB graph schema."""
+
+    KNOWS = "knows"                    # person ↔ person {creation_date}
+    HAS_MEMBER = "has_member"          # forum → person {joined_date}
+    CONTAINER_OF = "container_of"      # forum → post
+    HAS_CREATOR = "has_creator"        # message → person
+    REPLY_OF = "reply_of"              # comment → parent message
+    LIKES = "likes"                    # person → message {creation_date,
+    #                                    is_post}
+    HAS_TAG = "has_tag"                # message → tag
+    FORUM_HAS_TAG = "forum_has_tag"    # forum → tag
+    HAS_INTEREST = "has_interest"      # person → tag
+    STUDY_AT = "study_at"              # person → university {class_year}
+    WORK_AT = "work_at"                # person → company {work_from}
+    IS_LOCATED_IN = "is_located_in"    # person → city, message → country,
+    #                                    organisation → place
+    IS_PART_OF = "is_part_of"          # place → place
+    HAS_TYPE = "has_type"              # tag → tagclass
+    HAS_MODERATOR = "has_moderator"    # forum → person
+
+
+# ---------------------------------------------------------------------------
+# entity → vertex property converters
+# ---------------------------------------------------------------------------
+
+def person_props(person: Person) -> dict[str, Any]:
+    return {
+        "first_name": person.first_name,
+        "last_name": person.last_name,
+        "gender": person.gender,
+        "birthday": person.birthday,
+        "creation_date": person.creation_date,
+        "location_ip": person.location_ip,
+        "browser_used": person.browser_used,
+        "city_id": person.city_id,
+        "country_id": person.country_id,
+        "languages": person.languages,
+        "emails": person.emails,
+    }
+
+
+def forum_props(forum: Forum) -> dict[str, Any]:
+    return {
+        "title": forum.title,
+        "creation_date": forum.creation_date,
+        "moderator_id": forum.moderator_id,
+    }
+
+
+def post_props(post: Post) -> dict[str, Any]:
+    return {
+        "creation_date": post.creation_date,
+        "author_id": post.author_id,
+        "forum_id": post.forum_id,
+        "content": post.content,
+        "length": post.length,
+        "language": post.language,
+        "country_id": post.country_id,
+        "image_file": post.image_file,
+        "location_ip": post.location_ip,
+        "browser_used": post.browser_used,
+    }
+
+
+def comment_props(comment: Comment) -> dict[str, Any]:
+    return {
+        "creation_date": comment.creation_date,
+        "author_id": comment.author_id,
+        "content": comment.content,
+        "length": comment.length,
+        "country_id": comment.country_id,
+        "root_post_id": comment.root_post_id,
+        "reply_of_id": comment.reply_of_id,
+        "location_ip": comment.location_ip,
+        "browser_used": comment.browser_used,
+    }
+
+
+# ---------------------------------------------------------------------------
+# transactional insert helpers (shared with the update queries)
+# ---------------------------------------------------------------------------
+
+def insert_person(txn: Transaction, person: Person) -> None:
+    """Insert a person with all its outgoing relationship edges."""
+    txn.insert_vertex(VertexLabel.PERSON, person.id, person_props(person))
+    txn.insert_edge(EdgeLabel.IS_LOCATED_IN, person.id, person.city_id)
+    for tag_id in person.interests:
+        txn.insert_edge(EdgeLabel.HAS_INTEREST, person.id, tag_id)
+    for study in person.study_at:
+        txn.insert_edge(EdgeLabel.STUDY_AT, person.id,
+                        study.organisation_id,
+                        {"class_year": study.class_year})
+    for work in person.work_at:
+        txn.insert_edge(EdgeLabel.WORK_AT, person.id, work.organisation_id,
+                        {"work_from": work.work_from})
+
+
+def insert_friendship(txn: Transaction, edge: Knows) -> None:
+    txn.insert_undirected_edge(EdgeLabel.KNOWS, edge.person1_id,
+                               edge.person2_id,
+                               {"creation_date": edge.creation_date})
+
+
+def insert_forum(txn: Transaction, forum: Forum) -> None:
+    txn.insert_vertex(VertexLabel.FORUM, forum.id, forum_props(forum))
+    txn.insert_edge(EdgeLabel.HAS_MODERATOR, forum.id, forum.moderator_id)
+    for tag_id in forum.tag_ids:
+        txn.insert_edge(EdgeLabel.FORUM_HAS_TAG, forum.id, tag_id)
+
+
+def insert_membership(txn: Transaction, membership: ForumMembership) -> None:
+    txn.insert_edge(EdgeLabel.HAS_MEMBER, membership.forum_id,
+                    membership.person_id,
+                    {"joined_date": membership.joined_date})
+
+
+def insert_post(txn: Transaction, post: Post) -> None:
+    txn.insert_vertex(VertexLabel.POST, post.id, post_props(post))
+    txn.insert_edge(EdgeLabel.HAS_CREATOR, post.id, post.author_id)
+    txn.insert_edge(EdgeLabel.CONTAINER_OF, post.forum_id, post.id)
+    txn.insert_edge(EdgeLabel.IS_LOCATED_IN, post.id, post.country_id)
+    for tag_id in post.tag_ids:
+        txn.insert_edge(EdgeLabel.HAS_TAG, post.id, tag_id)
+
+
+def insert_comment(txn: Transaction, comment: Comment) -> None:
+    txn.insert_vertex(VertexLabel.COMMENT, comment.id,
+                      comment_props(comment))
+    txn.insert_edge(EdgeLabel.HAS_CREATOR, comment.id, comment.author_id)
+    txn.insert_edge(EdgeLabel.REPLY_OF, comment.id, comment.reply_of_id)
+    txn.insert_edge(EdgeLabel.IS_LOCATED_IN, comment.id, comment.country_id)
+    for tag_id in comment.tag_ids:
+        txn.insert_edge(EdgeLabel.HAS_TAG, comment.id, tag_id)
+
+
+def insert_like(txn: Transaction, like: Like) -> None:
+    txn.insert_edge(EdgeLabel.LIKES, like.person_id, like.message_id,
+                    {"creation_date": like.creation_date,
+                     "is_post": like.is_post})
+
+
+# ---------------------------------------------------------------------------
+# bulk loading
+# ---------------------------------------------------------------------------
+
+def create_snb_indexes(store: GraphStore) -> None:
+    """The secondary indexes the SNB-Interactive queries rely on."""
+    store.create_hash_index(VertexLabel.PERSON, "first_name")
+    store.create_hash_index(VertexLabel.TAG, "name")
+    store.create_hash_index(VertexLabel.PLACE, "name")
+    store.create_ordered_index(VertexLabel.POST, "creation_date")
+    store.create_ordered_index(VertexLabel.COMMENT, "creation_date")
+
+
+def load_network(network: SocialNetwork,
+                 store: GraphStore | None = None) -> GraphStore:
+    """Bulk-load a network into a (new by default) store.
+
+    Uses the non-transactional fast path: everything lands at commit
+    timestamp 1, which models the benchmark's initial bulk load.
+    """
+    if store is None:
+        store = GraphStore()
+    create_snb_indexes(store)
+
+    store.bulk_insert_vertices(VertexLabel.PLACE, [
+        (p.id, {"name": p.name, "type": p.type.value, "part_of": p.part_of})
+        for p in network.places])
+    store.bulk_insert_edges(EdgeLabel.IS_PART_OF, [
+        (p.id, p.part_of, None) for p in network.places
+        if p.part_of is not None])
+    store.bulk_insert_vertices(VertexLabel.ORGANISATION, [
+        (o.id, {"name": o.name, "type": o.type.value,
+                "location_id": o.location_id})
+        for o in network.organisations])
+    store.bulk_insert_edges(EdgeLabel.IS_LOCATED_IN, [
+        (o.id, o.location_id, None) for o in network.organisations])
+    store.bulk_insert_vertices(VertexLabel.TAG_CLASS, [
+        (tc.id, {"name": tc.name, "parent_id": tc.parent_id})
+        for tc in network.tag_classes])
+    store.bulk_insert_vertices(VertexLabel.TAG, [
+        (t.id, {"name": t.name, "class_id": t.class_id})
+        for t in network.tags])
+    store.bulk_insert_edges(EdgeLabel.HAS_TYPE, [
+        (t.id, t.class_id, None) for t in network.tags])
+
+    store.bulk_insert_vertices(VertexLabel.PERSON, [
+        (p.id, person_props(p)) for p in network.persons])
+    store.bulk_insert_edges(EdgeLabel.IS_LOCATED_IN, [
+        (p.id, p.city_id, None) for p in network.persons])
+    store.bulk_insert_edges(EdgeLabel.HAS_INTEREST, [
+        (p.id, tag_id, None)
+        for p in network.persons for tag_id in p.interests])
+    store.bulk_insert_edges(EdgeLabel.STUDY_AT, [
+        (p.id, s.organisation_id, {"class_year": s.class_year})
+        for p in network.persons for s in p.study_at])
+    store.bulk_insert_edges(EdgeLabel.WORK_AT, [
+        (p.id, w.organisation_id, {"work_from": w.work_from})
+        for p in network.persons for w in p.work_at])
+
+    knows_rows = []
+    for edge in network.knows:
+        props = {"creation_date": edge.creation_date}
+        knows_rows.append((edge.person1_id, edge.person2_id, props))
+        knows_rows.append((edge.person2_id, edge.person1_id, props))
+    store.bulk_insert_edges(EdgeLabel.KNOWS, knows_rows)
+
+    store.bulk_insert_vertices(VertexLabel.FORUM, [
+        (f.id, forum_props(f)) for f in network.forums])
+    store.bulk_insert_edges(EdgeLabel.HAS_MODERATOR, [
+        (f.id, f.moderator_id, None) for f in network.forums])
+    store.bulk_insert_edges(EdgeLabel.FORUM_HAS_TAG, [
+        (f.id, tag_id, None)
+        for f in network.forums for tag_id in f.tag_ids])
+    store.bulk_insert_edges(EdgeLabel.HAS_MEMBER, [
+        (m.forum_id, m.person_id, {"joined_date": m.joined_date})
+        for m in network.memberships])
+
+    store.bulk_insert_vertices(VertexLabel.POST, [
+        (p.id, post_props(p)) for p in network.posts])
+    store.bulk_insert_edges(EdgeLabel.HAS_CREATOR, [
+        (p.id, p.author_id, None) for p in network.posts])
+    store.bulk_insert_edges(EdgeLabel.CONTAINER_OF, [
+        (p.forum_id, p.id, None) for p in network.posts])
+    store.bulk_insert_edges(EdgeLabel.IS_LOCATED_IN, [
+        (p.id, p.country_id, None) for p in network.posts])
+    store.bulk_insert_edges(EdgeLabel.HAS_TAG, [
+        (p.id, tag_id, None)
+        for p in network.posts for tag_id in p.tag_ids])
+
+    store.bulk_insert_vertices(VertexLabel.COMMENT, [
+        (c.id, comment_props(c)) for c in network.comments])
+    store.bulk_insert_edges(EdgeLabel.HAS_CREATOR, [
+        (c.id, c.author_id, None) for c in network.comments])
+    store.bulk_insert_edges(EdgeLabel.REPLY_OF, [
+        (c.id, c.reply_of_id, None) for c in network.comments])
+    store.bulk_insert_edges(EdgeLabel.IS_LOCATED_IN, [
+        (c.id, c.country_id, None) for c in network.comments])
+    store.bulk_insert_edges(EdgeLabel.HAS_TAG, [
+        (c.id, tag_id, None)
+        for c in network.comments for tag_id in c.tag_ids])
+
+    store.bulk_insert_edges(EdgeLabel.LIKES, [
+        (like.person_id, like.message_id,
+         {"creation_date": like.creation_date, "is_post": like.is_post})
+        for like in network.likes])
+    return store

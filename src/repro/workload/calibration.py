@@ -1,0 +1,129 @@
+"""Query-mix calibration (paper §4, "Query Mix" and "Scaling the workload").
+
+Two jobs:
+
+1. **Frequency calibration** — given measured mean runtimes, set each
+   complex query's frequency (updates per execution) so the target CPU
+   split holds: "10% of total runtime to be taken by update queries, 50%
+   of time take complex read-only queries, and 40% for the simple
+   read-only queries.  Within the corresponding shares of time, we make
+   sure each query type takes approximately equal amount of CPU time."
+2. **Frequency scaling** — complex reads cost ``O(D^h · log n)`` while
+   updates/short reads cost ``O(log n)``; as the dataset grows the reads
+   get relatively heavier, so their frequencies are reduced by the
+   corresponding factor to keep the CPU split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import WorkloadError
+from ..queries.registry import COMPLEX_QUERIES
+
+#: The paper's target CPU-time split.
+TARGET_UPDATE_SHARE = 0.10
+TARGET_COMPLEX_SHARE = 0.50
+TARGET_SHORT_SHARE = 0.40
+
+
+@dataclass
+class CalibrationResult:
+    """Output of frequency calibration."""
+
+    frequencies: dict[int, int]
+    #: Expected short reads to run per update operation.
+    short_reads_per_update: float
+    #: Walk probability achieving that rate (with the given Δ).
+    walk_probability: float
+    walk_delta: float
+
+
+def calibrate_frequencies(complex_means: dict[int, float],
+                          update_mean: float, short_mean: float,
+                          walk_delta: float = 0.2) -> CalibrationResult:
+    """Compute Table 4-style frequencies from measured runtimes.
+
+    With update share 10%, the total budget per update is
+    ``update_mean / 0.10``; each of the 14 complex queries receives an
+    equal slice of the 50% complex budget, and query *i*'s frequency is
+    how many updates pass between executions so its slice is respected.
+    """
+    if update_mean <= 0 or short_mean <= 0:
+        raise WorkloadError("mean runtimes must be positive")
+    total_per_update = update_mean / TARGET_UPDATE_SHARE
+    complex_budget = total_per_update * TARGET_COMPLEX_SHARE
+    per_query_budget = complex_budget / len(complex_means)
+    frequencies = {}
+    for query_id, mean in complex_means.items():
+        if mean <= 0:
+            raise WorkloadError(f"Q{query_id} mean must be positive")
+        frequencies[query_id] = max(1, round(mean / per_query_budget))
+    short_budget = total_per_update * TARGET_SHORT_SHARE
+    short_per_update = short_budget / short_mean
+    # Short reads ride on complex reads: per-update walk budget is split
+    # over the expected number of complex reads per update.
+    complex_per_update = sum(1.0 / f for f in frequencies.values())
+    per_walk = short_per_update / max(complex_per_update, 1e-9)
+    probability = solve_walk_probability(per_walk, walk_delta)
+    return CalibrationResult(frequencies, short_per_update, probability,
+                             walk_delta)
+
+
+def expected_walk_length(probability: float, delta: float) -> float:
+    """Expected short reads of one walk with parameters (P, Δ).
+
+    The walk executes step ``k`` (0-based) iff every Bernoulli draw with
+    probabilities P, P-Δ, ..., P-kΔ succeeded.
+    """
+    expected = 0.0
+    survive = 1.0
+    step = 0
+    while True:
+        p = probability - step * delta
+        if p <= 0 or survive < 1e-12:
+            break
+        survive *= min(p, 1.0)
+        expected += survive
+        step += 1
+    return expected
+
+
+def solve_walk_probability(target_length: float, delta: float,
+                           ) -> float:
+    """Find P such that the expected walk length hits the target.
+
+    Determined "experimentally for each supported scale factor" in the
+    paper; here a bisection over the monotone expected-length function.
+    Clamped to [0, 1] — the walk cannot produce more than ~1/Δ reads.
+    """
+    low, high = 0.0, 1.0
+    if expected_walk_length(1.0, delta) <= target_length:
+        return 1.0
+    for __ in range(60):
+        mid = (low + high) / 2
+        if expected_walk_length(mid, delta) < target_length:
+            low = mid
+        else:
+            high = mid
+    return (low + high) / 2
+
+
+def scale_frequencies(frequencies: dict[int, int], old_persons: int,
+                      new_persons: int, old_degree: float,
+                      new_degree: float) -> dict[int, int]:
+    """Rescale frequencies when moving to a different scale factor.
+
+    A query touching ``h`` hops costs ``O(D^h · log n)``; updates cost
+    ``O(log n)``.  The ratio of a query's cost to an update's is then
+    ``D^h``, so frequencies grow with ``(new_D / old_D)^h`` — the reads
+    are "reduced by the logarithmic factor as the scale factor grows".
+    """
+    if old_persons <= 1 or new_persons <= 1:
+        raise WorkloadError("person counts must exceed 1")
+    scaled = {}
+    for query_id, frequency in frequencies.items():
+        hops = COMPLEX_QUERIES[query_id].hops
+        growth = (new_degree / old_degree) ** hops
+        scaled[query_id] = max(1, round(frequency * growth))
+    return scaled

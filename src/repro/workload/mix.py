@@ -1,0 +1,85 @@
+"""The SNB-Interactive query mix (paper Table 4).
+
+"the definition of the query mix is done by setting relative frequencies
+of read queries (e.g., Query 1 should be performed once in every 132
+update operations)".  :data:`TABLE4_FREQUENCIES` is the paper's Table 4
+verbatim; :func:`build_mixed_stream` interleaves complex reads into an
+update stream at those frequencies, giving each read a due time (and thus
+a position on the simulation timeline) right after the update it trails.
+"""
+
+from __future__ import annotations
+
+from ..curation.curator import CuratedWorkloadParams
+from ..datagen.update_stream import UpdateOperation
+from ..errors import WorkloadError
+from .operations import ReadOperation
+
+#: Paper Table 4: number of update operations per execution of each
+#: complex read-only query.
+TABLE4_FREQUENCIES: dict[int, int] = {
+    1: 132, 2: 240, 3: 550, 4: 161, 5: 534, 6: 1615, 7: 144, 8: 13,
+    9: 1425, 10: 217, 11: 133, 12: 238, 13: 57, 14: 144,
+}
+
+
+class QueryMix:
+    """Relative complex-read frequencies plus iteration helpers."""
+
+    def __init__(self, frequencies: dict[int, int] | None = None) -> None:
+        self.frequencies = dict(frequencies or TABLE4_FREQUENCIES)
+        for query_id, frequency in self.frequencies.items():
+            if frequency < 1:
+                raise WorkloadError(
+                    f"frequency for Q{query_id} must be >= 1")
+
+    def due_queries(self, update_index: int) -> list[int]:
+        """Complex queries scheduled at this update position (1-based)."""
+        if update_index <= 0:
+            return []
+        return [query_id for query_id, frequency
+                in sorted(self.frequencies.items())
+                if update_index % frequency == 0]
+
+    def executions_in(self, num_updates: int) -> dict[int, int]:
+        """Expected execution counts of each query over a stream."""
+        return {query_id: num_updates // frequency
+                for query_id, frequency in self.frequencies.items()}
+
+    def reads_per_update(self) -> float:
+        """Average complex reads interleaved per update operation."""
+        return sum(1.0 / f for f in self.frequencies.values())
+
+
+def build_mixed_stream(updates: list[UpdateOperation],
+                       params: CuratedWorkloadParams,
+                       mix: QueryMix | None = None,
+                       walk_seed: int = 0) -> list:
+    """Interleave complex reads into an update stream (due-time order).
+
+    Query *i* fires after every ``frequencies[i]``-th update, with a due
+    time one millisecond after that update, cycling through its curated
+    parameter bindings.
+    """
+    mix = mix or QueryMix()
+    cursor: dict[int, int] = {query_id: 0 for query_id in mix.frequencies}
+    combined: list = []
+    for index, update in enumerate(updates, start=1):
+        combined.append(update)
+        for query_id in mix.due_queries(index):
+            bindings = params.by_query.get(query_id)
+            if not bindings:
+                raise WorkloadError(
+                    f"no parameter bindings for Q{query_id}")
+            binding = bindings[cursor[query_id] % len(bindings)]
+            cursor[query_id] += 1
+            combined.append(ReadOperation(
+                query_id=query_id,
+                params=binding,
+                due_time=update.due_time + 1,
+                walk_seed=walk_seed + index))
+    # A read trailing update k by 1 ms can land past update k+1's due
+    # time; re-sort (stable, so reads stay after their anchor update) to
+    # keep every partition's stream monotone in T_DUE.
+    combined.sort(key=lambda op: op.due_time)
+    return combined

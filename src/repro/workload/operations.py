@@ -1,0 +1,39 @@
+"""Read operations for the mixed workload stream.
+
+The driver is operation-agnostic: anything exposing due/dependency times
+and the Dependencies/Dependents flags schedules identically.  Reads
+depend on nothing and nothing depends on them ("as they contain no
+inter-dependencies, executing the read queries in parallel is trivial" —
+paper §4.2), so both flags are off and the dependency metadata is zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ReadOperation:
+    """One scheduled complex read (with its short-read walk)."""
+
+    query_id: int
+    params: object
+    due_time: int
+    #: Seed for the short-read random walk run after this query.
+    walk_seed: int = 0
+
+    depends_on_time: int = 0
+    global_depends_on_time: int = 0
+    partition_key: int | None = None
+
+    @property
+    def is_dependency(self) -> bool:
+        return False
+
+    @property
+    def is_dependent(self) -> bool:
+        return False
+
+    @property
+    def op_class(self) -> str:
+        return f"Q{self.query_id}"

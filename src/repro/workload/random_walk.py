@@ -1,0 +1,93 @@
+"""Short-read random walk (paper §4, "Simple read-only queries").
+
+"We connect simple with complex read-only queries using a random walk:
+results of the latter queries (typically a small set of users or posts)
+become input for simple read-only queries, where Profile lookup provides
+an input for Post lookup, and vice versa.  This chain of operations is
+governed by two parameters: the probability to pick an element from the
+previous iteration P, and the step Δ with which this probability is
+decreased at every iteration."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import WorkloadError
+from ..rng import RandomStream
+
+
+@dataclass(frozen=True)
+class RandomWalkConfig:
+    """The (P, Δ) pair governing the short-read chain."""
+
+    probability: float = 0.8
+    delta: float = 0.2
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise WorkloadError("walk probability must be in [0,1]")
+        if self.delta <= 0:
+            raise WorkloadError("walk delta must be positive "
+                                "(else the chain never terminates)")
+
+
+#: Short queries applicable per entity kind (S1-S3 take persons,
+#: S4-S7 take messages).
+PERSON_SHORTS = (1, 2, 3)
+MESSAGE_SHORTS = (4, 5, 6, 7)
+
+
+def extract_entities(result: object) -> list[tuple[str, int]]:
+    """Pull (kind, id) seeds out of any query result object.
+
+    Works structurally over the result dataclasses: any attribute named
+    ``person_id``/``author_id``/``liker_id`` seeds a profile lookup, any
+    ``message_id``/``comment_id``/``post_id``-like attribute seeds a
+    message lookup.
+    """
+    entities: list[tuple[str, int]] = []
+    rows = result if isinstance(result, (list, tuple)) else [result]
+    for row in rows:
+        if row is None:
+            continue
+        for attribute in ("person_id", "author_id", "liker_id",
+                          "root_author_id", "moderator_id"):
+            value = getattr(row, attribute, None)
+            if isinstance(value, int):
+                entities.append(("person", value))
+        for attribute in ("message_id", "comment_id", "root_post_id"):
+            value = getattr(row, attribute, None)
+            if isinstance(value, int):
+                entities.append(("message", value))
+    return entities
+
+
+def run_walk(execute_short: Callable[[int, tuple[str, int]], object],
+             seeds: list[tuple[str, int]], config: RandomWalkConfig,
+             stream: RandomStream,
+             on_latency: Callable[[int, float], None] | None = None,
+             ) -> int:
+    """Run one short-read chain; returns the number of short reads.
+
+    ``execute_short(query_id, (kind, entity_id))`` runs one short read
+    and returns its result, whose entities feed the next step.  The chain
+    terminates because P decreases by Δ every iteration.
+    """
+    probability = config.probability
+    pool = list(seeds)
+    executed = 0
+    while pool and probability > 0:
+        if stream.random() >= probability:
+            break
+        kind, entity_id = pool[stream.randint(0, len(pool) - 1)]
+        choices = PERSON_SHORTS if kind == "person" else MESSAGE_SHORTS
+        query_id = choices[stream.randint(0, len(choices) - 1)]
+        result = execute_short(query_id, (kind, entity_id))
+        executed += 1
+        next_entities = extract_entities(result)
+        if next_entities:
+            pool = next_entities
+        probability -= config.delta
+    return executed

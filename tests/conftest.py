@@ -1,0 +1,70 @@
+"""Shared fixtures: one small generated network and derived artifacts.
+
+The network is generated once per session (seeded, deterministic) and
+shared read-only by most tests; tests that mutate state build their own
+stores/catalogs from it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.curation import ParameterCurator
+from repro.datagen import DatagenConfig, generate
+from repro.datagen.stats import FrequencyStatistics
+from repro.datagen.update_stream import split_network
+from repro.engine.catalog import load_catalog
+from repro.store import load_network
+
+#: One deterministic small network for the whole session.
+NETWORK_SEED = 7
+NETWORK_PERSONS = 150
+
+
+@pytest.fixture(scope="session")
+def datagen_config() -> DatagenConfig:
+    return DatagenConfig(num_persons=NETWORK_PERSONS, seed=NETWORK_SEED)
+
+
+@pytest.fixture(scope="session")
+def network(datagen_config):
+    return generate(datagen_config)
+
+
+@pytest.fixture(scope="session")
+def frequency_stats(network):
+    return FrequencyStatistics.of(network)
+
+
+@pytest.fixture(scope="session")
+def split(network):
+    return split_network(network)
+
+
+@pytest.fixture(scope="session")
+def loaded_store(network):
+    """A store with the FULL network loaded (read-only tests)."""
+    return load_network(network)
+
+
+@pytest.fixture(scope="session")
+def loaded_catalog(network):
+    """A relational catalog with the full network (read-only tests)."""
+    return load_catalog(network)
+
+
+@pytest.fixture(scope="session")
+def curated_params(network, frequency_stats):
+    curator = ParameterCurator(network, frequency_stats, seed=3)
+    return curator.curate(4)
+
+
+@pytest.fixture()
+def fresh_store(split):
+    """A store with only the bulk part loaded (mutating tests)."""
+    return load_network(split.bulk)
+
+
+@pytest.fixture()
+def fresh_catalog(split):
+    return load_catalog(split.bulk)

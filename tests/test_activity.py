@@ -1,0 +1,204 @@
+"""Tests for the activity generator (forums, messages, likes)."""
+
+from __future__ import annotations
+
+from repro.ids import EntityKind, is_kind, serial_of
+from tests.conftest import NETWORK_PERSONS
+
+
+class TestForums:
+    def test_everyone_has_a_wall(self, network):
+        walls = [f for f in network.forums
+                 if f.title.startswith("Wall of")]
+        assert len(walls) == NETWORK_PERSONS
+
+    def test_forum_after_moderator(self, network):
+        persons = network.person_by_id()
+        for forum in network.forums:
+            assert forum.creation_date \
+                > persons[forum.moderator_id].creation_date
+
+    def test_moderator_is_member(self, network):
+        members = {(m.forum_id, m.person_id)
+                   for m in network.memberships}
+        for forum in network.forums:
+            assert (forum.id, forum.moderator_id) in members
+
+    def test_membership_after_forum_and_person(self, network):
+        forums = network.forum_by_id()
+        persons = network.person_by_id()
+        for membership in network.memberships:
+            assert membership.joined_date \
+                >= forums[membership.forum_id].creation_date
+            assert membership.joined_date \
+                > persons[membership.person_id].creation_date
+
+    def test_memberships_unique(self, network):
+        keys = [(m.forum_id, m.person_id) for m in network.memberships]
+        assert len(keys) == len(set(keys))
+
+
+class TestMessages:
+    def test_posts_by_members_only(self, network):
+        members = {(m.forum_id, m.person_id)
+                   for m in network.memberships}
+        for post in network.posts:
+            assert (post.forum_id, post.author_id) in members
+
+    def test_t_safe_respected(self, network, datagen_config):
+        """Nobody posts before T_SAFE after joining the forum — the
+        guarantee windowed driver execution relies on (paper §4.2)."""
+        join = {(m.forum_id, m.person_id): m.joined_date
+                for m in network.memberships}
+        for post in network.posts:
+            joined = join[(post.forum_id, post.author_id)]
+            assert post.creation_date \
+                >= joined + datagen_config.t_safe_millis
+
+    def test_comment_strictly_after_parent(self, network):
+        posts = network.post_by_id()
+        comments = network.comment_by_id()
+        for comment in network.comments:
+            parent = posts.get(comment.reply_of_id) \
+                or comments[comment.reply_of_id]
+            assert comment.creation_date > parent.creation_date
+
+    def test_comment_root_consistent(self, network):
+        posts = network.post_by_id()
+        comments = network.comment_by_id()
+        for comment in network.comments:
+            current = comment
+            # Walk up the reply chain; it must end at the root post.
+            for __ in range(1000):
+                if current.reply_of_id in posts:
+                    assert current.reply_of_id == comment.root_post_id
+                    break
+                current = comments[current.reply_of_id]
+            else:
+                raise AssertionError("reply chain did not terminate")
+
+    def test_message_ids_time_ordered(self, network):
+        """Paper footnote 3: ids increase with creation time."""
+        post_dates = [p.creation_date for p in
+                      sorted(network.posts, key=lambda p: p.id)]
+        assert post_dates == sorted(post_dates)
+        comment_dates = [c.creation_date for c in
+                         sorted(network.comments, key=lambda c: c.id)]
+        assert comment_dates == sorted(comment_dates)
+
+    def test_photos_have_images_and_no_text(self, network):
+        photos = [p for p in network.posts if p.is_photo]
+        assert photos, "expected some photo albums"
+        for photo in photos:
+            assert photo.image_file
+            assert photo.content == ""
+
+    def test_text_posts_mention_their_topic(self, network):
+        tags = network.tag_by_id()
+        checked = 0
+        for post in network.posts:
+            if post.is_photo or not post.tag_ids:
+                continue
+            topic = tags[post.tag_ids[0]].name
+            assert post.content.startswith(f"About {topic}:")
+            checked += 1
+        assert checked > 50
+
+    def test_post_language_spoken_by_author(self, network):
+        persons = network.person_by_id()
+        for post in network.posts:
+            if post.language:
+                assert post.language \
+                    in persons[post.author_id].languages
+
+    def test_travel_fraction_small_but_present(self, network):
+        persons = network.person_by_id()
+        abroad = sum(1 for p in network.posts
+                     if p.country_id
+                     != persons[p.author_id].country_id)
+        fraction = abroad / len(network.posts)
+        assert 0.01 < fraction < 0.25
+
+
+class TestLikes:
+    def test_likes_strictly_after_message(self, network):
+        posts = network.post_by_id()
+        comments = network.comment_by_id()
+        for like in network.likes:
+            message = posts[like.message_id] if like.is_post \
+                else comments[like.message_id]
+            assert like.creation_date > message.creation_date
+
+    def test_nobody_likes_own_message(self, network):
+        posts = network.post_by_id()
+        comments = network.comment_by_id()
+        for like in network.likes:
+            message = posts[like.message_id] if like.is_post \
+                else comments[like.message_id]
+            assert like.person_id != message.author_id
+
+    def test_stranger_likes_exist(self, network):
+        """Q7 flags likes from outside direct connections; the generator
+        must produce some."""
+        friends: dict[int, set[int]] = {}
+        for edge in network.knows:
+            friends.setdefault(edge.person1_id, set()).add(
+                edge.person2_id)
+            friends.setdefault(edge.person2_id, set()).add(
+                edge.person1_id)
+        posts = network.post_by_id()
+        comments = network.comment_by_id()
+        strangers = 0
+        for like in network.likes:
+            message = posts[like.message_id] if like.is_post \
+                else comments[like.message_id]
+            if like.person_id not in friends.get(message.author_id,
+                                                 set()):
+                strangers += 1
+        assert strangers > 0
+
+    def test_likes_unique_per_person_message(self, network):
+        keys = [(like.person_id, like.message_id)
+                for like in network.likes]
+        assert len(keys) == len(set(keys))
+
+
+class TestScaling:
+    def test_messages_scale_with_friendships(self):
+        """Paper §2: "These data elements scale linearly with the amount
+        of friendships"."""
+        from repro.datagen import DatagenConfig, generate
+
+        small = generate(DatagenConfig(num_persons=80, seed=3))
+        large = generate(DatagenConfig(num_persons=320, seed=3))
+        small_ratio = (len(small.posts) + len(small.comments)) \
+            / max(len(small.knows), 1)
+        large_ratio = (len(large.posts) + len(large.comments)) \
+            / max(len(large.knows), 1)
+        assert 0.4 < small_ratio / large_ratio < 2.5
+
+
+class TestPhotoGeolocation:
+    def test_photos_geotagged_near_home_city(self, network,
+                                             datagen_config):
+        """Table 1: post.photoLocation matches the owner's location."""
+        from repro.datagen.dictionaries import Dictionaries
+        from repro.datagen.universe import build_universe
+
+        universe = build_universe(Dictionaries(datagen_config.seed))
+        persons = network.person_by_id()
+        photos = [p for p in network.posts if p.is_photo]
+        assert photos
+        for photo in photos:
+            assert photo.latitude is not None
+            assert photo.longitude is not None
+            owner = persons[photo.author_id]
+            lat, lon = universe.city_coords[owner.city_id]
+            assert abs(photo.latitude - lat) <= 0.26
+            assert abs(photo.longitude - lon) <= 0.26
+
+    def test_text_posts_not_geotagged(self, network):
+        for post in network.posts:
+            if not post.is_photo:
+                assert post.latitude is None
+                assert post.longitude is None

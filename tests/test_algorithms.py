@@ -1,0 +1,166 @@
+"""Tests for the SNB-Algorithms preview, cross-validated with networkx."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.algorithms import (
+    average_clustering,
+    bfs_levels,
+    community_sizes,
+    graph500_bfs_sample,
+    knows_graph,
+    label_propagation,
+    local_clustering,
+    pagerank,
+)
+from repro.errors import ReproError
+
+
+@pytest.fixture(scope="module")
+def adjacency(network):
+    return knows_graph(network)
+
+
+@pytest.fixture(scope="module")
+def nx_graph(network):
+    graph = nx.Graph()
+    graph.add_nodes_from(p.id for p in network.persons)
+    graph.add_edges_from((e.person1_id, e.person2_id)
+                         for e in network.knows)
+    return graph
+
+
+class TestGraphView:
+    def test_all_persons_present(self, network, adjacency):
+        assert set(adjacency) == {p.id for p in network.persons}
+
+    def test_symmetric(self, adjacency):
+        for node, friends in adjacency.items():
+            for friend in friends:
+                assert node in adjacency[friend]
+
+    def test_edge_count(self, network, adjacency):
+        half_edges = sum(len(friends) for friends in adjacency.values())
+        assert half_edges == 2 * len(network.knows)
+
+
+class TestPageRank:
+    def test_sums_to_one(self, adjacency):
+        scores = pagerank(adjacency)
+        assert sum(scores.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_matches_networkx(self, adjacency, nx_graph):
+        ours = pagerank(adjacency, damping=0.85, tolerance=1e-10)
+        reference = nx.pagerank(nx_graph, alpha=0.85, tol=1e-10)
+        for node in ours:
+            assert ours[node] == pytest.approx(reference[node],
+                                               rel=0.02, abs=1e-5)
+
+    def test_hub_ranks_higher_than_leaf(self, adjacency):
+        scores = pagerank(adjacency)
+        degrees = {node: len(friends)
+                   for node, friends in adjacency.items()}
+        hub = max(degrees, key=degrees.get)
+        leaf = min(degrees, key=degrees.get)
+        assert scores[hub] > scores[leaf]
+
+    def test_empty_graph(self):
+        assert pagerank({}) == {}
+
+    def test_invalid_damping(self, adjacency):
+        with pytest.raises(ReproError):
+            pagerank(adjacency, damping=1.5)
+
+    def test_dangling_nodes_handled(self):
+        scores = pagerank({1: {2}, 2: {1}, 3: set()})
+        assert sum(scores.values()) == pytest.approx(1.0, abs=1e-6)
+        assert scores[3] > 0
+
+
+class TestBfs:
+    def test_matches_networkx(self, adjacency, nx_graph, network):
+        source = network.persons[0].id
+        ours = bfs_levels(adjacency, source)
+        reference = nx.single_source_shortest_path_length(nx_graph,
+                                                          source)
+        assert ours == dict(reference)
+
+    def test_graph500_sample(self, adjacency):
+        results = graph500_bfs_sample(adjacency, num_roots=5, seed=1)
+        assert len(results) == 5
+        for root, reached, eccentricity in results:
+            assert root in adjacency
+            assert 1 <= reached <= len(adjacency)
+            assert eccentricity >= 0
+
+    def test_graph500_deterministic(self, adjacency):
+        assert graph500_bfs_sample(adjacency, 3, seed=9) \
+            == graph500_bfs_sample(adjacency, 3, seed=9)
+
+
+class TestLabelPropagation:
+    def test_labels_cover_all_nodes(self, adjacency):
+        labels = label_propagation(adjacency, seed=4)
+        assert set(labels) == set(adjacency)
+
+    def test_isolated_nodes_keep_own_label(self):
+        labels = label_propagation({1: set(), 2: {3}, 3: {2}})
+        assert labels[1] == 1
+
+    def test_two_cliques_two_communities(self):
+        clique_a = {1: {2, 3}, 2: {1, 3}, 3: {1, 2}}
+        clique_b = {4: {5, 6}, 5: {4, 6}, 6: {4, 5}}
+        adjacency = {**clique_a, **clique_b}
+        # One weak bridge.
+        adjacency[3] = adjacency[3] | {4}
+        adjacency[4] = adjacency[4] | {3}
+        labels = label_propagation(adjacency, seed=1)
+        assert labels[1] == labels[2] == labels[3] or \
+            labels[1] == labels[2]
+        assert labels[5] == labels[6]
+
+    def test_community_sizes_sorted(self, adjacency):
+        sizes = community_sizes(label_propagation(adjacency, seed=2))
+        counts = list(sizes.values())
+        assert counts == sorted(counts, reverse=True)
+        assert sum(counts) == len(adjacency)
+
+    def test_finds_nontrivial_communities(self, adjacency):
+        """The correlated generator produces community structure: label
+        propagation must find communities larger than singletons."""
+        sizes = community_sizes(label_propagation(adjacency, seed=3))
+        assert max(sizes.values()) >= 5
+
+
+class TestClustering:
+    def test_matches_networkx(self, adjacency, nx_graph, network):
+        for person in network.persons[:40]:
+            ours = local_clustering(adjacency, person.id)
+            reference = nx.clustering(nx_graph, person.id)
+            assert ours == pytest.approx(reference)
+
+    def test_average_matches_networkx(self, adjacency, nx_graph):
+        assert average_clustering(adjacency) \
+            == pytest.approx(nx.average_clustering(nx_graph))
+
+    def test_triangle(self):
+        triangle = {1: {2, 3}, 2: {1, 3}, 3: {1, 2}}
+        assert local_clustering(triangle, 1) == 1.0
+
+    def test_star_is_zero(self):
+        star = {0: {1, 2, 3}, 1: {0}, 2: {0}, 3: {0}}
+        assert local_clustering(star, 0) == 0.0
+
+    def test_homophily_beats_random_graph(self, network, adjacency,
+                                          nx_graph):
+        """DATAGEN's correlated friendships cluster far more than a
+        degree-matched Erdős–Rényi graph (the paper's realism claim
+        [13])."""
+        n = nx_graph.number_of_nodes()
+        m = nx_graph.number_of_edges()
+        random_graph = nx.gnm_random_graph(n, m, seed=1)
+        ours = average_clustering(adjacency)
+        random_clustering = nx.average_clustering(random_graph)
+        assert ours > 2 * max(random_clustering, 1e-6)

@@ -1,0 +1,63 @@
+"""Tests for the bench harness helpers."""
+
+from __future__ import annotations
+
+from repro.bench import (
+    ascii_histogram,
+    ascii_series,
+    format_table,
+    median_seconds,
+)
+
+
+class TestFormatTable:
+    def test_aligned_columns(self):
+        text = format_table(["name", "count"],
+                            [["alpha", 10], ["b", 20000]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert "20000" in lines[3]
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="Table 3")
+        assert text.splitlines()[0] == "Table 3"
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[3.14159]])
+        assert "3.14" in text
+
+
+class TestAsciiPlots:
+    def test_histogram_bars_scale(self):
+        text = ascii_histogram([("a", 10), ("b", 5)], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_histogram_empty(self):
+        assert "(empty)" in ascii_histogram([])
+
+    def test_histogram_title(self):
+        text = ascii_histogram([("a", 1)], title="Figure 3a")
+        assert text.splitlines()[0] == "Figure 3a"
+
+    def test_series_height(self):
+        text = ascii_series([1.0, 5.0, 3.0], height=5)
+        lines = [l for l in text.splitlines() if "|" in l]
+        assert len(lines) == 5
+
+    def test_series_empty(self):
+        assert "(empty)" in ascii_series([])
+
+
+class TestTiming:
+    def test_median_positive(self):
+        assert median_seconds(lambda: sum(range(100)),
+                              repetitions=3, warmup=0) >= 0
+
+    def test_runs_expected_times(self):
+        calls = []
+        median_seconds(lambda: calls.append(1), repetitions=3,
+                       warmup=2)
+        assert len(calls) == 5

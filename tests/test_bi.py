@@ -1,0 +1,134 @@
+"""Tests for the SNB-BI draft queries (brute-force cross-checks)."""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+import pytest
+
+from repro.bi import (
+    bi1_posting_summary,
+    bi2_tag_evolution,
+    bi3_popular_topics_by_country,
+    bi4_influential_posters,
+)
+from repro.sim_time import MILLIS_PER_MONTH, date_from_millis
+
+
+class TestBi1:
+    def test_totals_match_network(self, network, loaded_catalog):
+        rows = bi1_posting_summary(loaded_catalog)
+        total = sum(row.message_count for row in rows)
+        assert total == len(network.posts) + len(network.comments)
+
+    def test_groups_match_brute_force(self, network, loaded_catalog):
+        expected = Counter()
+        for message in network.messages():
+            year = date_from_millis(message.creation_date).year
+            is_post = hasattr(message, "forum_id")
+            expected[(year, is_post)] += 1
+        rows = bi1_posting_summary(loaded_catalog)
+        got = {(row.year, row.is_post): row.message_count
+               for row in rows}
+        assert got == dict(expected)
+
+    def test_average_length_consistent(self, loaded_catalog):
+        for row in bi1_posting_summary(loaded_catalog):
+            assert row.average_length == pytest.approx(
+                row.total_length / row.message_count)
+
+    def test_sorted_by_year(self, loaded_catalog):
+        rows = bi1_posting_summary(loaded_catalog)
+        years = [row.year for row in rows]
+        assert years == sorted(years)
+
+
+class TestBi2:
+    def test_counts_match_brute_force(self, network, loaded_catalog):
+        start = min(m.creation_date for m in network.messages())
+        rows = bi2_tag_evolution(loaded_catalog, start, limit=100)
+        tag_names = {t.id: t.name for t in network.tags}
+        expected = defaultdict(lambda: [0, 0])
+        for message in network.messages():
+            offset = message.creation_date - start
+            if 0 <= offset < MILLIS_PER_MONTH:
+                slot = 0
+            elif MILLIS_PER_MONTH <= offset < 2 * MILLIS_PER_MONTH:
+                slot = 1
+            else:
+                continue
+            for tag_id in message.tag_ids:
+                expected[tag_names[tag_id]][slot] += 1
+        got = {row.tag_name: [row.count_window_a, row.count_window_b]
+               for row in rows}
+        for name, counts in got.items():
+            assert expected[name] == counts
+
+    def test_sorted_by_absolute_delta(self, network, loaded_catalog):
+        start = min(m.creation_date for m in network.messages())
+        rows = bi2_tag_evolution(loaded_catalog, start)
+        deltas = [abs(row.delta) for row in rows]
+        assert deltas == sorted(deltas, reverse=True)
+
+
+class TestBi3:
+    def test_counts_match_brute_force(self, network, loaded_catalog):
+        place_names = {p.id: p.name for p in network.places}
+        tag_names = {t.id: t.name for t in network.tags}
+        expected = Counter()
+        for message in network.messages():
+            for tag_id in message.tag_ids:
+                expected[(place_names[message.country_id],
+                          tag_names[tag_id])] += 1
+        rows = bi3_popular_topics_by_country(loaded_catalog)
+        for row in rows:
+            assert expected[(row.country_name, row.tag_name)] \
+                == row.message_count
+
+    def test_top_per_country_cap(self, loaded_catalog):
+        rows = bi3_popular_topics_by_country(loaded_catalog,
+                                             top_per_country=2)
+        per_country = Counter(row.country_name for row in rows)
+        assert max(per_country.values()) <= 2
+
+    def test_top_tags_really_top(self, loaded_catalog):
+        rows = bi3_popular_topics_by_country(loaded_catalog,
+                                             top_per_country=1)
+        all_rows = bi3_popular_topics_by_country(loaded_catalog,
+                                                 top_per_country=10**6)
+        best = {}
+        for row in all_rows:
+            current = best.get(row.country_name)
+            if current is None or row.message_count > current:
+                best[row.country_name] = row.message_count
+        for row in rows:
+            assert row.message_count == best[row.country_name]
+
+
+class TestBi4:
+    def test_friend_predicate_enforced(self, loaded_catalog):
+        rows = bi4_influential_posters(loaded_catalog, min_friends=5)
+        for row in rows:
+            assert row.friend_count >= 5
+
+    def test_counts_match_brute_force(self, network, loaded_catalog):
+        messages = Counter(m.author_id for m in network.messages())
+        friends = Counter()
+        for edge in network.knows:
+            friends[edge.person1_id] += 1
+            friends[edge.person2_id] += 1
+        rows = bi4_influential_posters(loaded_catalog, min_friends=3,
+                                       limit=10)
+        for row in rows:
+            assert messages[row.person_id] == row.message_count
+            assert friends[row.person_id] == row.friend_count
+
+    def test_sorted_by_message_count(self, loaded_catalog):
+        rows = bi4_influential_posters(loaded_catalog, min_friends=1)
+        counts = [row.message_count for row in rows]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_high_threshold_filters_everyone(self, loaded_catalog):
+        rows = bi4_influential_posters(loaded_catalog,
+                                       min_friends=10 ** 6)
+        assert rows == []

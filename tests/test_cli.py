@@ -1,0 +1,106 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_query_range_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["curate", "--query", "15"])
+
+
+class TestGenerate:
+    def test_generate_prints_stats(self, capsys):
+        code = main(["generate", "--persons", "60", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Persons" in out
+        assert "integrity: clean" in out
+
+    def test_generate_with_export_and_validate(self, tmp_path, capsys):
+        outdir = tmp_path / "export"
+        code = main(["generate", "--persons", "60", "--seed", "3",
+                     "--out", str(outdir)])
+        assert code == 0
+        assert (outdir / "person.csv").exists()
+        code = main(["validate", str(outdir)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "integrity: clean" in out
+
+    def test_generate_scale_factor(self, capsys):
+        code = main(["generate", "--scale-factor", "0.002",
+                     "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SF 0.002" in out
+
+
+class TestValidateDetectsCorruption(object):
+    def test_corrupted_export_fails(self, tmp_path, capsys):
+        outdir = tmp_path / "export"
+        main(["generate", "--persons", "60", "--seed", "3",
+              "--out", str(outdir)])
+        capsys.readouterr()
+        # Corrupt a like timestamp.
+        likes = (outdir / "likes.csv").read_text().splitlines()
+        parts = likes[1].split("|")
+        parts[2] = "1"
+        likes[1] = "|".join(parts)
+        (outdir / "likes.csv").write_text("\n".join(likes) + "\n")
+        code = main(["validate", str(outdir)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "violations" in out
+
+
+class TestBenchmark:
+    def test_benchmark_store(self, capsys):
+        code = main(["benchmark", "--persons", "70", "--seed", "2",
+                     "--partitions", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Table 6" in out
+        assert "throughput" in out
+
+    def test_benchmark_engine(self, capsys):
+        code = main(["benchmark", "--persons", "70", "--seed", "2",
+                     "--sut", "engine", "--mode", "parallel"])
+        assert code == 0
+        assert "relational-engine" in capsys.readouterr().out
+
+
+class TestExplainAndCurate:
+    def test_explain(self, capsys):
+        code = main(["explain", "--persons", "80", "--seed", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "join decisions:" in out
+
+    def test_curate(self, capsys):
+        code = main(["curate", "--persons", "80", "--seed", "2",
+                     "--query", "5", "-k", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "curated bindings for Q5" in out
+        assert out.count("Q5Params") == 3
+
+    def test_curate_uniform(self, capsys):
+        code = main(["curate", "--persons", "80", "--seed", "2",
+                     "--query", "2", "-k", "2", "--uniform"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "uniform bindings" in out

@@ -1,0 +1,100 @@
+"""End-to-end tests for the benchmark core."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    BenchmarkConfig,
+    InteractiveBenchmark,
+    render_report,
+)
+from repro.driver.modes import ExecutionMode
+from repro.errors import BenchmarkError
+
+
+@pytest.fixture(scope="module")
+def store_report():
+    bench = InteractiveBenchmark(BenchmarkConfig(
+        num_persons=100, seed=5, num_partitions=3,
+        bindings_per_query=3))
+    return bench.run()
+
+
+@pytest.fixture(scope="module")
+def engine_report():
+    bench = InteractiveBenchmark(BenchmarkConfig(
+        num_persons=100, seed=5, num_partitions=3, sut="engine",
+        bindings_per_query=3))
+    return bench.run()
+
+
+class TestStoreRun:
+    def test_all_complex_queries_measured(self, store_report):
+        measured = set(store_report.complex_stats)
+        assert measured == {f"Q{i}" for i in range(1, 15)}
+
+    def test_updates_measured(self, store_report):
+        assert "ADD_POST" in store_report.update_stats
+        assert "ADD_PERSON" in store_report.update_stats
+
+    def test_short_reads_executed(self, store_report):
+        assert store_report.short_reads > 0
+        assert store_report.short_stats
+
+    def test_throughput_positive(self, store_report):
+        assert store_report.throughput > 0
+        assert store_report.operations > 0
+
+    def test_unthrottled_run_sustains(self, store_report):
+        assert store_report.sustained
+
+    def test_render_report_contains_tables(self, store_report):
+        text = render_report(store_report)
+        assert "Table 6" in text
+        assert "Table 7" in text
+        assert "Table 9" in text
+        assert "Q14" in text
+        assert "ADD_FRIENDSHIP" in text
+
+    def test_mean_latency_row_helper(self, store_report):
+        row = store_report.mean_latency_row(
+            store_report.complex_stats, "Q", 14)
+        assert len(row) == 14
+        assert any(value > 0 for value in row)
+
+
+class TestEngineRun:
+    def test_engine_also_completes(self, engine_report):
+        assert engine_report.sut_name == "relational-engine"
+        assert set(engine_report.complex_stats) \
+            == {f"Q{i}" for i in range(1, 15)}
+
+    def test_two_systems_comparable(self, store_report, engine_report):
+        """Both SUTs run the identical stream — same operation count."""
+        assert store_report.operations == engine_report.operations
+
+
+class TestConfigHandling:
+    def test_unknown_sut_rejected(self):
+        bench = InteractiveBenchmark(BenchmarkConfig(
+            num_persons=60, sut="oracle"))
+        with pytest.raises(BenchmarkError):
+            bench.prepare()
+
+    def test_custom_frequencies(self):
+        bench = InteractiveBenchmark(BenchmarkConfig(
+            num_persons=80, seed=2, bindings_per_query=2,
+            frequencies={qid: 5000 for qid in range(1, 15)}))
+        report = bench.run()
+        # With huge frequencies almost no complex reads run.
+        total_reads = sum(s.count
+                          for s in report.complex_stats.values())
+        assert total_reads <= 14
+
+    def test_sequential_mode_runs(self):
+        bench = InteractiveBenchmark(BenchmarkConfig(
+            num_persons=80, seed=2, bindings_per_query=2,
+            mode=ExecutionMode.SEQUENTIAL))
+        report = bench.run()
+        assert report.operations > 0

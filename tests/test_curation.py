@@ -1,0 +1,192 @@
+"""Tests for parameter curation (PC tables, greedy selection, buckets)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.curation.buckets import (
+    bucket_key,
+    bucket_midpoint,
+    bucket_timestamps,
+    stable_buckets,
+)
+from repro.curation.curator import ParameterCurator
+from repro.curation.greedy import greedy_select, uniform_select
+from repro.curation.pc_table import (
+    ParameterCountTable,
+    log_spread,
+    pc_table_own_messages,
+    pc_table_q2,
+    pc_table_two_hop,
+)
+from repro.errors import CurationError
+
+
+class TestPcTables:
+    def test_q2_table_columns(self, frequency_stats):
+        table = pc_table_q2(frequency_stats)
+        assert table.num_columns == 2
+        assert len(table.rows) == len(frequency_stats.friend_count)
+
+    def test_q2_counts_match_stats(self, frequency_stats):
+        table = pc_table_q2(frequency_stats)
+        for person_id, (friends, messages) in table.rows[:20]:
+            assert friends == frequency_stats.friend_count[person_id]
+            assert messages \
+                == frequency_stats.friend_message_count[person_id]
+
+    def test_two_hop_table_columns(self, frequency_stats):
+        table = pc_table_two_hop(frequency_stats)
+        assert table.num_columns == 3
+
+    def test_own_messages_table(self, frequency_stats):
+        table = pc_table_own_messages(frequency_stats)
+        assert table.num_columns == 1
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(CurationError):
+            ParameterCountTable(("a", "b"), [(1, (5,))])
+
+    def test_column_variance(self):
+        table = ParameterCountTable(
+            ("c",), [(1, (10,)), (2, (10,)), (3, (40,))])
+        assert table.column_variance(0) == pytest.approx(200.0)
+
+    def test_total_cout(self):
+        table = ParameterCountTable(("a", "b"), [(1, (3, 4))])
+        assert table.total_cout(1) == 7
+        with pytest.raises(CurationError):
+            table.total_cout(2)
+
+    def test_log_spread(self):
+        table = ParameterCountTable(
+            ("c",), [(1, (10,)), (2, (1000,)), (3, (10,))])
+        assert log_spread(table, [1, 3]) == pytest.approx(0.0)
+        assert log_spread(table, [1, 2]) == pytest.approx(2.0)
+
+
+class TestGreedySelection:
+    def test_selects_k_distinct(self, frequency_stats):
+        table = pc_table_two_hop(frequency_stats)
+        selection = greedy_select(table, 10)
+        assert len(selection.values) == 10
+        assert len(set(selection.values)) == 10
+
+    def test_values_from_domain(self, frequency_stats):
+        table = pc_table_two_hop(frequency_stats)
+        domain = {value for value, __ in table.rows}
+        selection = greedy_select(table, 10)
+        assert set(selection.values) <= domain
+
+    def test_beats_uniform_on_spread(self, frequency_stats):
+        """P1: curated parameters have (much) lower C_out spread than a
+        uniform sample — the Fig. 5 contrast."""
+        table = pc_table_two_hop(frequency_stats)
+        curated = greedy_select(table, 10).values
+        spreads = []
+        for seed in range(5):
+            uniform = uniform_select(table, 10, seed)
+            spreads.append(log_spread(table, uniform))
+        mean_uniform = sum(spreads) / len(spreads)
+        assert log_spread(table, curated) < mean_uniform
+
+    def test_stability_across_disjoint_runs(self, frequency_stats):
+        """P2: repeated selections land in the same C_out region."""
+        table = pc_table_two_hop(frequency_stats)
+        first = greedy_select(table, 5)
+        second = greedy_select(table, 5)
+        assert first.values == second.values  # deterministic
+
+    def test_window_trace_reported(self, frequency_stats):
+        table = pc_table_two_hop(frequency_stats)
+        selection = greedy_select(table, 5)
+        assert selection.window_trace
+        variances = [v for __, __, v in selection.window_trace]
+        assert variances == sorted(variances)
+
+    def test_small_domain_returns_all(self):
+        table = ParameterCountTable(("c",), [(1, (5,)), (2, (6,))])
+        selection = greedy_select(table, 10)
+        assert sorted(selection.values) == [1, 2]
+
+    def test_k_zero_rejected(self, frequency_stats):
+        with pytest.raises(CurationError):
+            greedy_select(pc_table_q2(frequency_stats), 0)
+
+    def test_uniform_select_deterministic_per_seed(self,
+                                                   frequency_stats):
+        table = pc_table_q2(frequency_stats)
+        assert uniform_select(table, 5, 1) == uniform_select(table, 5, 1)
+        assert uniform_select(table, 5, 1) != uniform_select(table, 5, 2)
+
+    @given(st.lists(st.tuples(st.integers(0, 10_000),
+                              st.integers(0, 100),
+                              st.integers(0, 100)),
+                    min_size=1, max_size=80, unique_by=lambda r: r[0]),
+           st.integers(min_value=1, max_value=10))
+    @settings(max_examples=60)
+    def test_selection_always_valid(self, raw_rows, k):
+        table = ParameterCountTable(
+            ("a", "b"), [(value, (a, b)) for value, a, b in raw_rows])
+        selection = greedy_select(table, k)
+        assert len(selection.values) == min(k, len(raw_rows))
+        assert len(set(selection.values)) == len(selection.values)
+        domain = {value for value, __ in table.rows}
+        assert set(selection.values) <= domain
+
+
+class TestBuckets:
+    def test_bucket_key(self):
+        assert bucket_key(250, bucket_millis=100) == 2
+        assert bucket_key(250, bucket_millis=100, origin=200) == 0
+
+    def test_bucket_timestamps(self):
+        counts = bucket_timestamps([5, 15, 15, 25], bucket_millis=10)
+        assert counts == {0: 1, 1: 2, 2: 1}
+
+    def test_midpoint_round_trip(self):
+        mid = bucket_midpoint(3, bucket_millis=100)
+        assert bucket_key(mid, bucket_millis=100) == 3
+
+    def test_stable_buckets_prefer_median(self):
+        counts = {0: 1, 1: 100, 2: 100, 3: 100, 4: 10_000}
+        assert set(stable_buckets(counts, 3)) == {1, 2, 3}
+
+    def test_stable_buckets_empty(self):
+        assert stable_buckets({}, 3) == []
+
+
+class TestCurator:
+    def test_params_for_all_queries(self, curated_params):
+        for query_id in range(1, 15):
+            bindings = curated_params.params_for(query_id)
+            assert len(bindings) == 4
+
+    def test_param_types(self, curated_params):
+        from repro.queries.registry import COMPLEX_QUERIES
+
+        for query_id in range(1, 15):
+            expected = COMPLEX_QUERIES[query_id].params_type
+            for binding in curated_params.params_for(query_id):
+                assert isinstance(binding, expected)
+
+    def test_missing_query_raises(self, curated_params):
+        with pytest.raises(CurationError):
+            curated_params.params_for(99)
+
+    def test_uniform_baseline_differs(self, network, frequency_stats):
+        curator = ParameterCurator(network, frequency_stats, seed=3)
+        curated = curator.curate(8)
+        uniform = curator.curate(8, uniform=True)
+        assert [p.person_id for p in curated.by_query[5]] \
+            != [p.person_id for p in uniform.by_query[5]]
+
+    def test_q13_pairs_distinct_endpoints(self, curated_params):
+        for params in curated_params.by_query[13]:
+            assert params.person_x_id != params.person_y_id
+
+    def test_q3_countries_differ_from_each_other(self, curated_params):
+        for params in curated_params.by_query[3]:
+            assert params.country_x_id != params.country_y_id

@@ -1,0 +1,76 @@
+"""Tests for SocialNetwork container helpers and schema entities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.schema.entities import RELATION_NAMES, Knows, PlaceType
+
+
+class TestSchemaInventory:
+    def test_twenty_relations(self):
+        """The paper: 11 entities connected by 20 relations."""
+        assert len(RELATION_NAMES) == 20
+        assert len(set(RELATION_NAMES)) == 20
+
+    def test_knows_other(self):
+        edge = Knows(1, 2, 100)
+        assert edge.other(1) == 2
+        assert edge.other(2) == 1
+        with pytest.raises(ValueError):
+            edge.other(3)
+
+
+class TestDatasetMaps:
+    def test_person_by_id(self, network):
+        by_id = network.person_by_id()
+        assert len(by_id) == len(network.persons)
+        sample = network.persons[5]
+        assert by_id[sample.id] is sample
+
+    def test_all_lookup_maps(self, network):
+        assert len(network.forum_by_id()) == len(network.forums)
+        assert len(network.post_by_id()) == len(network.posts)
+        assert len(network.comment_by_id()) == len(network.comments)
+        assert len(network.tag_by_id()) == len(network.tags)
+        assert len(network.place_by_id()) == len(network.places)
+        assert len(network.organisation_by_id()) \
+            == len(network.organisations)
+
+    def test_friendships_of_symmetric(self, network):
+        adjacency = network.friendships_of()
+        for edge in network.knows[:200]:
+            assert edge in adjacency[edge.person1_id]
+            assert edge in adjacency[edge.person2_id]
+
+    def test_messages_iterator(self, network):
+        messages = list(network.messages())
+        assert len(messages) == len(network.posts) \
+            + len(network.comments)
+
+    def test_photo_flag(self, network):
+        photos = [p for p in network.posts if p.is_photo]
+        texts = [p for p in network.posts if not p.is_photo]
+        assert photos and texts
+        for photo in photos:
+            assert photo.image_file is not None
+
+    def test_place_types(self, network):
+        types = {p.type for p in network.places}
+        assert types == {PlaceType.CITY, PlaceType.COUNTRY,
+                         PlaceType.CONTINENT}
+
+    def test_num_nodes_consistent(self, network):
+        summary = network.summary()
+        assert summary["nodes"] == (
+            summary["persons"] + summary["forums"] + summary["posts"]
+            + summary["comments"] + summary["tags"]
+            + summary["tag_classes"] + summary["places"]
+            + summary["organisations"])
+
+    def test_edges_include_all_relation_volumes(self, network):
+        summary = network.summary()
+        floor = (summary["knows"] + summary["memberships"]
+                 + summary["likes"] + summary["posts"]
+                 + summary["comments"])
+        assert summary["edges"] > floor

@@ -1,0 +1,99 @@
+"""Tests for the friendship-degree model (paper §2.3, Fig. 2b)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen.degrees import (
+    FACEBOOK_MAX_DEGREE,
+    PERCENTILE_TABLE,
+    average_degree_for,
+    build_percentile_table,
+    degree_histogram,
+    facebook_average_degree,
+    target_degree,
+)
+
+
+class TestPercentileTable:
+    def test_hundred_percentiles(self):
+        assert len(PERCENTILE_TABLE) == 100
+
+    def test_monotone_non_decreasing(self):
+        maxima = [hi for __, hi in PERCENTILE_TABLE]
+        assert maxima == sorted(maxima)
+
+    def test_bands_well_formed(self):
+        for lo, hi in PERCENTILE_TABLE:
+            assert 1 <= lo <= hi <= FACEBOOK_MAX_DEGREE
+
+    def test_top_percentile_hits_cap(self):
+        assert PERCENTILE_TABLE[-1][1] == FACEBOOK_MAX_DEGREE
+
+    def test_calibration_median(self):
+        """Published Facebook median degree ≈ 100."""
+        lo, hi = PERCENTILE_TABLE[50]
+        assert 40 <= lo <= 160
+
+    def test_calibration_mean(self):
+        """Published Facebook mean degree ≈ 190."""
+        assert 100 <= facebook_average_degree() <= 320
+
+    def test_build_is_deterministic(self):
+        assert build_percentile_table() == PERCENTILE_TABLE
+
+
+class TestScalingLaw:
+    def test_facebook_size_gives_about_200(self):
+        """Paper: at 700M persons the average degree is around 200."""
+        assert 170 <= average_degree_for(700_000_000) <= 230
+
+    def test_smaller_network_smaller_degree(self):
+        assert average_degree_for(1_000) < average_degree_for(1_000_000)
+
+    def test_small_scale_reasonable(self):
+        degree = average_degree_for(10_000)
+        assert 5 < degree < 100
+
+
+class TestTargetDegree:
+    def test_deterministic_per_person(self):
+        assert target_degree(5, 1000, seed=1) \
+            == target_degree(5, 1000, seed=1)
+
+    def test_varies_across_persons(self):
+        degrees = {target_degree(i, 1000, seed=1) for i in range(50)}
+        assert len(degrees) > 5
+
+    def test_bounded_by_population(self):
+        for serial in range(100):
+            assert 1 <= target_degree(serial, 50, seed=2) <= 49
+
+    def test_mean_tracks_scaling_law(self):
+        n = 2000
+        degrees = [target_degree(i, n, seed=3) for i in range(n)]
+        mean = sum(degrees) / n
+        target = average_degree_for(n)
+        # Heavy-tailed, so allow a generous band around the target.
+        assert target / 3 <= mean <= target * 3
+
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.integers(min_value=2, max_value=100_000), st.integers())
+    @settings(max_examples=100)
+    def test_always_valid(self, serial, n, seed):
+        degree = target_degree(serial, n, seed)
+        assert 1 <= degree <= n - 1
+
+
+class TestHistogram:
+    def test_buckets(self):
+        histogram = degree_histogram([1, 1, 2, 5, 5, 5], bucket=1)
+        assert histogram == {1: 2, 2: 1, 5: 3}
+
+    def test_bucketed(self):
+        histogram = degree_histogram([0, 4, 5, 9, 10], bucket=5)
+        assert histogram == {0: 2, 5: 2, 10: 1}
+
+    def test_empty(self):
+        assert degree_histogram([]) == {}

@@ -1,0 +1,128 @@
+"""Tests for the built-in dictionaries (the DBpedia substitute)."""
+
+from __future__ import annotations
+
+from repro.datagen.dictionaries import (
+    BROWSER_WEIGHTS,
+    BROWSERS,
+    COUNTRIES,
+    FIRST_NAMES,
+    LAST_NAMES,
+    TAG_CLASSES,
+    Dictionaries,
+    total_city_count,
+    total_tag_count,
+)
+
+
+class TestStaticData:
+    def test_paper_table2_germany_names(self):
+        # The paper's Table 2 top-10 for Germany, in order.
+        expected = ("Karl", "Hans", "Wolfgang", "Fritz", "Rudolf",
+                    "Walter", "Franz", "Paul", "Otto", "Wilhelm")
+        assert FIRST_NAMES["germanic"]["male"][:10] == expected
+
+    def test_paper_table2_china_names(self):
+        expected = ("Yang", "Chen", "Wei", "Lei", "Jun", "Jie", "Li",
+                    "Hao", "Lin", "Peng")
+        assert FIRST_NAMES["chinese"]["male"][:10] == expected
+
+    def test_every_culture_has_both_genders(self):
+        for culture, by_gender in FIRST_NAMES.items():
+            assert len(by_gender["male"]) >= 10, culture
+            assert len(by_gender["female"]) >= 10, culture
+
+    def test_every_culture_has_last_names(self):
+        assert set(LAST_NAMES) == set(FIRST_NAMES)
+
+    def test_country_cultures_exist(self):
+        for country in COUNTRIES:
+            assert country.culture in FIRST_NAMES
+
+    def test_countries_have_cities_universities_companies(self):
+        for country in COUNTRIES:
+            assert country.cities, country.name
+            assert country.universities, country.name
+            assert country.companies, country.name
+            assert country.languages, country.name
+            assert country.weight > 0
+
+    def test_population_weights_skewed(self):
+        weights = sorted((c.weight for c in COUNTRIES), reverse=True)
+        assert weights[0] >= 5 * weights[-1]
+
+    def test_browser_weights_sum_to_one(self):
+        assert abs(sum(BROWSER_WEIGHTS) - 1.0) < 1e-9
+        assert len(BROWSER_WEIGHTS) == len(BROWSERS)
+
+    def test_tag_class_hierarchy_rooted(self):
+        names = {spec.name for spec in TAG_CLASSES}
+        for spec in TAG_CLASSES:
+            if spec.parent is not None:
+                assert spec.parent in names
+
+    def test_dictionary_sizes(self):
+        assert total_city_count() >= 50
+        assert total_tag_count() >= 100
+
+
+class TestCorrelatedOrdering:
+    def test_permutation_deterministic(self):
+        a = Dictionaries(seed=1)
+        b = Dictionaries(seed=1)
+        values = tuple("abcdefgh")
+        assert a.permuted(values, "x") == b.permuted(values, "x")
+
+    def test_permutation_differs_per_key(self):
+        dictionaries = Dictionaries(seed=1)
+        values = tuple(str(i) for i in range(30))
+        assert dictionaries.permuted(values, "Germany") \
+            != dictionaries.permuted(values, "China")
+
+    def test_permutation_is_permutation(self):
+        dictionaries = Dictionaries(seed=1)
+        values = tuple(str(i) for i in range(30))
+        assert sorted(dictionaries.permuted(values, "k")) == sorted(values)
+
+    def test_local_names_lead(self):
+        """Paper §2.1: the local culture's names rank first; foreign
+        names form the rare tail."""
+        dictionaries = Dictionaries(seed=0)
+        names = dictionaries.first_names_for("Germany", "male")
+        assert names[:10] == FIRST_NAMES["germanic"]["male"][:10]
+        # Foreign names present but after the local block.
+        assert "Yang" in names
+        assert names.index("Yang") >= len(FIRST_NAMES["germanic"]["male"])
+
+    def test_same_shape_different_order(self):
+        """The dictionaries have equal size for every country — only the
+        order changes (the paper's correlation mechanism)."""
+        dictionaries = Dictionaries(seed=0)
+        germany = dictionaries.first_names_for("Germany", "female")
+        china = dictionaries.first_names_for("China", "female")
+        assert len(germany) == len(china)
+        assert sorted(germany) == sorted(china)
+        assert germany != china
+
+    def test_tag_ranking_per_country(self):
+        dictionaries = Dictionaries(seed=0)
+        germany = dictionaries.tags_ranked_for_country("Germany")
+        china = dictionaries.tags_ranked_for_country("China")
+        assert sorted(germany) == sorted(china)
+        assert germany != china
+
+    def test_words_for_tag_deterministic_subset(self):
+        dictionaries = Dictionaries(seed=0)
+        words = dictionaries.words_for_tag("Elvis Presley")
+        assert words == dictionaries.words_for_tag("Elvis Presley")
+        assert len(words) == 40
+        assert words != dictionaries.words_for_tag("Databases")
+
+    def test_pick_country_weighted(self):
+        from repro.rng import RandomStream
+
+        dictionaries = Dictionaries(seed=0)
+        stream = RandomStream(5)
+        picks = [dictionaries.pick_country(stream).name
+                 for __ in range(3000)]
+        assert picks.count("China") > picks.count("Sweden")

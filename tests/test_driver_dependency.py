@@ -1,0 +1,205 @@
+"""Tests for the LDS/GDS dependency services (paper Figure 7)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.driver.dependency import (
+    STREAM_FINISHED,
+    GlobalDependencyService,
+    LocalDependencyService,
+)
+from repro.errors import DriverError
+
+
+class TestLocalService:
+    def test_initial_state(self):
+        lds = LocalDependencyService()
+        assert lds.local_initiation_time == 0
+        assert lds.local_completion_time == -1
+
+    def test_initiate_sets_tli(self):
+        lds = LocalDependencyService()
+        lds.advance_watermark(100)
+        lds.initiate(100)
+        assert lds.local_initiation_time == 100
+        assert lds.local_completion_time == 99
+
+    def test_complete_advances_tlc(self):
+        lds = LocalDependencyService()
+        lds.advance_watermark(100)
+        lds.initiate(100)
+        lds.complete(100)
+        assert lds.local_completion_time == 99  # watermark still 100
+        lds.advance_watermark(200)
+        assert lds.local_completion_time == 199
+
+    def test_monotone_it_enforced(self):
+        lds = LocalDependencyService()
+        lds.initiate(100)
+        with pytest.raises(DriverError):
+            lds.initiate(50)
+
+    def test_initiate_below_watermark_rejected(self):
+        lds = LocalDependencyService()
+        lds.advance_watermark(100)
+        with pytest.raises(DriverError):
+            lds.initiate(50)
+
+    def test_out_of_order_completion(self):
+        """Timestamps can be removed from IT in any order."""
+        lds = LocalDependencyService()
+        lds.initiate(10)
+        lds.initiate(20)
+        lds.initiate(30)
+        lds.complete(20)
+        assert lds.local_completion_time == 9  # 10 still in flight
+        lds.complete(10)
+        assert lds.local_completion_time == 29  # 30 still in flight
+        lds.complete(30)
+        assert lds.completed_count == 3
+
+    def test_duplicate_timestamps(self):
+        lds = LocalDependencyService()
+        lds.initiate(10)
+        lds.initiate(10)
+        lds.complete(10)
+        assert lds.local_initiation_time == 10  # one copy in flight
+        lds.complete(10)
+        lds.advance_watermark(11)
+        assert lds.local_completion_time == 10
+
+    def test_finish_releases_stream(self):
+        lds = LocalDependencyService()
+        lds.advance_watermark(10)
+        lds.finish()
+        assert lds.local_completion_time == STREAM_FINISHED
+
+    def test_watermark_only_advances(self):
+        lds = LocalDependencyService()
+        lds.advance_watermark(100)
+        lds.advance_watermark(50)
+        assert lds.local_initiation_time == 100
+
+    @given(st.lists(st.integers(min_value=1, max_value=200),
+                    min_size=1, max_size=60))
+    @settings(max_examples=80)
+    def test_tli_tlc_monotone_property(self, raw_times):
+        """T_LI and T_LC are guaranteed to monotonically increase."""
+        times = sorted(raw_times)
+        lds = LocalDependencyService()
+        last_tli = lds.local_initiation_time
+        last_tlc = lds.local_completion_time
+        in_flight = []
+        for time in times:
+            lds.advance_watermark(time)
+            lds.initiate(time)
+            in_flight.append(time)
+            if len(in_flight) >= 3:
+                # Complete an arbitrary (middle) element.
+                lds.complete(in_flight.pop(1))
+            assert lds.local_initiation_time >= last_tli
+            assert lds.local_completion_time >= last_tlc
+            last_tli = lds.local_initiation_time
+            last_tlc = lds.local_completion_time
+        for time in in_flight:
+            lds.complete(time)
+            assert lds.local_initiation_time >= last_tli
+            assert lds.local_completion_time >= last_tlc
+            last_tli = lds.local_initiation_time
+            last_tlc = lds.local_completion_time
+
+
+class TestGlobalService:
+    def test_empty(self):
+        gds = GlobalDependencyService()
+        assert gds.global_completion_time == 0
+        assert gds.global_initiation_time == 0
+
+    def test_min_over_members(self):
+        gds = GlobalDependencyService()
+        a = LocalDependencyService()
+        b = LocalDependencyService()
+        gds.register(a)
+        gds.register(b)
+        a.advance_watermark(100)
+        b.advance_watermark(50)
+        assert gds.global_initiation_time == 50
+        assert gds.global_completion_time == 49
+
+    def test_slowest_member_pins_gct(self):
+        gds = GlobalDependencyService()
+        fast = LocalDependencyService()
+        slow = LocalDependencyService()
+        gds.register(fast)
+        gds.register(slow)
+        fast.advance_watermark(1000)
+        slow.advance_watermark(10)
+        slow.initiate(10)
+        assert gds.global_completion_time == 9
+        slow.complete(10)
+        slow.advance_watermark(2000)
+        assert gds.global_completion_time == 999
+
+    def test_finished_members_released(self):
+        gds = GlobalDependencyService()
+        a = LocalDependencyService()
+        b = LocalDependencyService()
+        gds.register(a)
+        gds.register(b)
+        a.advance_watermark(500)
+        b.finish()
+        assert gds.global_completion_time == 499
+
+    def test_wait_until_immediate(self):
+        gds = GlobalDependencyService()
+        lds = LocalDependencyService()
+        gds.register(lds)
+        lds.advance_watermark(100)
+        assert gds.wait_until(50, timeout=0.1)
+
+    def test_wait_until_timeout(self):
+        gds = GlobalDependencyService()
+        lds = LocalDependencyService()
+        gds.register(lds)
+        assert not gds.wait_until(100, timeout=0.05)
+
+    def test_wait_until_released_by_other_thread(self):
+        import threading
+        import time
+
+        gds = GlobalDependencyService()
+        lds = LocalDependencyService()
+        gds.register(lds)
+
+        def release():
+            time.sleep(0.05)
+            lds.advance_watermark(200)
+
+        thread = threading.Thread(target=release)
+        thread.start()
+        assert gds.wait_until(100, timeout=2.0)
+        thread.join()
+
+    def test_composability(self):
+        """Figure 7's rationale for T_GI: 'a GDS instance could track
+        other GDS instances in the same manner as it tracks LDS
+        instances, enabling dependency tracking in a hierarchical /
+        distributed setting'."""
+        leaf_a = LocalDependencyService()
+        leaf_b = LocalDependencyService()
+        child_one = GlobalDependencyService()
+        child_one.register(leaf_a)
+        child_two = GlobalDependencyService()
+        child_two.register(leaf_b)
+        root = GlobalDependencyService()
+        root.register(child_one)
+        root.register(child_two)
+        leaf_a.advance_watermark(100)
+        leaf_b.advance_watermark(70)
+        assert root.global_initiation_time == 70
+        assert root.global_completion_time == 69
+        leaf_b.advance_watermark(300)
+        assert root.global_completion_time == 99

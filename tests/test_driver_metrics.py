@@ -1,0 +1,121 @@
+"""Tests for driver metrics and the acceleration clock."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.driver.clock import AS_FAST_AS_POSSIBLE, AccelerationClock
+from repro.driver.metrics import (
+    DriverMetrics,
+    LatencyRecorder,
+    percentile,
+    steady_state_ok,
+)
+from repro.errors import DriverError
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1.0, 2.0, 3.0], 0.5) == 2.0
+
+    def test_p99_of_uniform(self):
+        values = [float(i) for i in range(100)]
+        assert percentile(values, 0.99) == 99.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 0.99) == 7.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+    def test_unsorted_input(self):
+        assert percentile([9.0, 1.0, 5.0], 0.0) == 1.0
+
+
+class TestLatencyRecorder:
+    def test_stats_per_class(self):
+        recorder = LatencyRecorder()
+        for latency in (0.010, 0.020, 0.030):
+            recorder.record("Q1", latency)
+        recorder.record("Q2", 0.100)
+        stats = recorder.stats()
+        assert stats["Q1"].count == 3
+        assert stats["Q1"].mean_ms == pytest.approx(20.0)
+        assert stats["Q1"].max_ms == pytest.approx(30.0)
+        assert stats["Q2"].count == 1
+        assert recorder.total_operations == 4
+
+    def test_p99_series_windows(self):
+        recorder = LatencyRecorder()
+        for offset in (0.1, 0.5, 1.2, 1.8, 2.5):
+            recorder.record("Q1", 0.010, at_offset=offset)
+        series = recorder.p99_series("Q1", window_seconds=1.0)
+        assert len(series) == 3
+
+    def test_p99_series_unknown_class(self):
+        assert LatencyRecorder().p99_series("Q9", 1.0) == []
+
+
+class TestSteadyState:
+    def test_flat_series_ok(self):
+        assert steady_state_ok([10.0, 11.0, 9.0, 10.5])
+
+    def test_spiking_series_not_ok(self):
+        assert not steady_state_ok([10.0, 10.0, 10.0, 100.0])
+
+    def test_short_series_ok(self):
+        assert steady_state_ok([5.0])
+        assert steady_state_ok([])
+
+
+class TestDriverMetrics:
+    def test_throughput(self):
+        metrics = DriverMetrics(wall_seconds=2.0, operations=100)
+        assert metrics.throughput == 50.0
+
+    def test_zero_wall(self):
+        assert DriverMetrics(wall_seconds=0.0, operations=5) \
+            .throughput == 0.0
+
+
+class TestAccelerationClock:
+    def test_unthrottled(self):
+        clock = AccelerationClock(0, AS_FAST_AS_POSSIBLE)
+        assert clock.is_unthrottled
+        assert clock.wait_until_due(10 ** 15) == 0.0
+
+    def test_deadline_mapping(self):
+        real_start = time.monotonic()
+        clock = AccelerationClock(1_000_000, acceleration=2.0,
+                                  real_start=real_start)
+        # 4000 ms of simulation at accel 2 → 2 s of real time.
+        assert clock.real_deadline(1_004_000) \
+            == pytest.approx(real_start + 2.0)
+
+    def test_lateness_reported(self):
+        clock = AccelerationClock(0, acceleration=1000.0,
+                                  real_start=time.monotonic() - 5.0)
+        lateness = clock.wait_until_due(1)  # due long ago
+        assert lateness > 4.0
+
+    def test_wait_sleeps_until_due(self):
+        clock = AccelerationClock(0, acceleration=1000.0)
+        started = time.monotonic()
+        clock.wait_until_due(100)  # 100ms sim / 1000 accel = 0.1 ms...
+        clock2 = AccelerationClock(0, acceleration=1.0)
+        clock2.wait_until_due(50)  # 50 ms of real time
+        elapsed = time.monotonic() - started
+        assert elapsed >= 0.045
+
+    def test_simulation_now_advances(self):
+        clock = AccelerationClock(0, acceleration=10_000.0)
+        first = clock.simulation_now()
+        time.sleep(0.01)
+        assert clock.simulation_now() > first
+
+    def test_invalid_acceleration(self):
+        with pytest.raises(DriverError):
+            AccelerationClock(0, acceleration=0.0)

@@ -1,0 +1,72 @@
+"""Failure injection: the driver's transient-error retry policy."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.driver import DriverConfig, WorkloadDriver
+from repro.rng import RandomStream
+
+
+class FlakyConnector:
+    """Fails a configurable fraction of first attempts, then succeeds."""
+
+    def __init__(self, failure_rate: float, permanent: bool = False,
+                 seed: int = 0) -> None:
+        self.failure_rate = failure_rate
+        self.permanent = permanent
+        self._stream = RandomStream.for_key(seed, "flaky")
+        self._lock = threading.Lock()
+        self._failed_once: set[int] = set()
+        self.executions = 0
+        self.failures_injected = 0
+
+    def execute(self, operation) -> None:
+        with self._lock:
+            key = id(operation)
+            should_fail = self._stream.random() < self.failure_rate
+            if should_fail and (self.permanent
+                                or key not in self._failed_once):
+                self._failed_once.add(key)
+                self.failures_injected += 1
+                raise ConnectionError("injected transient failure")
+            self.executions += 1
+
+
+class TestRetryPolicy:
+    def test_transient_failures_absorbed(self, split):
+        connector = FlakyConnector(failure_rate=0.2, seed=3)
+        driver = WorkloadDriver(connector, DriverConfig(
+            num_partitions=4, max_retries=3, retry_backoff=0.0))
+        report = driver.run(split.updates)
+        assert connector.failures_injected > 0
+        assert report.retries == connector.failures_injected
+        assert report.metrics.operations == len(split.updates)
+        assert connector.executions == len(split.updates)
+
+    def test_no_retries_by_default(self, split):
+        connector = FlakyConnector(failure_rate=0.5, seed=3)
+        driver = WorkloadDriver(connector, DriverConfig(
+            num_partitions=2))
+        with pytest.raises(ConnectionError):
+            driver.run(split.updates)
+
+    def test_permanent_failure_eventually_raises(self, split):
+        connector = FlakyConnector(failure_rate=1.0, permanent=True)
+        driver = WorkloadDriver(connector, DriverConfig(
+            num_partitions=2, max_retries=2, retry_backoff=0.0))
+        with pytest.raises(ConnectionError):
+            driver.run(split.updates[:10])
+
+    def test_retried_dependency_still_completes(self, split):
+        """A retried dependency op must still advance T_GC (no IT
+        leak): dependents behind it execute normally."""
+        connector = FlakyConnector(failure_rate=0.3, seed=9)
+        driver = WorkloadDriver(connector, DriverConfig(
+            num_partitions=4, max_retries=5, retry_backoff=0.0,
+            dependency_wait_timeout=30))
+        report = driver.run(split.updates)
+        assert report.dependency_timeouts == 0
+        assert report.metrics.operations == len(split.updates)

@@ -1,0 +1,75 @@
+"""Evidence tests for windowed execution's defining behaviors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.driver import (
+    DriverConfig,
+    ExecutionMode,
+    RecordingConnector,
+    WorkloadDriver,
+)
+
+
+@pytest.fixture()
+def recorded(split, datagen_config):
+    connector = RecordingConnector()
+    driver = WorkloadDriver(connector, DriverConfig(
+        num_partitions=1, mode=ExecutionMode.WINDOWED,
+        window_millis=datagen_config.t_safe_millis, seed=5))
+    connector.gds = driver.gds
+    driver.run(split.updates)
+    return [op for op, __ in connector.records]
+
+
+class TestOutOfOrderFreedom:
+    def test_windowed_reorders_within_windows(self, recorded, split):
+        """The paper: 'No guaranty is made regarding exactly when, or
+        in what order, an operation will execute within its Window' —
+        the shuffle must actually reorder something."""
+        dues = [op.due_time for op in recorded]
+        assert dues != sorted(dues)
+
+    def test_reordering_bounded_by_window(self, recorded, split,
+                                          datagen_config):
+        """Out-of-order freedom never exceeds the window span."""
+        window = datagen_config.t_safe_millis
+        max_seen = 0
+        for op in recorded:
+            if op.due_time + window < max_seen:
+                raise AssertionError(
+                    f"operation displaced beyond the window: "
+                    f"{op.due_time} after {max_seen}")
+            max_seen = max(max_seen, op.due_time)
+
+    def test_dependencies_never_reordered(self, recorded):
+        """Dependencies ops 'are never executed in this manner': their
+        relative order must stay by due time."""
+        dependency_dues = [op.due_time for op in recorded
+                           if op.is_dependency
+                           and op.partition_key is None]
+        assert dependency_dues == sorted(dependency_dues)
+
+    def test_everything_executed_once(self, recorded, split):
+        assert len(recorded) == len(split.updates)
+        assert {id(op) for op in recorded} \
+            == {id(op) for op in split.updates}
+
+
+class TestWindowSizing:
+    def test_smaller_windows_less_reordering(self, split,
+                                             datagen_config):
+        def displacement(window_millis):
+            connector = RecordingConnector()
+            driver = WorkloadDriver(connector, DriverConfig(
+                num_partitions=1, mode=ExecutionMode.WINDOWED,
+                window_millis=window_millis, seed=5))
+            connector.gds = driver.gds
+            driver.run(split.updates)
+            dues = [op.due_time for op, __ in connector.records]
+            return sum(1 for a, b in zip(dues, dues[1:]) if a > b)
+
+        small = displacement(datagen_config.t_safe_millis // 10)
+        large = displacement(datagen_config.t_safe_millis)
+        assert small <= large

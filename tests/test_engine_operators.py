@@ -1,0 +1,207 @@
+"""Tests for the volcano operators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.operators import (
+    Distinct,
+    Filter,
+    GroupAggregate,
+    HashJoin,
+    IndexNestedLoopJoin,
+    IndexRangeScan,
+    KeyLookup,
+    Limit,
+    Project,
+    Scan,
+    Sort,
+    TopK,
+    TransitiveExpand,
+    Union,
+    collect_cardinalities,
+)
+from repro.engine.rows import Schema, Table
+
+
+def _people():
+    table = Table("person", Schema(("id", "name", "age")),
+                  primary_key="id")
+    table.create_hash_index("name")
+    table.create_ordered_index("age")
+    table.bulk_load([(1, "Ada", 36), (2, "Bob", 30), (3, "Ada", 50),
+                     (4, "Eve", 28)])
+    return table
+
+
+def _edges():
+    table = Table("knows", Schema(("person1_id", "person2_id")))
+    table.create_hash_index("person1_id")
+    pairs = [(1, 2), (2, 1), (2, 3), (3, 2), (3, 4), (4, 3)]
+    table.bulk_load(pairs)
+    return table
+
+
+class TestScans:
+    def test_scan_all(self):
+        assert len(Scan(_people()).execute()) == 4
+
+    def test_scan_with_predicate(self):
+        rows = Scan(_people(), lambda r: r[2] > 30).execute()
+        assert {row[0] for row in rows} == {1, 3}
+
+    def test_range_scan(self):
+        rows = IndexRangeScan(_people(), 28, 36).execute()
+        assert [row[2] for row in rows] == [28, 30, 36]
+
+    def test_range_scan_reverse(self):
+        rows = IndexRangeScan(_people(), reverse=True).execute()
+        assert [row[2] for row in rows] == [50, 36, 30, 28]
+
+    def test_key_lookup_pk(self):
+        rows = KeyLookup(_people(), [2, 99, 1]).execute()
+        assert [row[0] for row in rows] == [2, 1]
+
+    def test_key_lookup_hash(self):
+        rows = KeyLookup(_people(), ["Ada"], column="name").execute()
+        assert {row[0] for row in rows} == {1, 3}
+
+    def test_tuple_counter(self):
+        scan = Scan(_people())
+        scan.execute()
+        assert scan.tuples_out == 4
+        scan.reset_counters()
+        assert scan.tuples_out == 0
+
+
+class TestJoins:
+    def test_inl_join_pk(self):
+        edges = Scan(_edges(), lambda r: r[0] == 1)
+        join = IndexNestedLoopJoin(edges, _people(), "person2_id")
+        rows = join.execute()
+        assert len(rows) == 1
+        assert rows[0][:2] == (1, 2)
+        assert rows[0][2:] == (2, "Bob", 30)
+
+    def test_inl_join_hash_column(self):
+        people = KeyLookup(_people(), [2])
+        join = IndexNestedLoopJoin(people, _edges(), "id",
+                                   inner_column="person1_id")
+        rows = join.execute()
+        assert {row[4] for row in rows} == {1, 3}
+
+    def test_hash_join_matches_inl(self):
+        people = KeyLookup(_people(), [2])
+        inl = IndexNestedLoopJoin(people, _edges(), "id",
+                                  inner_column="person1_id")
+        inl_rows = sorted(inl.execute())
+        people2 = KeyLookup(_people(), [2])
+        hash_join = HashJoin(Scan(_edges()), people2, "person1_id",
+                             "id", prefix="inner_")
+        hash_rows = sorted(hash_join.execute())
+        assert inl_rows == hash_rows
+        assert inl.schema.columns == hash_join.schema.columns
+
+    def test_hash_join_empty_probe(self):
+        join = HashJoin(Scan(_edges()),
+                        Scan(_people(), lambda r: False),
+                        "person1_id", "id")
+        assert join.execute() == []
+
+
+class TestShaping:
+    def test_filter(self):
+        op = Filter(Scan(_people()), lambda r: r[1] == "Ada")
+        assert len(op.execute()) == 2
+
+    def test_project(self):
+        op = Project(Scan(_people()), ["name", "id"])
+        assert op.schema.columns == ("name", "id")
+        assert op.execute()[0] == ("Ada", 1)
+
+    def test_project_rename(self):
+        op = Project(Scan(_people()), ["id"], ["person"])
+        assert op.schema.columns == ("person",)
+
+    def test_sort(self):
+        op = Sort(Scan(_people()), key=lambda r: r[2])
+        assert [row[2] for row in op.execute()] == [28, 30, 36, 50]
+
+    def test_sort_descending(self):
+        op = Sort(Scan(_people()), key=lambda r: r[2], descending=True)
+        assert [row[2] for row in op.execute()] == [50, 36, 30, 28]
+
+    def test_topk_matches_sort_limit(self):
+        top = TopK(Scan(_people()), key=lambda r: r[2], k=2)
+        assert [row[2] for row in top.execute()] == [28, 30]
+
+    def test_topk_descending(self):
+        top = TopK(Scan(_people()), key=lambda r: (r[2],), k=2,
+                   descending=True)
+        assert [row[2] for row in top.execute()] == [50, 36]
+
+    def test_limit(self):
+        assert len(Limit(Scan(_people()), 2).execute()) == 2
+        assert len(Limit(Scan(_people()), 99).execute()) == 4
+
+    def test_distinct(self):
+        op = Distinct(Project(Scan(_people()), ["name"]))
+        assert sorted(op.execute()) == [("Ada",), ("Bob",), ("Eve",)]
+
+    def test_union(self):
+        a = Scan(_people(), lambda r: r[2] < 31)
+        b = Scan(_people(), lambda r: r[2] > 40)
+        assert len(Union([a, b]).execute()) == 3
+
+    def test_union_empty_rejected(self):
+        import pytest
+
+        with pytest.raises(Exception):
+            Union([])
+
+
+class TestAggregate:
+    def test_count_by_group(self):
+        op = GroupAggregate(Scan(_people()), ["name"],
+                            {"n": ("count", None)})
+        result = dict(op.execute())
+        assert result == {"Ada": 2, "Bob": 1, "Eve": 1}
+
+    def test_sum_min_max(self):
+        op = GroupAggregate(Scan(_people()), ["name"],
+                            {"total": ("sum", "age"),
+                             "young": ("min", "age"),
+                             "old": ("max", "age")})
+        rows = {row[0]: row[1:] for row in op.execute()}
+        assert rows["Ada"] == (86, 36, 50)
+
+    def test_unknown_aggregate(self):
+        op = GroupAggregate(Scan(_people()), ["name"],
+                            {"x": ("median", "age")})
+        with pytest.raises(Exception):
+            op.execute()
+
+
+class TestTransitiveExpand:
+    def test_bfs_distances(self):
+        expand = TransitiveExpand(_edges(), 1, max_depth=3)
+        got = dict(expand)
+        assert got == {2: 1, 3: 2, 4: 3}
+
+    def test_depth_bound(self):
+        expand = TransitiveExpand(_edges(), 1, max_depth=1)
+        assert dict(expand) == {2: 1}
+
+    def test_source_excluded(self):
+        expand = TransitiveExpand(_edges(), 2, max_depth=5)
+        assert 2 not in dict(expand)
+
+
+class TestCardinalityCollection:
+    def test_collects_whole_tree(self):
+        scan = Scan(_people())
+        filtered = Filter(scan, lambda r: r[2] > 30, label="older")
+        filtered.execute()
+        cards = collect_cardinalities(filtered)
+        assert cards["older"] == 2
+        assert cards["scan(person)"] == 4

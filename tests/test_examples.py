@@ -1,0 +1,54 @@
+"""Smoke tests: every shipped example must stay runnable."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def _run(script: str, *args: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True, text=True, timeout=timeout,
+        env={**os.environ, "PYTHONPATH": str(EXAMPLES.parent / "src")})
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = _run("quickstart.py")
+        assert "generated:" in out
+        assert "integrity violations: 0" in out
+        assert "Q13" in out
+
+    def test_datagen_export(self, tmp_path):
+        out = _run("datagen_export.py", "80", str(tmp_path / "export"))
+        assert "integrity: clean" in out
+        assert "update stream" in out
+        assert (tmp_path / "export" / "bulk" / "person.csv").exists()
+
+    def test_social_analytics(self):
+        out = _run("social_analytics.py")
+        assert "trending new topics" in out
+        assert "friend recommendations" in out
+        assert "experts by reply volume" in out
+
+    def test_choke_point_explain(self):
+        out = _run("choke_point_explain.py")
+        assert "join decisions:" in out
+        assert "INL, INL (intended)" in out
+
+    @pytest.mark.skipif(
+        os.environ.get("REPRO_RUN_SLOW_EXAMPLES") != "1",
+        reason="benchmark_run takes minutes; set "
+               "REPRO_RUN_SLOW_EXAMPLES=1 to include it")
+    def test_benchmark_run(self):
+        out = _run("benchmark_run.py", timeout=900)
+        assert "sustained acceleration factor" in out

@@ -1,0 +1,196 @@
+"""Tests for the sliding-window friendship generator (paper §2.3)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.datagen.config import DatagenConfig
+from repro.datagen.degrees import target_degree
+from repro.datagen.dictionaries import Dictionaries
+from repro.datagen.friendships import (
+    FriendshipGenerator,
+    generate_friendships,
+    sort_key_for_pass,
+    split_degree_budget,
+)
+from repro.datagen.persons import generate_persons
+from repro.datagen.universe import build_universe
+from repro.ids import serial_of
+
+
+def _generate(num_persons=250, seed=13):
+    config = DatagenConfig(num_persons=num_persons, seed=seed)
+    dictionaries = Dictionaries(config.seed)
+    universe = build_universe(dictionaries)
+    persons = generate_persons(config, dictionaries, universe)
+    edges = generate_friendships(config, universe, persons)
+    return config, universe, persons, edges
+
+
+class TestBudgetSplit:
+    def test_paper_shares(self):
+        """45% / 45% / 10% across the three correlation dimensions."""
+        budget = split_degree_budget(100, (0.45, 0.45, 0.10))
+        assert budget == [45, 45, 10]
+
+    def test_sums_to_total(self):
+        for total in range(0, 50):
+            assert sum(split_degree_budget(total, (0.45, 0.45, 0.10))) \
+                == total
+
+    def test_no_negative(self):
+        for total in range(0, 50):
+            assert all(b >= 0 for b in
+                       split_degree_budget(total, (0.45, 0.45, 0.10)))
+
+
+class TestSortKeys:
+    def test_study_key_clusters_alumni(self):
+        config, universe, persons, __ = _generate(120)
+        with_uni = [p for p in persons if p.study_at]
+        keyed = {}
+        for person in with_uni:
+            key = sort_key_for_pass(person, 0, universe, config.seed)
+            keyed.setdefault(person.study_at[0].organisation_id,
+                             []).append(key)
+        # Same university + same year → identical composite prefix.
+        for org_id, keys in keyed.items():
+            prefixes = {k >> 12 for k in keys}
+            years = {k & 0xFFF for k in keys}
+            assert len(prefixes) <= len(years) + 1
+
+    def test_interest_key_clusters_primary_interest(self):
+        config, universe, persons, __ = _generate(60)
+        for person in persons:
+            key = sort_key_for_pass(person, 1, universe, config.seed)
+            if person.interests:
+                assert key >> 32 == serial_of(person.interests[0])
+
+    def test_random_key_deterministic(self):
+        config, universe, persons, __ = _generate(20)
+        for person in persons:
+            a = sort_key_for_pass(person, 2, universe, config.seed)
+            b = sort_key_for_pass(person, 2, universe, config.seed)
+            assert a == b
+
+
+class TestGeneratedEdges:
+    def test_normalized_and_unique(self):
+        __, __, __, edges = _generate()
+        seen = set()
+        for edge in edges:
+            assert edge.person1_id < edge.person2_id
+            key = (edge.person1_id, edge.person2_id)
+            assert key not in seen
+            seen.add(key)
+
+    def test_dates_after_both_members_joined(self):
+        config, __, persons, edges = _generate()
+        by_id = {p.id: p for p in persons}
+        for edge in edges:
+            latest_join = max(by_id[edge.person1_id].creation_date,
+                              by_id[edge.person2_id].creation_date)
+            assert edge.creation_date > latest_join
+            assert edge.creation_date < config.window.end
+
+    def test_sorted_by_creation_date(self):
+        __, __, __, edges = _generate()
+        dates = [edge.creation_date for edge in edges]
+        assert dates == sorted(dates)
+
+    def test_degrees_do_not_exceed_targets(self):
+        config, __, persons, edges = _generate()
+        degree = Counter()
+        for edge in edges:
+            degree[edge.person1_id] += 1
+            degree[edge.person2_id] += 1
+        for person in persons:
+            cap = target_degree(serial_of(person.id), len(persons),
+                                config.seed)
+            assert degree[person.id] <= cap
+
+    def test_dimension_shares_roughly_45_45_10(self):
+        __, __, __, edges = _generate(num_persons=500)
+        by_dimension = Counter(edge.dimension for edge in edges)
+        total = sum(by_dimension.values())
+        assert by_dimension[0] / total > 0.25
+        assert by_dimension[1] / total > 0.25
+        assert by_dimension[2] / total < 0.25
+
+    def test_deterministic(self):
+        __, __, __, first = _generate(seed=21)
+        __, __, __, second = _generate(seed=21)
+        assert first == second
+
+    def test_seed_changes_edges(self):
+        __, __, __, first = _generate(seed=21)
+        __, __, __, second = _generate(seed=22)
+        assert first != second
+
+
+class TestHomophily:
+    def test_study_pass_prefers_same_university(self):
+        """Persons sharing a university befriend each other more often
+        than random pairs would (the Fig. 1 mechanism)."""
+        __, __, persons, edges = _generate(num_persons=500)
+        university = {}
+        for person in persons:
+            if person.study_at:
+                university[person.id] = \
+                    person.study_at[0].organisation_id
+        dim0 = [e for e in edges if e.dimension == 0
+                and e.person1_id in university
+                and e.person2_id in university]
+        assert dim0
+        same = sum(1 for e in dim0
+                   if university[e.person1_id]
+                   == university[e.person2_id])
+        # Random pairing would match universities ~2% of the time.
+        assert same / len(dim0) > 0.2
+
+    def test_interest_pass_prefers_shared_interest(self):
+        """Interest-dimension edges share interests far more often than
+        random pairs do (homophily enrichment over the baseline)."""
+        from repro.rng import RandomStream
+
+        __, __, persons, edges = _generate(num_persons=500)
+        interests = {p.id: set(p.interests) for p in persons}
+        dim1 = [e for e in edges if e.dimension == 1]
+        assert dim1
+        shared = sum(1 for e in dim1
+                     if interests[e.person1_id]
+                     & interests[e.person2_id])
+        observed = shared / len(dim1)
+        stream = RandomStream(99)
+        ids = [p.id for p in persons]
+        baseline_hits = sum(
+            1 for __ in range(3000)
+            if interests[stream.choice(ids)]
+            & interests[stream.choice(ids)])
+        baseline = baseline_hits / 3000
+        assert observed > 2 * baseline
+
+    def test_window_bounds_distance(self):
+        """No friendships form outside the sliding window (paper: the
+        probability 'drops to zero outside it')."""
+        config = DatagenConfig(num_persons=200, seed=5,
+                               friendship_window=20)
+        dictionaries = Dictionaries(config.seed)
+        universe = build_universe(dictionaries)
+        persons = generate_persons(config, dictionaries, universe)
+        generator = FriendshipGenerator(config, universe)
+        edges = generator.generate(persons)
+        for pass_index in range(3):
+            order = sorted(
+                range(len(persons)),
+                key=lambda i: (sort_key_for_pass(
+                    persons[i], pass_index, universe, config.seed),
+                    serial_of(persons[i].id)))
+            position = {persons[i].id: pos
+                        for pos, i in enumerate(order)}
+            for edge in edges:
+                if edge.dimension != pass_index:
+                    continue
+                distance = abs(position[edge.person1_id]
+                               - position[edge.person2_id])
+                assert distance <= config.friendship_window

@@ -1,0 +1,79 @@
+"""Tests for entity id spaces."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SchemaError
+from repro.ids import (
+    EntityKind,
+    IdAllocator,
+    is_kind,
+    kind_of,
+    make_id,
+    serial_of,
+)
+
+
+class TestIdComposition:
+    def test_roundtrip(self):
+        entity_id = make_id(EntityKind.POST, 12345)
+        assert kind_of(entity_id) is EntityKind.POST
+        assert serial_of(entity_id) == 12345
+
+    def test_kinds_disjoint(self):
+        person = make_id(EntityKind.PERSON, 7)
+        post = make_id(EntityKind.POST, 7)
+        assert person != post
+
+    def test_is_kind(self):
+        comment = make_id(EntityKind.COMMENT, 3)
+        assert is_kind(comment, EntityKind.COMMENT)
+        assert not is_kind(comment, EntityKind.POST)
+
+    def test_serial_order_preserved(self):
+        # Footnote 3 of the paper: ids must be order-preserving within a
+        # kind so time-ordered serial assignment makes ids time-ordered.
+        ids = [make_id(EntityKind.POST, serial) for serial in range(100)]
+        assert ids == sorted(ids)
+
+    def test_negative_serial_rejected(self):
+        with pytest.raises(SchemaError):
+            make_id(EntityKind.PERSON, -1)
+
+    def test_oversized_serial_rejected(self):
+        with pytest.raises(SchemaError):
+            make_id(EntityKind.PERSON, 1 << 56)
+
+    def test_unknown_kind_tag_rejected(self):
+        with pytest.raises(SchemaError):
+            kind_of(0)  # kind tag 0 is unassigned
+
+    @given(st.sampled_from(list(EntityKind)),
+           st.integers(min_value=0, max_value=(1 << 56) - 1))
+    @settings(max_examples=200)
+    def test_roundtrip_property(self, kind, serial):
+        entity_id = make_id(kind, serial)
+        assert kind_of(entity_id) is kind
+        assert serial_of(entity_id) == serial
+
+
+class TestIdAllocator:
+    def test_sequential(self):
+        allocator = IdAllocator(EntityKind.FORUM)
+        first = allocator.allocate()
+        second = allocator.allocate()
+        assert serial_of(first) == 0
+        assert serial_of(second) == 1
+        assert allocator.allocated == 2
+
+    def test_start_offset(self):
+        allocator = IdAllocator(EntityKind.FORUM, start=100)
+        assert serial_of(allocator.allocate()) == 100
+
+    def test_monotone(self):
+        allocator = IdAllocator(EntityKind.TAG)
+        ids = [allocator.allocate() for __ in range(50)]
+        assert ids == sorted(ids)

@@ -1,0 +1,153 @@
+"""Tests for person generation and its attribute correlations."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.datagen.config import DatagenConfig
+from repro.datagen.dictionaries import FIRST_NAMES, Dictionaries
+from repro.datagen.persons import generate_person, generate_persons
+from repro.datagen.universe import build_universe
+from repro.ids import EntityKind, is_kind, serial_of
+from repro.schema.entities import OrganisationType
+
+
+def _setup(num_persons=400, seed=11):
+    config = DatagenConfig(num_persons=num_persons, seed=seed)
+    dictionaries = Dictionaries(config.seed)
+    universe = build_universe(dictionaries)
+    return config, dictionaries, universe
+
+
+class TestDeterminism:
+    def test_pure_function_of_serial(self):
+        config, dictionaries, universe = _setup()
+        a = generate_person(5, config, dictionaries, universe)
+        b = generate_person(5, config, dictionaries, universe)
+        assert a == b
+
+    def test_different_serials_differ(self):
+        config, dictionaries, universe = _setup()
+        a = generate_person(5, config, dictionaries, universe)
+        b = generate_person(6, config, dictionaries, universe)
+        assert a != b
+
+    def test_different_seed_differs(self):
+        config_a, dict_a, universe_a = _setup(seed=1)
+        config_b, dict_b, universe_b = _setup(seed=2)
+        a = generate_person(5, config_a, dict_a, universe_a)
+        b = generate_person(5, config_b, dict_b, universe_b)
+        assert (a.first_name, a.city_id, a.birthday) \
+            != (b.first_name, b.city_id, b.birthday)
+
+
+class TestInvariants:
+    def test_ids_are_person_kind_serials(self):
+        config, dictionaries, universe = _setup(num_persons=50)
+        persons = generate_persons(config, dictionaries, universe)
+        for serial, person in enumerate(persons):
+            assert is_kind(person.id, EntityKind.PERSON)
+            assert serial_of(person.id) == serial
+
+    def test_created_after_birth(self):
+        config, dictionaries, universe = _setup(num_persons=100)
+        for person in generate_persons(config, dictionaries, universe):
+            assert person.creation_date > person.birthday
+
+    def test_created_inside_window(self):
+        config, dictionaries, universe = _setup(num_persons=100)
+        for person in generate_persons(config, dictionaries, universe):
+            assert config.window.contains(person.creation_date)
+
+    def test_city_belongs_to_country(self):
+        config, dictionaries, universe = _setup(num_persons=100)
+        place_by_id = {p.id: p for p in universe.places}
+        for person in generate_persons(config, dictionaries, universe):
+            city = place_by_id[person.city_id]
+            assert city.part_of == person.country_id
+
+    def test_everyone_has_email_and_interest_cap(self):
+        config, dictionaries, universe = _setup(num_persons=100)
+        for person in generate_persons(config, dictionaries, universe):
+            assert person.emails
+            assert len(person.interests) <= config.max_interests
+            assert len(set(person.interests)) == len(person.interests)
+
+
+class TestCorrelations:
+    def test_local_names_dominate(self):
+        """Table 1: location determines the first-name ranking — most
+        Chinese persons carry Chinese-dictionary names (but not all)."""
+        config, dictionaries, universe = _setup(num_persons=1200)
+        persons = generate_persons(config, dictionaries, universe)
+        china = next(c for c in universe.countries
+                     if c.spec.name == "China")
+        chinese_names = (set(FIRST_NAMES["chinese"]["male"])
+                         | set(FIRST_NAMES["chinese"]["female"]))
+        chinese_persons = [p for p in persons
+                           if p.country_id == china.country_place_id]
+        assert len(chinese_persons) > 20
+        local = sum(1 for p in chinese_persons
+                    if p.first_name in chinese_names)
+        assert local / len(chinese_persons) > 0.6
+
+    def test_university_mostly_local(self):
+        config, dictionaries, universe = _setup(num_persons=800)
+        persons = generate_persons(config, dictionaries, universe)
+        org_by_id = universe.organisation_by_id
+        local = foreign = 0
+        for person in persons:
+            if not person.study_at:
+                continue
+            university = org_by_id[person.study_at[0].organisation_id]
+            assert university.type is OrganisationType.UNIVERSITY
+            city_country = universe.country_of_city.get(
+                university.location_id)
+            person_country = universe.country_of_city[person.city_id]
+            if city_country == person_country:
+                local += 1
+            else:
+                foreign += 1
+        assert local > foreign * 3
+
+    def test_company_in_home_country(self):
+        config, dictionaries, universe = _setup(num_persons=300)
+        persons = generate_persons(config, dictionaries, universe)
+        org_by_id = universe.organisation_by_id
+        for person in persons:
+            for work in person.work_at:
+                company = org_by_id[work.organisation_id]
+                assert company.type is OrganisationType.COMPANY
+                assert company.location_id == person.country_id
+
+    def test_employer_email_domain(self):
+        """Table 1: person.employer → person.email (@company)."""
+        config, dictionaries, universe = _setup(num_persons=300)
+        persons = generate_persons(config, dictionaries, universe)
+        org_by_id = universe.organisation_by_id
+        checked = 0
+        for person in persons:
+            if not person.work_at:
+                continue
+            employer = org_by_id[person.work_at[0].organisation_id]
+            slug = "".join(ch for ch in employer.name.lower()
+                           if ch.isascii() and ch.isalnum())
+            assert any(slug in email for email in person.emails), \
+                (person.emails, employer.name)
+            checked += 1
+        assert checked > 100
+
+    def test_languages_include_country_language(self):
+        config, dictionaries, universe = _setup(num_persons=200)
+        persons = generate_persons(config, dictionaries, universe)
+        for person in persons:
+            country = universe.countries[
+                universe.country_of_city[person.city_id]]
+            assert country.spec.languages[0] in person.languages
+
+    def test_name_distribution_skewed(self):
+        config, dictionaries, universe = _setup(num_persons=1000)
+        persons = generate_persons(config, dictionaries, universe)
+        counts = Counter(p.first_name for p in persons)
+        top = counts.most_common(1)[0][1]
+        assert top >= 3 * (sum(counts.values()) / len(counts))

@@ -1,0 +1,356 @@
+"""Tests for the 14 complex reads: brute-force reference checks.
+
+Each query's store implementation is validated against an independent
+naive computation over the raw :class:`SocialNetwork` (no store, no
+indexes), on several curated parameter bindings.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import pytest
+
+from repro.queries import COMPLEX_QUERIES
+from repro.queries.complex_reads import (
+    q2,
+    q3,
+    q4,
+    q5,
+    q6,
+    q7,
+    q8,
+    q9,
+    q13,
+)
+from repro.sim_time import MILLIS_PER_DAY
+
+
+@pytest.fixture(scope="module")
+def graph(network):
+    """Naive adjacency + message maps for reference computations."""
+    neighbors = defaultdict(set)
+    for edge in network.knows:
+        neighbors[edge.person1_id].add(edge.person2_id)
+        neighbors[edge.person2_id].add(edge.person1_id)
+    messages_by_author = defaultdict(list)
+    for message in network.messages():
+        messages_by_author[message.author_id].append(message)
+    return {
+        "neighbors": neighbors,
+        "messages_by_author": messages_by_author,
+        "persons": network.person_by_id(),
+    }
+
+
+def _two_hop(graph, person_id):
+    friends = graph["neighbors"][person_id]
+    circle = set(friends)
+    for friend in friends:
+        circle |= graph["neighbors"][friend]
+    circle.discard(person_id)
+    return circle
+
+
+def _run(loaded_store, query_id, params):
+    with loaded_store.transaction() as txn:
+        return COMPLEX_QUERIES[query_id].run(txn, params)
+
+
+class TestQ1:
+    def test_results_within_three_hops(self, loaded_store, graph,
+                                       curated_params):
+        for params in curated_params.by_query[1]:
+            results = _run(loaded_store, 1, params)
+            for row in results:
+                assert 1 <= row.distance <= 3
+                person = graph["persons"][row.person_id]
+                assert person.first_name == params.first_name
+
+    def test_sorted_by_distance_then_name(self, loaded_store,
+                                          curated_params):
+        for params in curated_params.by_query[1]:
+            results = _run(loaded_store, 1, params)
+            keys = [(r.distance, r.last_name, r.person_id)
+                    for r in results]
+            assert keys == sorted(keys)
+
+    def test_start_person_excluded(self, loaded_store, curated_params):
+        for params in curated_params.by_query[1]:
+            results = _run(loaded_store, 1, params)
+            assert all(r.person_id != params.person_id for r in results)
+
+
+class TestQ2:
+    def test_matches_reference(self, loaded_store, graph,
+                               curated_params):
+        for params in curated_params.by_query[2]:
+            expected = []
+            for friend in graph["neighbors"][params.person_id]:
+                for message in graph["messages_by_author"][friend]:
+                    if message.creation_date <= params.max_date:
+                        expected.append((-message.creation_date,
+                                         message.id))
+            expected.sort()
+            got = [(-r.creation_date, r.message_id)
+                   for r in _run(loaded_store, 2, params)]
+            assert got == expected[:q2.LIMIT]
+
+
+class TestQ3:
+    def test_counts_match_reference(self, loaded_store, graph, network,
+                                    curated_params):
+        for params in curated_params.by_query[3]:
+            results = _run(loaded_store, 3, params)
+            for row in results:
+                x = y = 0
+                for message in graph["messages_by_author"][row.person_id]:
+                    if not (params.start_date <= message.creation_date
+                            < params.end_date):
+                        continue
+                    if message.country_id == params.country_x_id:
+                        x += 1
+                    elif message.country_id == params.country_y_id:
+                        y += 1
+                assert (x, y) == (row.x_count, row.y_count)
+                assert x > 0 and y > 0
+
+    def test_home_country_excluded(self, loaded_store, graph,
+                                   curated_params):
+        for params in curated_params.by_query[3]:
+            for row in _run(loaded_store, 3, params):
+                home = graph["persons"][row.person_id].country_id
+                assert home not in (params.country_x_id,
+                                    params.country_y_id)
+
+
+class TestQ4:
+    def test_new_topics_only(self, loaded_store, graph, network,
+                             curated_params):
+        tag_names = {t.id: t.name for t in network.tags}
+        for params in curated_params.by_query[4]:
+            results = _run(loaded_store, 4, params)
+            before = set()
+            for friend in graph["neighbors"][params.person_id]:
+                for message in graph["messages_by_author"][friend]:
+                    if message.creation_date < params.start_date \
+                            and hasattr(message, "forum_id"):
+                        before |= {tag_names[t]
+                                   for t in message.tag_ids}
+            for row in results:
+                assert row.tag_name not in before
+                assert row.post_count > 0
+
+
+class TestQ5:
+    def test_forums_joined_after_date(self, loaded_store, network,
+                                      graph, curated_params):
+        joined = defaultdict(list)
+        for membership in network.memberships:
+            joined[membership.forum_id].append(membership)
+        for params in curated_params.by_query[5]:
+            circle = _two_hop(graph, params.person_id)
+            for row in _run(loaded_store, 5, params):
+                assert any(m.person_id in circle
+                           and m.joined_date > params.min_date
+                           for m in joined[row.forum_id])
+
+    def test_sorted_by_post_count(self, loaded_store, curated_params):
+        for params in curated_params.by_query[5]:
+            results = _run(loaded_store, 5, params)
+            keys = [(-r.post_count, r.forum_id) for r in results]
+            assert keys == sorted(keys)
+
+
+class TestQ6:
+    def test_counts_match_reference(self, loaded_store, graph, network,
+                                    curated_params):
+        tag_names = {t.id: t.name for t in network.tags}
+        for params in curated_params.by_query[6]:
+            expected = defaultdict(int)
+            for person in _two_hop(graph, params.person_id):
+                for message in graph["messages_by_author"][person]:
+                    if not hasattr(message, "forum_id"):
+                        continue  # posts only
+                    tags = set(message.tag_ids)
+                    if params.tag_id in tags:
+                        for tag in tags - {params.tag_id}:
+                            expected[tag_names[tag]] += 1
+            got = {r.tag_name: r.post_count
+                   for r in _run(loaded_store, 6, params)}
+            for name, count in got.items():
+                assert expected[name] == count
+
+
+class TestQ7:
+    def test_latest_like_per_liker(self, loaded_store, network,
+                                   curated_params):
+        for params in curated_params.by_query[7]:
+            results = _run(loaded_store, 7, params)
+            likers = [r.liker_id for r in results]
+            assert len(likers) == len(set(likers))
+            dates = [r.like_date for r in results]
+            assert dates == sorted(dates, reverse=True)
+
+    def test_latency_consistent(self, loaded_store, network,
+                                curated_params):
+        messages = {m.id: m for m in network.messages()}
+        for params in curated_params.by_query[7]:
+            for row in _run(loaded_store, 7, params):
+                message = messages[row.message_id]
+                minutes = (row.like_date - message.creation_date) \
+                    // 60000
+                assert row.latency_minutes == minutes
+
+    def test_outside_flag(self, loaded_store, graph, curated_params):
+        for params in curated_params.by_query[7]:
+            friends = graph["neighbors"][params.person_id]
+            for row in _run(loaded_store, 7, params):
+                assert row.is_outside_connections \
+                    == (row.liker_id not in friends)
+
+
+class TestQ8:
+    def test_replies_to_own_messages(self, loaded_store, network,
+                                     curated_params):
+        my_messages = defaultdict(set)
+        for message in network.messages():
+            my_messages[message.author_id].add(message.id)
+        comments = network.comment_by_id()
+        for params in curated_params.by_query[8]:
+            for row in _run(loaded_store, 8, params):
+                comment = comments[row.comment_id]
+                assert comment.reply_of_id \
+                    in my_messages[params.person_id]
+
+    def test_newest_first(self, loaded_store, curated_params):
+        for params in curated_params.by_query[8]:
+            dates = [r.creation_date
+                     for r in _run(loaded_store, 8, params)]
+            assert dates == sorted(dates, reverse=True)
+            assert len(dates) <= q8.LIMIT
+
+
+class TestQ9:
+    def test_matches_reference(self, loaded_store, graph,
+                               curated_params):
+        for params in curated_params.by_query[9]:
+            expected = []
+            for person in _two_hop(graph, params.person_id):
+                for message in graph["messages_by_author"][person]:
+                    if message.creation_date < params.max_date:
+                        expected.append((-message.creation_date,
+                                         message.id))
+            expected.sort()
+            got = [(-r.creation_date, r.message_id)
+                   for r in _run(loaded_store, 9, params)]
+            assert got == expected[:q9.LIMIT]
+
+
+class TestQ10:
+    def test_candidates_are_friends_of_friends(self, loaded_store,
+                                               graph, curated_params):
+        for params in curated_params.by_query[10]:
+            friends = graph["neighbors"][params.person_id]
+            fof = set()
+            for friend in friends:
+                fof |= graph["neighbors"][friend]
+            for row in _run(loaded_store, 10, params):
+                assert row.person_id in fof
+                assert row.person_id not in friends
+                assert row.person_id != params.person_id
+
+    def test_sorted_by_similarity(self, loaded_store, curated_params):
+        for params in curated_params.by_query[10]:
+            keys = [(-r.similarity, r.person_id)
+                    for r in _run(loaded_store, 10, params)]
+            assert keys == sorted(keys)
+
+
+class TestQ11:
+    def test_work_from_before_cutoff(self, loaded_store,
+                                     curated_params):
+        for params in curated_params.by_query[11]:
+            for row in _run(loaded_store, 11, params):
+                assert row.work_from < params.max_work_from
+
+    def test_organisation_in_country(self, loaded_store, network,
+                                     curated_params):
+        orgs = {o.name: o for o in network.organisations}
+        for params in curated_params.by_query[11]:
+            for row in _run(loaded_store, 11, params):
+                assert orgs[row.organisation_name].location_id \
+                    == params.country_id
+
+
+class TestQ12:
+    def test_reply_counts_positive(self, loaded_store, curated_params):
+        for params in curated_params.by_query[12]:
+            for row in _run(loaded_store, 12, params):
+                assert row.reply_count > 0
+                assert row.tag_names
+
+    def test_experts_are_friends(self, loaded_store, graph,
+                                 curated_params):
+        for params in curated_params.by_query[12]:
+            friends = graph["neighbors"][params.person_id]
+            for row in _run(loaded_store, 12, params):
+                assert row.person_id in friends
+
+
+class TestQ13:
+    def test_matches_bfs_reference(self, loaded_store, graph,
+                                   curated_params):
+        from collections import deque
+
+        for params in curated_params.by_query[13]:
+            source = params.person_x_id
+            target = params.person_y_id
+            distances = {source: 0}
+            queue = deque([source])
+            while queue:
+                current = queue.popleft()
+                for neighbor in graph["neighbors"][current]:
+                    if neighbor not in distances:
+                        distances[neighbor] = distances[current] + 1
+                        queue.append(neighbor)
+            expected = distances.get(target, -1)
+            got = _run(loaded_store, 13, params)[0].length
+            assert got == expected
+
+    def test_same_person_zero(self, loaded_store, network):
+        person = network.persons[0]
+        result = _run(loaded_store, 13,
+                      q13.Q13Params(person.id, person.id))
+        assert result[0].length == 0
+
+
+class TestQ14:
+    def test_paths_are_shortest_and_valid(self, loaded_store, graph,
+                                          curated_params):
+        for params in curated_params.by_query[14]:
+            results = _run(loaded_store, 14, params)
+            length_result = _run(
+                loaded_store, 13,
+                q13.Q13Params(params.person_x_id, params.person_y_id))
+            shortest = length_result[0].length
+            if shortest == -1:
+                assert results == []
+                continue
+            for row in results:
+                assert len(row.path) == shortest + 1
+                assert row.path[0] == params.person_x_id
+                assert row.path[-1] == params.person_y_id
+                for a, b in zip(row.path, row.path[1:]):
+                    assert b in graph["neighbors"][a]
+
+    def test_weights_descending(self, loaded_store, curated_params):
+        for params in curated_params.by_query[14]:
+            weights = [r.weight
+                       for r in _run(loaded_store, 14, params)]
+            assert weights == sorted(weights, reverse=True)
+
+    def test_paths_distinct(self, loaded_store, curated_params):
+        for params in curated_params.by_query[14]:
+            paths = [r.path for r in _run(loaded_store, 14, params)]
+            assert len(paths) == len(set(paths))

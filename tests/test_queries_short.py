@@ -1,0 +1,134 @@
+"""Tests for the 7 short reads."""
+
+from __future__ import annotations
+
+from repro.queries import short_reads as sr
+
+
+class TestS1:
+    def test_profile_fields(self, network, loaded_store):
+        person = network.persons[3]
+        with loaded_store.transaction() as txn:
+            result = sr.s1_person_profile(txn, person.id)
+        assert result.first_name == person.first_name
+        assert result.last_name == person.last_name
+        assert result.birthday == person.birthday
+        assert result.city_id == person.city_id
+        assert result.gender == person.gender
+
+    def test_missing_person(self, loaded_store):
+        with loaded_store.transaction() as txn:
+            assert sr.s1_person_profile(txn, 999_999_999) is None
+
+
+class TestS2:
+    def test_limit_and_order(self, network, loaded_store):
+        person = network.persons[0]
+        with loaded_store.transaction() as txn:
+            results = sr.s2_recent_messages(txn, person.id)
+        assert len(results) <= 10
+        dates = [r.creation_date for r in results]
+        assert dates == sorted(dates, reverse=True)
+
+    def test_root_post_resolution(self, network, loaded_store):
+        posts = network.post_by_id()
+        author = None
+        for comment in network.comments:
+            author = comment.author_id
+            break
+        assert author is not None
+        with loaded_store.transaction() as txn:
+            for row in sr.s2_recent_messages(txn, author, limit=50):
+                root = posts[row.root_post_id]
+                assert root.author_id == row.root_author_id
+
+
+class TestS3:
+    def test_all_friends_with_dates(self, network, loaded_store):
+        person = network.persons[0]
+        expected = {}
+        for edge in network.knows:
+            if edge.person1_id == person.id:
+                expected[edge.person2_id] = edge.creation_date
+            elif edge.person2_id == person.id:
+                expected[edge.person1_id] = edge.creation_date
+        with loaded_store.transaction() as txn:
+            results = sr.s3_friends(txn, person.id)
+        assert {r.person_id: r.friendship_date
+                for r in results} == expected
+        dates = [r.friendship_date for r in results]
+        assert dates == sorted(dates, reverse=True)
+
+
+class TestS4S5S6:
+    def test_post_content_and_creator(self, network, loaded_store):
+        post = network.posts[0]
+        with loaded_store.transaction() as txn:
+            content = sr.s4_message_content(txn, post.id)
+            creator = sr.s5_message_creator(txn, post.id)
+            forum = sr.s6_message_forum(txn, post.id)
+        assert content.creation_date == post.creation_date
+        assert creator.person_id == post.author_id
+        assert forum.forum_id == post.forum_id
+
+    def test_comment_forum_via_root(self, network, loaded_store):
+        comment = network.comments[0]
+        root = network.post_by_id()[comment.root_post_id]
+        with loaded_store.transaction() as txn:
+            forum = sr.s6_message_forum(txn, comment.id)
+        assert forum.forum_id == root.forum_id
+
+    def test_photo_content_falls_back_to_image(self, network,
+                                               loaded_store):
+        photo = next(p for p in network.posts if p.is_photo)
+        with loaded_store.transaction() as txn:
+            content = sr.s4_message_content(txn, photo.id)
+        assert content.content == photo.image_file
+
+    def test_missing_message(self, loaded_store):
+        from repro.ids import EntityKind, make_id
+
+        ghost = make_id(EntityKind.POST, 55_555_555)
+        with loaded_store.transaction() as txn:
+            assert sr.s4_message_content(txn, ghost) is None
+            assert sr.s5_message_creator(txn, ghost) is None
+            assert sr.s6_message_forum(txn, ghost) is None
+
+
+class TestS7:
+    def test_replies_match_network(self, network, loaded_store):
+        replied = {}
+        for comment in network.comments:
+            replied.setdefault(comment.reply_of_id, set()).add(
+                comment.id)
+        target = next(iter(replied))
+        with loaded_store.transaction() as txn:
+            results = sr.s7_message_replies(txn, target)
+        assert {r.comment_id for r in results} == replied[target]
+
+    def test_knows_flag(self, network, loaded_store):
+        friends = {}
+        for edge in network.knows:
+            friends.setdefault(edge.person1_id, set()).add(
+                edge.person2_id)
+            friends.setdefault(edge.person2_id, set()).add(
+                edge.person1_id)
+        messages = {m.id: m for m in network.messages()}
+        checked = 0
+        with loaded_store.transaction() as txn:
+            for comment in network.comments[:200]:
+                original = messages[comment.reply_of_id]
+                for row in sr.s7_message_replies(txn,
+                                                 comment.reply_of_id):
+                    expected = row.author_id in friends.get(
+                        original.author_id, set())
+                    assert row.knows_original_author == expected
+                    checked += 1
+        assert checked > 50
+
+    def test_missing_message_empty(self, loaded_store):
+        from repro.ids import EntityKind, make_id
+
+        ghost = make_id(EntityKind.COMMENT, 44_444_444)
+        with loaded_store.transaction() as txn:
+            assert sr.s7_message_replies(txn, ghost) == []

@@ -1,0 +1,251 @@
+"""Tests for the deterministic splittable RNG."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rng import RandomStream, mix_key, splitmix64
+
+
+class TestSplitMix:
+    def test_deterministic(self):
+        assert splitmix64(42) == splitmix64(42)
+
+    def test_advances_state(self):
+        state, out = splitmix64(42)
+        assert state != 42
+        state2, out2 = splitmix64(state)
+        assert out2 != out
+
+    def test_output_64_bits(self):
+        __, out = splitmix64(123456789)
+        assert 0 <= out < 2 ** 64
+
+
+class TestMixKey:
+    def test_deterministic(self):
+        assert mix_key(1, "person", 7) == mix_key(1, "person", 7)
+
+    def test_distinct_purposes_differ(self):
+        assert mix_key(1, "person", 7) != mix_key(1, "friend", 7)
+
+    def test_distinct_ids_differ(self):
+        assert mix_key(1, "person", 7) != mix_key(1, "person", 8)
+
+    def test_string_hash_stable_across_calls(self):
+        # Must not depend on Python's randomized str hash.
+        assert mix_key("abc") == mix_key("abc")
+
+    def test_order_matters(self):
+        assert mix_key(1, 2) != mix_key(2, 1)
+
+
+class TestRandomStream:
+    def test_same_key_same_sequence(self):
+        a = RandomStream.for_key(1, "x", 5)
+        b = RandomStream.for_key(1, "x", 5)
+        assert [a.next_u64() for __ in range(20)] \
+            == [b.next_u64() for __ in range(20)]
+
+    def test_different_keys_diverge(self):
+        a = RandomStream.for_key(1, "x", 5)
+        b = RandomStream.for_key(1, "x", 6)
+        assert [a.next_u64() for __ in range(5)] \
+            != [b.next_u64() for __ in range(5)]
+
+    def test_random_in_unit_interval(self):
+        stream = RandomStream(99)
+        for __ in range(1000):
+            value = stream.random()
+            assert 0.0 <= value < 1.0
+
+    def test_random_mean_near_half(self):
+        stream = RandomStream(3)
+        values = [stream.random() for __ in range(5000)]
+        assert abs(sum(values) / len(values) - 0.5) < 0.03
+
+    def test_randint_bounds(self):
+        stream = RandomStream(1)
+        values = {stream.randint(3, 7) for __ in range(500)}
+        assert values == {3, 4, 5, 6, 7}
+
+    def test_randint_single_value(self):
+        stream = RandomStream(1)
+        assert stream.randint(5, 5) == 5
+
+    def test_randint_empty_range_raises(self):
+        stream = RandomStream(1)
+        with pytest.raises(ValueError):
+            stream.randint(7, 3)
+
+    def test_choice_covers_all(self):
+        stream = RandomStream(2)
+        seen = {stream.choice("abc") for __ in range(200)}
+        assert seen == {"a", "b", "c"}
+
+    def test_choice_empty_raises(self):
+        with pytest.raises(ValueError):
+            RandomStream(1).choice([])
+
+    def test_sample_distinct(self):
+        stream = RandomStream(4)
+        picked = stream.sample(list(range(20)), 10)
+        assert len(picked) == 10
+        assert len(set(picked)) == 10
+
+    def test_sample_too_large_raises(self):
+        with pytest.raises(ValueError):
+            RandomStream(1).sample([1, 2], 3)
+
+    def test_shuffle_is_permutation(self):
+        stream = RandomStream(5)
+        items = list(range(30))
+        shuffled = list(items)
+        stream.shuffle(shuffled)
+        assert sorted(shuffled) == items
+        assert shuffled != items  # overwhelmingly likely
+
+    def test_geometric_support(self):
+        stream = RandomStream(6)
+        values = [stream.geometric(0.3) for __ in range(1000)]
+        assert min(values) == 0
+        assert all(v >= 0 for v in values)
+
+    def test_geometric_mean(self):
+        stream = RandomStream(7)
+        p = 0.25
+        values = [stream.geometric(p) for __ in range(8000)]
+        expected = (1 - p) / p
+        assert abs(sum(values) / len(values) - expected) < 0.3
+
+    def test_geometric_p_one(self):
+        assert RandomStream(1).geometric(1.0) == 0
+
+    def test_geometric_invalid_p(self):
+        with pytest.raises(ValueError):
+            RandomStream(1).geometric(0.0)
+        with pytest.raises(ValueError):
+            RandomStream(1).geometric(1.5)
+
+    def test_exponential_mean(self):
+        stream = RandomStream(8)
+        values = [stream.exponential(10.0) for __ in range(8000)]
+        assert abs(sum(values) / len(values) - 10.0) < 0.6
+
+    def test_exponential_invalid_mean(self):
+        with pytest.raises(ValueError):
+            RandomStream(1).exponential(0.0)
+
+    def test_zipf_bounds(self):
+        stream = RandomStream(9)
+        for n in (1, 2, 10, 1000):
+            for __ in range(200):
+                assert 0 <= stream.zipf_index(n) < n
+
+    def test_zipf_skewed_to_head(self):
+        stream = RandomStream(10)
+        values = [stream.zipf_index(100) for __ in range(5000)]
+        head = sum(1 for v in values if v < 10)
+        assert head > len(values) * 0.4
+
+    def test_zipf_invalid_n(self):
+        with pytest.raises(ValueError):
+            RandomStream(1).zipf_index(0)
+
+    def test_weighted_choice_respects_weights(self):
+        stream = RandomStream(11)
+        counts = [0, 0, 0]
+        for __ in range(6000):
+            counts[stream.weighted_choice((0.1, 0.1, 0.8))] += 1
+        assert counts[2] > counts[0] * 4
+        assert counts[2] > counts[1] * 4
+
+    def test_weighted_choice_zero_total_raises(self):
+        with pytest.raises(ValueError):
+            RandomStream(1).weighted_choice((0.0, 0.0))
+
+
+class TestRandomStreamProperties:
+    @given(st.integers(min_value=0, max_value=2 ** 64 - 1))
+    @settings(max_examples=50)
+    def test_seed_reproducible(self, seed):
+        assert RandomStream(seed).next_u64() \
+            == RandomStream(seed).next_u64()
+
+    @given(st.integers(min_value=-1000, max_value=1000),
+           st.integers(min_value=0, max_value=500),
+           st.integers())
+    @settings(max_examples=100)
+    def test_randint_always_in_range(self, low, span, seed):
+        stream = RandomStream(seed)
+        value = stream.randint(low, low + span)
+        assert low <= value <= low + span
+
+    @given(st.lists(st.integers(), min_size=1, max_size=40),
+           st.integers())
+    @settings(max_examples=100)
+    def test_shuffle_preserves_multiset(self, items, seed):
+        stream = RandomStream(seed)
+        shuffled = list(items)
+        stream.shuffle(shuffled)
+        assert sorted(shuffled) == sorted(items)
+
+    @given(st.floats(min_value=0.01, max_value=1.0), st.integers())
+    @settings(max_examples=100)
+    def test_geometric_non_negative(self, p, seed):
+        assert RandomStream(seed).geometric(p) >= 0
+
+    @given(st.integers(min_value=1, max_value=10_000),
+           st.floats(min_value=0.5, max_value=2.0), st.integers())
+    @settings(max_examples=100)
+    def test_zipf_in_range(self, n, skew, seed):
+        assert 0 <= RandomStream(seed).zipf_index(n, skew) < n
+
+
+class TestZipfSampler:
+    def test_in_range(self):
+        from repro.rng import ZipfSampler
+
+        sampler = ZipfSampler(40)
+        stream = RandomStream(3)
+        for __ in range(2000):
+            assert 0 <= sampler.sample(stream) < 40
+
+    def test_matches_zipf_index_distribution(self):
+        """The table-driven sampler approximates the exact inverse CDF."""
+        from repro.rng import ZipfSampler
+
+        sampler = ZipfSampler(100, skew=1.05)
+        table_stream = RandomStream(7)
+        exact_stream = RandomStream(8)
+        n = 20_000
+        head_table = sum(1 for __ in range(n)
+                         if sampler.sample(table_stream) < 10)
+        head_exact = sum(1 for __ in range(n)
+                         if exact_stream.zipf_index(100, 1.05) < 10)
+        assert abs(head_table - head_exact) / n < 0.03
+
+    def test_single_element(self):
+        from repro.rng import ZipfSampler
+
+        sampler = ZipfSampler(1)
+        assert sampler.sample(RandomStream(1)) == 0
+
+    def test_invalid_n(self):
+        from repro.rng import ZipfSampler
+
+        with pytest.raises(ValueError):
+            ZipfSampler(0)
+
+    def test_skewed_toward_head(self):
+        from repro.rng import ZipfSampler
+
+        sampler = ZipfSampler(50)
+        stream = RandomStream(5)
+        values = [sampler.sample(stream) for __ in range(5000)]
+        assert sum(1 for v in values if v < 5) \
+            > sum(1 for v in values if v >= 25)

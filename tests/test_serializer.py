@@ -1,0 +1,43 @@
+"""Tests for CSV serialization (bulk-load format round trip)."""
+
+from __future__ import annotations
+
+from repro.datagen.serializer import csv_size_bytes, read_csv, write_csv
+
+
+class TestRoundTrip:
+    def test_full_round_trip(self, network, tmp_path):
+        write_csv(network, tmp_path)
+        loaded = read_csv(tmp_path)
+        assert loaded.persons == network.persons
+        assert loaded.knows == network.knows
+        assert loaded.forums == network.forums
+        assert loaded.memberships == network.memberships
+        assert loaded.posts == network.posts
+        assert loaded.comments == network.comments
+        assert loaded.likes == network.likes
+        assert loaded.tags == network.tags
+        assert loaded.tag_classes == network.tag_classes
+        assert loaded.places == network.places
+        assert loaded.organisations == network.organisations
+
+    def test_expected_files_written(self, network, tmp_path):
+        write_csv(network, tmp_path)
+        names = {path.name for path in tmp_path.glob("*.csv")}
+        assert names == {
+            "place.csv", "organisation.csv", "tagclass.csv", "tag.csv",
+            "person.csv", "knows.csv", "forum.csv",
+            "forum_hasMember.csv", "post.csv", "comment.csv",
+            "likes.csv",
+        }
+
+    def test_csv_size_positive(self, network, tmp_path):
+        write_csv(network, tmp_path)
+        assert csv_size_bytes(tmp_path) > 10_000
+
+    def test_headers_present(self, network, tmp_path):
+        write_csv(network, tmp_path)
+        header = (tmp_path / "person.csv").read_text(
+            encoding="utf-8").splitlines()[0]
+        assert header.split("|")[0] == "id"
+        assert "firstName" in header

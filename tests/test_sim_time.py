@@ -1,0 +1,98 @@
+"""Tests for the simulation-time calendar."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import sim_time
+from repro.sim_time import (
+    DEFAULT_WINDOW,
+    NETWORK_END,
+    NETWORK_SPAN,
+    NETWORK_START,
+    SimulationWindow,
+    bulk_load_cut,
+    date_from_millis,
+    iso,
+    millis_from_date,
+)
+
+
+class TestConversions:
+    def test_epoch(self):
+        assert millis_from_date(1970, 1, 1) == 0
+
+    def test_roundtrip(self):
+        ts = millis_from_date(2012, 6, 15, 12, 30, 45)
+        moment = date_from_millis(ts)
+        assert (moment.year, moment.month, moment.day) == (2012, 6, 15)
+        assert (moment.hour, moment.minute, moment.second) == (12, 30, 45)
+
+    def test_iso_rendering(self):
+        assert iso(millis_from_date(2010, 1, 1)) == "2010-01-01T00:00:00Z"
+
+    def test_network_span_three_years(self):
+        years = NETWORK_SPAN / (365.25 * sim_time.MILLIS_PER_DAY)
+        assert 2.9 < years < 3.1
+
+
+class TestBulkLoadCut:
+    def test_default_cut_is_32_of_36_months(self):
+        cut = bulk_load_cut()
+        fraction = (cut - NETWORK_START) / NETWORK_SPAN
+        assert abs(fraction - 32 / 36) < 1e-9
+
+    def test_cut_before_end(self):
+        assert NETWORK_START < bulk_load_cut() < NETWORK_END
+
+    def test_custom_window(self):
+        cut = bulk_load_cut(0, 36)
+        assert cut == 32
+
+
+class TestSimulationWindow:
+    def test_span(self):
+        assert SimulationWindow(10, 30).span == 20
+
+    def test_contains(self):
+        window = SimulationWindow(10, 30)
+        assert window.contains(10)
+        assert window.contains(29)
+        assert not window.contains(30)
+        assert not window.contains(9)
+
+    def test_clamp(self):
+        window = SimulationWindow(10, 30)
+        assert window.clamp(5) == 10
+        assert window.clamp(50) == 29
+        assert window.clamp(20) == 20
+
+    def test_at_fraction(self):
+        window = SimulationWindow(0, 100)
+        assert window.at_fraction(0.0) == 0
+        assert window.at_fraction(0.5) == 50
+        assert window.at_fraction(1.0) == 100
+
+    def test_at_fraction_out_of_range(self):
+        with pytest.raises(ValueError):
+            SimulationWindow(0, 10).at_fraction(1.5)
+
+    def test_inverted_window_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationWindow(10, 5)
+
+    def test_default_window_matches_constants(self):
+        assert DEFAULT_WINDOW.start == NETWORK_START
+        assert DEFAULT_WINDOW.end == NETWORK_END
+
+    @given(st.integers(min_value=0, max_value=10 ** 15),
+           st.integers(min_value=1, max_value=10 ** 12))
+    @settings(max_examples=50)
+    def test_clamp_always_inside(self, start, span):
+        window = SimulationWindow(start, start + span)
+        for probe in (start - 1, start, start + span // 2,
+                      start + span, start + span + 99):
+            clamped = window.clamp(probe)
+            assert window.start <= clamped < window.end

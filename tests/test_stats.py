@@ -1,0 +1,86 @@
+"""Tests for dataset + frequency statistics (curation inputs)."""
+
+from __future__ import annotations
+
+from repro.datagen.stats import (
+    DatasetStatistics,
+    FrequencyStatistics,
+    two_hop_histogram,
+)
+
+
+class TestDatasetStatistics:
+    def test_matches_network_counts(self, network):
+        stats = DatasetStatistics.of(network)
+        assert stats.persons == len(network.persons)
+        assert stats.friendships == len(network.knows)
+        assert stats.messages == len(network.posts) \
+            + len(network.comments)
+        assert stats.forums == len(network.forums)
+        assert stats.nodes == network.num_nodes
+        assert stats.edges == network.num_edges
+
+    def test_table3_row_shape(self, network):
+        row = DatasetStatistics.of(network).as_row()
+        assert list(row) == ["Nodes", "Edges", "Persons", "Friends",
+                             "Messages", "Forums"]
+
+    def test_edges_exceed_nodes(self, network):
+        stats = DatasetStatistics.of(network)
+        assert stats.edges > stats.nodes
+
+
+class TestFrequencyStatistics:
+    def test_friend_counts_match_brute_force(self, network,
+                                             frequency_stats):
+        brute: dict[int, int] = {p.id: 0 for p in network.persons}
+        for edge in network.knows:
+            brute[edge.person1_id] += 1
+            brute[edge.person2_id] += 1
+        assert frequency_stats.friend_count == brute
+
+    def test_two_hop_supersets_friends(self, frequency_stats):
+        for person_id, friends in frequency_stats.friend_count.items():
+            assert frequency_stats.two_hop_count[person_id] >= friends
+
+    def test_message_counts_match_brute_force(self, network,
+                                              frequency_stats):
+        brute: dict[int, int] = {p.id: 0 for p in network.persons}
+        for message in network.messages():
+            brute[message.author_id] += 1
+        assert frequency_stats.message_count == brute
+
+    def test_friend_message_counts(self, network, frequency_stats):
+        neighbors: dict[int, set[int]] = {p.id: set()
+                                          for p in network.persons}
+        for edge in network.knows:
+            neighbors[edge.person1_id].add(edge.person2_id)
+            neighbors[edge.person2_id].add(edge.person1_id)
+        person = network.persons[0]
+        expected = sum(frequency_stats.message_count[f]
+                       for f in neighbors[person.id])
+        assert frequency_stats.friend_message_count[person.id] \
+            == expected
+
+    def test_tag_message_counts_total(self, network, frequency_stats):
+        total = sum(len(m.tag_ids) for m in network.messages())
+        assert sum(frequency_stats.tag_message_count.values()) == total
+
+    def test_forum_post_counts_total(self, network, frequency_stats):
+        assert sum(frequency_stats.forum_post_count.values()) \
+            == len(network.posts)
+
+
+class TestTwoHopHistogram:
+    def test_counts_all_persons(self, network, frequency_stats):
+        histogram = two_hop_histogram(frequency_stats)
+        assert sum(count for __, count in histogram) \
+            == len(network.persons)
+
+    def test_sorted_buckets(self, frequency_stats):
+        histogram = two_hop_histogram(frequency_stats)
+        buckets = [bucket for bucket, __ in histogram]
+        assert buckets == sorted(buckets)
+
+    def test_empty_stats(self):
+        assert two_hop_histogram(FrequencyStatistics()) == []

@@ -1,0 +1,157 @@
+"""Tests for basic graph-store operations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    DuplicateError,
+    NotFoundError,
+    TransactionStateError,
+)
+from repro.store.graph import Direction, GraphStore
+
+
+@pytest.fixture()
+def store():
+    return GraphStore()
+
+
+class TestVertices:
+    def test_insert_and_read(self, store):
+        with store.transaction() as txn:
+            txn.insert_vertex("person", 1, {"name": "Ada"})
+        with store.transaction() as txn:
+            assert txn.vertex("person", 1) == {"name": "Ada"}
+
+    def test_read_own_writes(self, store):
+        with store.transaction() as txn:
+            txn.insert_vertex("person", 1, {"name": "Ada"})
+            assert txn.vertex("person", 1) == {"name": "Ada"}
+
+    def test_missing_vertex_is_none(self, store):
+        with store.transaction() as txn:
+            assert txn.vertex("person", 404) is None
+
+    def test_require_vertex_raises(self, store):
+        with store.transaction() as txn:
+            with pytest.raises(NotFoundError):
+                txn.require_vertex("person", 404)
+
+    def test_duplicate_insert_rejected_at_commit(self, store):
+        with store.transaction() as txn:
+            txn.insert_vertex("person", 1, {})
+        with pytest.raises(DuplicateError):
+            with store.transaction() as txn:
+                txn.insert_vertex("person", 1, {})
+
+    def test_duplicate_insert_within_txn_rejected(self, store):
+        with store.transaction() as txn:
+            txn.insert_vertex("person", 1, {})
+            with pytest.raises(DuplicateError):
+                txn.insert_vertex("person", 1, {})
+            txn.abort()
+
+    def test_update_merges_properties(self, store):
+        with store.transaction() as txn:
+            txn.insert_vertex("person", 1, {"name": "Ada", "age": 30})
+        with store.transaction() as txn:
+            txn.update_vertex("person", 1, age=31)
+        with store.transaction() as txn:
+            assert txn.vertex("person", 1) == {"name": "Ada", "age": 31}
+
+    def test_update_missing_vertex_fails_at_commit(self, store):
+        with pytest.raises(NotFoundError):
+            with store.transaction() as txn:
+                txn.update_vertex("person", 404, age=1)
+
+    def test_update_then_read_in_txn(self, store):
+        with store.transaction() as txn:
+            txn.insert_vertex("person", 1, {"age": 30})
+        with store.transaction() as txn:
+            txn.update_vertex("person", 1, age=31)
+            assert txn.vertex("person", 1)["age"] == 31
+
+    def test_count_vertices(self, store):
+        with store.transaction() as txn:
+            for vid in range(5):
+                txn.insert_vertex("person", vid, {})
+        with store.transaction() as txn:
+            assert txn.count_vertices("person") == 5
+            assert txn.count_vertices("forum") == 0
+
+
+class TestEdges:
+    def test_directed_edge_both_directions_visible(self, store):
+        with store.transaction() as txn:
+            txn.insert_vertex("person", 1, {})
+            txn.insert_vertex("person", 2, {})
+            txn.insert_edge("knows", 1, 2, {"since": 5})
+        with store.transaction() as txn:
+            out = list(txn.neighbors("knows", 1, Direction.OUT))
+            into = list(txn.neighbors("knows", 2, Direction.IN))
+            assert out == [(2, {"since": 5})]
+            assert into == [(1, {"since": 5})]
+
+    def test_undirected_edge(self, store):
+        with store.transaction() as txn:
+            txn.insert_undirected_edge("knows", 1, 2)
+        with store.transaction() as txn:
+            assert txn.degree("knows", 1) == 1
+            assert txn.degree("knows", 2) == 1
+
+    def test_own_edges_visible_in_txn(self, store):
+        with store.transaction() as txn:
+            txn.insert_edge("likes", 1, 2)
+            assert list(txn.neighbors("likes", 1)) == [(2, None)]
+            assert list(txn.neighbors("likes", 2,
+                                      Direction.IN)) == [(1, None)]
+
+    def test_degree_counts(self, store):
+        with store.transaction() as txn:
+            for other in range(2, 7):
+                txn.insert_edge("knows", 1, other)
+        with store.transaction() as txn:
+            assert txn.degree("knows", 1) == 5
+            assert txn.degree("knows", 1, Direction.IN) == 0
+
+
+class TestTransactionLifecycle:
+    def test_abort_discards(self, store):
+        txn = store.transaction()
+        txn.insert_vertex("person", 1, {})
+        txn.abort()
+        with store.transaction() as reader:
+            assert reader.vertex("person", 1) is None
+
+    def test_exception_aborts(self, store):
+        with pytest.raises(RuntimeError):
+            with store.transaction() as txn:
+                txn.insert_vertex("person", 1, {})
+                raise RuntimeError("boom")
+        with store.transaction() as reader:
+            assert reader.vertex("person", 1) is None
+
+    def test_use_after_commit_rejected(self, store):
+        txn = store.transaction()
+        txn.commit()
+        with pytest.raises(TransactionStateError):
+            txn.vertex("person", 1)
+        with pytest.raises(TransactionStateError):
+            txn.insert_vertex("person", 1, {})
+
+    def test_empty_commit_is_zero(self, store):
+        txn = store.transaction()
+        assert txn.commit() == 0
+
+    def test_commit_counter(self, store):
+        before = store.commit_count
+        with store.transaction() as txn:
+            txn.insert_vertex("person", 1, {})
+        assert store.commit_count == before + 1
+
+    def test_abort_counter(self, store):
+        txn = store.transaction()
+        txn.insert_vertex("person", 1, {})
+        txn.abort()
+        assert store.abort_count == 1

@@ -1,0 +1,156 @@
+"""Tests for secondary indexes (hash + ordered) and bulk loading."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NotFoundError
+from repro.store.graph import GraphStore, IsolationLevel
+from repro.store.indexes import HashIndex, OrderedIndex
+
+
+class TestHashIndexUnit:
+    def test_insert_lookup(self):
+        index = HashIndex()
+        index.insert("Ada", 1, ts=1)
+        index.insert("Ada", 2, ts=2)
+        assert index.lookup("Ada", snapshot=2) == [1, 2]
+
+    def test_snapshot_filtering(self):
+        index = HashIndex()
+        index.insert("Ada", 1, ts=1)
+        index.insert("Ada", 2, ts=5)
+        assert index.lookup("Ada", snapshot=3) == [1]
+
+    def test_missing_key(self):
+        assert HashIndex().lookup("nobody", snapshot=10) == []
+
+    def test_len(self):
+        index = HashIndex()
+        index.insert("a", 1, 1)
+        index.insert("b", 2, 1)
+        index.insert("a", 3, 1)
+        assert len(index) == 3
+
+
+class TestOrderedIndexUnit:
+    def test_range_inclusive(self):
+        index = OrderedIndex()
+        for value in (10, 20, 30, 40):
+            index.insert(value, value * 100, ts=1)
+        result = list(index.range(20, 30, snapshot=1))
+        assert result == [(20, 2000), (30, 3000)]
+
+    def test_open_range(self):
+        index = OrderedIndex()
+        for value in (10, 20, 30):
+            index.insert(value, value, ts=1)
+        assert len(list(index.range(snapshot=1))) == 3
+        assert len(list(index.range(low=20, snapshot=1))) == 2
+        assert len(list(index.range(high=20, snapshot=1))) == 2
+
+    def test_reverse(self):
+        index = OrderedIndex()
+        for value in (1, 2, 3):
+            index.insert(value, value, ts=1)
+        keys = [key for key, __ in index.range(snapshot=1, reverse=True)]
+        assert keys == [3, 2, 1]
+
+    def test_snapshot_filtering(self):
+        index = OrderedIndex()
+        index.insert(10, 1, ts=1)
+        index.insert(20, 2, ts=9)
+        assert list(index.range(snapshot=5)) == [(10, 1)]
+
+    def test_extend_sorted(self):
+        index = OrderedIndex()
+        index.extend_sorted([(1, 10, 1), (2, 20, 1), (3, 30, 1)])
+        index.insert(2, 25, 2)
+        keys = [key for key, __ in index.range(snapshot=5)]
+        assert keys == [1, 2, 2, 3]
+
+    def test_extend_sorted_rejects_out_of_order(self):
+        index = OrderedIndex()
+        index.extend_sorted([(5, 1, 1)])
+        with pytest.raises(ValueError):
+            index.extend_sorted([(3, 2, 1)])
+
+    @given(st.lists(st.integers(min_value=-100, max_value=100),
+                    max_size=60))
+    @settings(max_examples=60)
+    def test_range_matches_filter(self, values):
+        index = OrderedIndex()
+        for i, value in enumerate(values):
+            index.insert(value, i, ts=1)
+        low, high = -20, 20
+        got = sorted(v for v, __ in index.range(low, high, snapshot=1))
+        expected = sorted(v for v in values if low <= v <= high)
+        assert got == expected
+
+
+class TestStoreIndexes:
+    def test_hash_lookup_via_transaction(self):
+        store = GraphStore()
+        store.create_hash_index("person", "name")
+        with store.transaction() as txn:
+            txn.insert_vertex("person", 1, {"name": "Ada"})
+            txn.insert_vertex("person", 2, {"name": "Bob"})
+            txn.insert_vertex("person", 3, {"name": "Ada"})
+        with store.transaction() as txn:
+            assert sorted(txn.lookup("person", "name", "Ada")) == [1, 3]
+
+    def test_lookup_sees_own_writes(self):
+        store = GraphStore()
+        store.create_hash_index("person", "name")
+        with store.transaction() as txn:
+            txn.insert_vertex("person", 1, {"name": "Ada"})
+            assert txn.lookup("person", "name", "Ada") == [1]
+
+    def test_lookup_without_index_raises(self):
+        store = GraphStore()
+        with store.transaction() as txn:
+            with pytest.raises(NotFoundError):
+                txn.lookup("person", "name", "Ada")
+
+    def test_index_respects_snapshot(self):
+        store = GraphStore()
+        store.create_hash_index("person", "name")
+        with store.transaction() as txn:
+            txn.insert_vertex("person", 1, {"name": "Ada"})
+        reader = store.transaction(IsolationLevel.SNAPSHOT)
+        with store.transaction() as writer:
+            writer.insert_vertex("person", 2, {"name": "Ada"})
+        assert reader.lookup("person", "name", "Ada") == [1]
+        reader.commit()
+
+    def test_range_scan_via_transaction(self):
+        store = GraphStore()
+        store.create_ordered_index("post", "date")
+        with store.transaction() as txn:
+            for i, date in enumerate((30, 10, 20)):
+                txn.insert_vertex("post", i, {"date": date})
+        with store.transaction() as txn:
+            keys = [key for key, __ in
+                    txn.scan_range("post", "date", 10, 20)]
+            assert keys == [10, 20]
+
+    def test_range_scan_without_index_raises(self):
+        store = GraphStore()
+        with store.transaction() as txn:
+            with pytest.raises(NotFoundError):
+                list(txn.scan_range("post", "date"))
+
+    def test_bulk_load_populates_indexes(self):
+        store = GraphStore()
+        store.create_hash_index("person", "name")
+        store.create_ordered_index("person", "age")
+        store.bulk_insert_vertices("person", [
+            (1, {"name": "Ada", "age": 36}),
+            (2, {"name": "Bob", "age": 30}),
+        ])
+        with store.transaction() as txn:
+            assert txn.lookup("person", "name", "Bob") == [2]
+            ages = [key for key, __ in txn.scan_range("person", "age")]
+            assert ages == [30, 36]

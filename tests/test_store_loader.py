@@ -1,0 +1,101 @@
+"""Tests for the SNB bulk loader and storage accounting."""
+
+from __future__ import annotations
+
+from repro.store import load_network, storage_report
+from repro.store.graph import Direction
+from repro.store.loader import EdgeLabel, VertexLabel
+
+
+class TestLoader:
+    def test_vertex_counts(self, network, loaded_store):
+        with loaded_store.transaction() as txn:
+            assert txn.count_vertices(VertexLabel.PERSON) \
+                == len(network.persons)
+            assert txn.count_vertices(VertexLabel.FORUM) \
+                == len(network.forums)
+            assert txn.count_vertices(VertexLabel.POST) \
+                == len(network.posts)
+            assert txn.count_vertices(VertexLabel.COMMENT) \
+                == len(network.comments)
+            assert txn.count_vertices(VertexLabel.TAG) \
+                == len(network.tags)
+
+    def test_knows_symmetric(self, network, loaded_store):
+        with loaded_store.transaction() as txn:
+            for edge in network.knows[:100]:
+                out = {o for o, __ in txn.neighbors(EdgeLabel.KNOWS,
+                                                    edge.person1_id)}
+                back = {o for o, __ in txn.neighbors(EdgeLabel.KNOWS,
+                                                     edge.person2_id)}
+                assert edge.person2_id in out
+                assert edge.person1_id in back
+
+    def test_creator_adjacency(self, network, loaded_store):
+        post = network.posts[0]
+        with loaded_store.transaction() as txn:
+            authored = {m for m, __ in txn.neighbors(
+                EdgeLabel.HAS_CREATOR, post.author_id, Direction.IN)}
+            assert post.id in authored
+
+    def test_container_adjacency(self, network, loaded_store):
+        post = network.posts[0]
+        with loaded_store.transaction() as txn:
+            posts = {p for p, __ in txn.neighbors(
+                EdgeLabel.CONTAINER_OF, post.forum_id)}
+            assert post.id in posts
+
+    def test_membership_props(self, network, loaded_store):
+        membership = network.memberships[0]
+        with loaded_store.transaction() as txn:
+            rows = dict(txn.neighbors(EdgeLabel.HAS_MEMBER,
+                                      membership.forum_id))
+            assert rows[membership.person_id]["joined_date"] \
+                == membership.joined_date
+
+    def test_first_name_index_usable(self, network, loaded_store):
+        person = network.persons[0]
+        with loaded_store.transaction() as txn:
+            ids = txn.lookup(VertexLabel.PERSON, "first_name",
+                             person.first_name)
+            assert person.id in ids
+
+    def test_message_date_index_ordered(self, network, loaded_store):
+        with loaded_store.transaction() as txn:
+            dates = [key for key, __ in
+                     txn.scan_range(VertexLabel.POST, "creation_date")]
+            assert dates == sorted(dates)
+            assert len(dates) == len(network.posts)
+
+
+class TestAccounting:
+    def test_report_covers_tables(self, loaded_store):
+        report = storage_report(loaded_store)
+        names = {table.name for table in report.tables}
+        assert VertexLabel.PERSON in names
+        assert VertexLabel.POST in names
+        assert EdgeLabel.KNOWS in names
+
+    def test_sizes_positive(self, loaded_store):
+        report = storage_report(loaded_store)
+        for table in report.tables:
+            assert table.bytes > 0
+            assert table.entries >= 0
+        assert report.total_bytes > 1_000_000
+
+    def test_largest_tables(self, loaded_store):
+        report = storage_report(loaded_store)
+        largest = report.largest(3)
+        assert len(largest) == 3
+        assert largest[0].bytes >= largest[1].bytes >= largest[2].bytes
+
+    def test_largest_by_kind(self, loaded_store):
+        report = storage_report(loaded_store)
+        indexes = report.largest(2, kind="index")
+        assert all(table.kind == "index" for table in indexes)
+
+    def test_post_among_largest(self, loaded_store):
+        """Paper Table 8: the post table is the largest."""
+        report = storage_report(loaded_store)
+        top_names = {t.name for t in report.largest(4, kind="vertices")}
+        assert VertexLabel.POST in top_names

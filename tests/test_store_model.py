@@ -1,0 +1,191 @@
+"""Model-based testing of the MVCC store against a naive reference.
+
+A hypothesis state machine drives interleaved transactions (insert /
+update / edge / abort / commit / reads, plus concurrent committers)
+against both the real store and a trivial reference model, asserting:
+
+* an open snapshot transaction keeps seeing begin-time state plus its
+  own writes, no matter what commits concurrently;
+* commit applies all-or-nothing, failing exactly when first-committer-
+  wins says it must (duplicate insert or write-write conflict);
+* committed state always equals the model.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.errors import DuplicateError, StoreError
+from repro.store.graph import GraphStore, IsolationLevel
+
+VIDS = st.integers(min_value=0, max_value=8)
+VALUES = st.integers(min_value=0, max_value=99)
+
+
+class _Model:
+    """Reference committed state."""
+
+    def __init__(self) -> None:
+        self.vertices: dict[int, dict] = {}
+        self.edges: list[tuple[int, int, int]] = []
+
+
+class MvccMachine(RuleBasedStateMachine):
+    """One open transaction at a time plus concurrent committers."""
+
+    @initialize()
+    def setup(self):
+        self.store = GraphStore()
+        self.model = _Model()
+        self.txn = None
+        self.txn_model = None
+        self.txn_snapshot_model = None
+        self.txn_inserts: set[int] = set()
+        self.txn_updates: set[int] = set()
+        self.concurrent_touched: set[int] = set()
+
+    # -- transaction lifecycle ------------------------------------------
+
+    @precondition(lambda self: self.txn is None)
+    @rule()
+    def begin(self):
+        self.txn = self.store.transaction(IsolationLevel.SNAPSHOT)
+        self.txn_snapshot_model = copy.deepcopy(self.model)
+        self.txn_model = _Model()
+        self.txn_inserts = set()
+        self.txn_updates = set()
+        self.concurrent_touched = set()
+
+    @precondition(lambda self: self.txn is not None)
+    @rule()
+    def commit(self):
+        # First-committer-wins: the commit must fail iff an insert
+        # targets a vertex now committed, or an update raced a
+        # concurrent commit of the same vertex.
+        expect_fail = (
+            any(vid in self.model.vertices for vid in self.txn_inserts)
+            or bool(self.txn_updates & self.concurrent_touched))
+        try:
+            self.txn.commit()
+            applied = True
+        except StoreError:
+            applied = False
+        assert applied == (not expect_fail)
+        if applied:
+            for vid, props in self.txn_model.vertices.items():
+                merged = dict(self.model.vertices.get(vid, {}))
+                merged.update(props)
+                self.model.vertices[vid] = merged
+            self.model.edges.extend(self.txn_model.edges)
+        self._clear_txn()
+
+    @precondition(lambda self: self.txn is not None)
+    @rule()
+    def abort(self):
+        self.txn.abort()
+        self._clear_txn()
+
+    def _clear_txn(self):
+        self.txn = None
+        self.txn_model = None
+        self.txn_snapshot_model = None
+        self.txn_inserts = set()
+        self.txn_updates = set()
+        self.concurrent_touched = set()
+
+    # -- writes inside the open transaction -------------------------------
+
+    @precondition(lambda self: self.txn is not None)
+    @rule(vid=VIDS, value=VALUES)
+    def insert_vertex(self, vid, value):
+        if vid in self.txn_inserts:
+            # Double insert within one transaction fails immediately.
+            try:
+                self.txn.insert_vertex("v", vid, {"value": value})
+                raise AssertionError("expected in-txn duplicate error")
+            except DuplicateError:
+                return
+        # An insert over an earlier in-txn *update* buffers fine (the
+        # duplicate surfaces at commit, covered by expect_fail) and the
+        # insert's properties shadow the update in reads.
+        self.txn.insert_vertex("v", vid, {"value": value})
+        self.txn_model.vertices[vid] = {"value": value}
+        self.txn_inserts.add(vid)
+
+    @precondition(lambda self: self.txn is not None)
+    @rule(vid=VIDS, value=VALUES)
+    def update_vertex(self, vid, value):
+        visible = (vid in self.txn_snapshot_model.vertices
+                   or vid in self.txn_model.vertices)
+        if not visible:
+            return  # updating a missing vertex fails at commit; skip
+        self.txn.update_vertex("v", vid, value=value)
+        current = self.txn_model.vertices.get(vid, {})
+        self.txn_model.vertices[vid] = {**current, "value": value}
+        if vid not in self.txn_inserts:
+            self.txn_updates.add(vid)
+
+    @precondition(lambda self: self.txn is not None)
+    @rule(src=VIDS, dst=VIDS, weight=VALUES)
+    def insert_edge(self, src, dst, weight):
+        self.txn.insert_edge("e", src, dst, {"weight": weight})
+        self.txn_model.edges.append((src, dst, weight))
+
+    # -- concurrent committed writes (other transactions) ----------------
+
+    @rule(vid=VIDS, value=VALUES)
+    def concurrent_commit(self, vid, value):
+        with self.store.transaction() as other:
+            if other.vertex("v", vid) is None:
+                other.insert_vertex("v", vid, {"value": value})
+            else:
+                other.update_vertex("v", vid, value=value)
+        merged = dict(self.model.vertices.get(vid, {}))
+        merged["value"] = value
+        self.model.vertices[vid] = merged
+        if self.txn is not None:
+            self.concurrent_touched.add(vid)
+
+    # -- invariants ---------------------------------------------------------
+
+    @invariant()
+    def open_transaction_sees_stable_snapshot(self):
+        if self.txn is None:
+            return
+        for vid in range(9):
+            got = self.txn.vertex("v", vid)
+            own = self.txn_model.vertices.get(vid)
+            committed = self.txn_snapshot_model.vertices.get(vid)
+            if own is not None:
+                expected = {**(committed or {}), **own}
+            else:
+                expected = committed
+            assert got == expected, (vid, got, expected)
+
+    @invariant()
+    def committed_state_matches_model(self):
+        with self.store.transaction() as reader:
+            for vid in range(9):
+                got = reader.vertex("v", vid)
+                expected = self.model.vertices.get(vid)
+                assert got == expected, (vid, got, expected)
+            got_edges = sorted(
+                (src, dst, props["weight"])
+                for src in range(9)
+                for dst, props in reader.neighbors("e", src))
+            assert got_edges == sorted(self.model.edges)
+
+
+MvccMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None)
+TestMvccModel = MvccMachine.TestCase

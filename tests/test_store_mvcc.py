@@ -1,0 +1,152 @@
+"""Tests for MVCC snapshot isolation semantics."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import DuplicateError, WriteConflictError
+from repro.store.graph import Direction, GraphStore, IsolationLevel
+
+
+@pytest.fixture()
+def store():
+    s = GraphStore()
+    with s.transaction() as txn:
+        txn.insert_vertex("person", 1, {"age": 30})
+    return s
+
+
+class TestSnapshotIsolation:
+    def test_reader_does_not_see_later_commit(self, store):
+        reader = store.transaction(IsolationLevel.SNAPSHOT)
+        assert reader.vertex("person", 1)["age"] == 30
+        with store.transaction() as writer:
+            writer.update_vertex("person", 1, age=31)
+        # The reader's snapshot predates the writer's commit.
+        assert reader.vertex("person", 1)["age"] == 30
+        reader.commit()
+
+    def test_reader_does_not_see_later_insert(self, store):
+        reader = store.transaction(IsolationLevel.SNAPSHOT)
+        with store.transaction() as writer:
+            writer.insert_vertex("person", 2, {})
+        assert reader.vertex("person", 2) is None
+        assert reader.count_vertices("person") == 1
+        reader.commit()
+
+    def test_reader_does_not_see_later_edges(self, store):
+        reader = store.transaction(IsolationLevel.SNAPSHOT)
+        with store.transaction() as writer:
+            writer.insert_vertex("person", 2, {})
+            writer.insert_edge("knows", 1, 2)
+        assert reader.degree("knows", 1) == 0
+        reader.commit()
+
+    def test_new_transaction_sees_commit(self, store):
+        with store.transaction() as writer:
+            writer.update_vertex("person", 1, age=31)
+        with store.transaction() as reader:
+            assert reader.vertex("person", 1)["age"] == 31
+
+    def test_read_committed_sees_fresh_commits(self, store):
+        reader = store.transaction(IsolationLevel.READ_COMMITTED)
+        assert reader.vertex("person", 1)["age"] == 30
+        with store.transaction() as writer:
+            writer.update_vertex("person", 1, age=31)
+        assert reader.vertex("person", 1)["age"] == 31
+        reader.commit()
+
+
+class TestWriteConflicts:
+    def test_first_committer_wins(self, store):
+        a = store.transaction()
+        b = store.transaction()
+        a.update_vertex("person", 1, age=40)
+        b.update_vertex("person", 1, age=50)
+        a.commit()
+        with pytest.raises(WriteConflictError):
+            b.commit()
+        with store.transaction() as reader:
+            assert reader.vertex("person", 1)["age"] == 40
+
+    def test_concurrent_duplicate_insert(self, store):
+        a = store.transaction()
+        b = store.transaction()
+        a.insert_vertex("person", 7, {})
+        b.insert_vertex("person", 7, {})
+        a.commit()
+        with pytest.raises(DuplicateError):
+            b.commit()
+
+    def test_disjoint_writes_both_commit(self, store):
+        a = store.transaction()
+        b = store.transaction()
+        a.insert_vertex("person", 8, {})
+        b.insert_vertex("person", 9, {})
+        a.commit()
+        b.commit()
+        with store.transaction() as reader:
+            assert reader.count_vertices("person") == 3
+
+    def test_conflict_counts_as_abort(self, store):
+        a = store.transaction()
+        b = store.transaction()
+        a.update_vertex("person", 1, age=40)
+        b.update_vertex("person", 1, age=50)
+        a.commit()
+        with pytest.raises(WriteConflictError):
+            b.commit()
+        assert store.abort_count == 1
+
+
+class TestAtomicVisibility:
+    def test_commit_is_atomic_under_concurrency(self):
+        """Readers must never observe half of a multi-write commit."""
+        store = GraphStore()
+        with store.transaction() as txn:
+            txn.insert_vertex("counter", 0, {"value": 0})
+        stop = threading.Event()
+        anomalies = []
+
+        def writer():
+            for i in range(1, 300):
+                with store.transaction() as txn:
+                    txn.insert_vertex("pair", 2 * i, {"batch": i})
+                    txn.insert_vertex("pair", 2 * i + 1, {"batch": i})
+            stop.set()
+
+        def reader():
+            while not stop.is_set():
+                with store.transaction() as txn:
+                    count = txn.count_vertices("pair")
+                    if count % 2 != 0:
+                        anomalies.append(count)
+
+        threads = [threading.Thread(target=writer),
+                   threading.Thread(target=reader),
+                   threading.Thread(target=reader)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert anomalies == []
+
+    def test_parallel_inserts_all_land(self):
+        store = GraphStore()
+
+        def worker(base):
+            for i in range(100):
+                with store.transaction() as txn:
+                    txn.insert_vertex("person", base + i, {})
+
+        threads = [threading.Thread(target=worker, args=(base,))
+                   for base in (0, 1000, 2000, 3000)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        with store.transaction() as txn:
+            assert txn.count_vertices("person") == 400
+        assert store.commit_count == 400

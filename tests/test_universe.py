@@ -1,0 +1,106 @@
+"""Tests for the dimension-entity universe."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.dictionaries import COUNTRIES, Dictionaries, \
+    total_city_count, total_tag_count
+from repro.datagen.universe import build_universe, university_serial
+from repro.ids import EntityKind, is_kind
+from repro.schema.entities import OrganisationType, PlaceType
+
+
+@pytest.fixture(scope="module")
+def universe():
+    return build_universe(Dictionaries(seed=0))
+
+
+class TestPlaces:
+    def test_counts(self, universe):
+        cities = [p for p in universe.places
+                  if p.type is PlaceType.CITY]
+        countries = [p for p in universe.places
+                     if p.type is PlaceType.COUNTRY]
+        continents = [p for p in universe.places
+                      if p.type is PlaceType.CONTINENT]
+        assert len(cities) == total_city_count()
+        assert len(countries) == len(COUNTRIES)
+        assert len(continents) == len({c.continent for c in COUNTRIES})
+
+    def test_hierarchy(self, universe):
+        by_id = {p.id: p for p in universe.places}
+        for place in universe.places:
+            if place.type is PlaceType.CITY:
+                country = by_id[place.part_of]
+                assert country.type is PlaceType.COUNTRY
+                continent = by_id[country.part_of]
+                assert continent.type is PlaceType.CONTINENT
+            elif place.type is PlaceType.CONTINENT:
+                assert place.part_of is None
+
+    def test_city_zorder_recorded(self, universe):
+        for city_id, z in universe.city_zorder.items():
+            assert 0 <= z <= 255
+            assert universe.country_of_city[city_id] \
+                < len(universe.countries)
+
+    def test_ids_in_place_space(self, universe):
+        for place in universe.places:
+            assert is_kind(place.id, EntityKind.PLACE)
+
+
+class TestOrganisations:
+    def test_universities_located_in_cities(self, universe):
+        by_id = {p.id: p for p in universe.places}
+        for org in universe.organisations:
+            if org.type is OrganisationType.UNIVERSITY:
+                assert by_id[org.location_id].type is PlaceType.CITY
+            else:
+                assert by_id[org.location_id].type is PlaceType.COUNTRY
+
+    def test_country_resolution(self, universe):
+        for country in universe.countries:
+            assert len(country.university_ids) \
+                == len(country.spec.universities)
+            assert len(country.company_ids) \
+                == len(country.spec.companies)
+            assert country.ranked_tag_ids
+
+    def test_org_lookup_map(self, universe):
+        for org in universe.organisations:
+            assert universe.organisation_by_id[org.id] is org
+
+    def test_university_serial_fits_12_bits(self, universe):
+        for org in universe.organisations:
+            assert 0 <= university_serial(org.id) <= 0xFFF
+
+
+class TestTags:
+    def test_counts(self, universe):
+        assert len(universe.tags) == total_tag_count()
+
+    def test_name_maps_invert(self, universe):
+        for tag in universe.tags:
+            assert universe.tag_name_by_id[tag.id] == tag.name
+            assert universe.tag_id_by_name[tag.name] == tag.id
+
+    def test_tag_classes_resolve(self, universe):
+        class_ids = {tc.id for tc in universe.tag_classes}
+        for tag in universe.tags:
+            assert tag.class_id in class_ids
+
+    def test_country_rankings_are_permutations(self, universe):
+        baseline = sorted(t.id for t in universe.tags)
+        for country in universe.countries:
+            assert sorted(country.ranked_tag_ids) == baseline
+
+
+class TestDeterminism:
+    def test_identical_across_builds(self, universe):
+        again = build_universe(Dictionaries(seed=0))
+        assert again.places == universe.places
+        assert again.organisations == universe.organisations
+        assert again.tags == universe.tags
+        assert [c.ranked_tag_ids for c in again.countries] \
+            == [c.ranked_tag_ids for c in universe.countries]

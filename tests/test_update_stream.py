@@ -1,0 +1,141 @@
+"""Tests for the bulk/update split and update-stream metadata."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.update_stream import (
+    DEPENDENCY_KINDS,
+    DEPENDENT_KINDS,
+    UpdateKind,
+    partition_updates,
+    split_network,
+)
+from repro.errors import DatagenError
+from repro.schema import validate_network
+from repro.sim_time import bulk_load_cut
+
+
+class TestSplit:
+    def test_cut_defaults_to_32_of_36(self, split):
+        assert split.cut == bulk_load_cut()
+
+    def test_bulk_strictly_before_cut(self, split):
+        cut = split.cut
+        for person in split.bulk.persons:
+            assert person.creation_date < cut
+        for edge in split.bulk.knows:
+            assert edge.creation_date < cut
+        for post in split.bulk.posts:
+            assert post.creation_date < cut
+        for like in split.bulk.likes:
+            assert like.creation_date < cut
+        for membership in split.bulk.memberships:
+            assert membership.joined_date < cut
+
+    def test_updates_at_or_after_cut(self, split):
+        for op in split.updates:
+            assert op.due_time >= split.cut
+
+    def test_bulk_network_is_consistent(self, split):
+        report = validate_network(split.bulk)
+        assert report.ok, report.violations[:10]
+
+    def test_nothing_lost(self, network, split):
+        total = (len(split.bulk.persons)
+                 + split.update_counts()[UpdateKind.ADD_PERSON])
+        assert total == len(network.persons)
+        total_likes = (len(split.bulk.likes)
+                       + split.update_counts()[UpdateKind.ADD_LIKE_POST]
+                       + split.update_counts()[
+                           UpdateKind.ADD_LIKE_COMMENT])
+        assert total_likes == len(network.likes)
+
+    def test_update_share_matches_growth_profile(self, network, split):
+        """Updates cover the last 4 of 36 months.  Activity grows with
+        network age (as in the real LDBC streams, where the SF10 update
+        stream holds ~40% of all forum operations), so the share is far
+        above the naive 1/9 but must stay below half."""
+        fraction = len(split.updates) / max(
+            len(network.persons) + len(network.knows)
+            + len(network.forums) + len(network.memberships)
+            + len(network.posts) + len(network.comments)
+            + len(network.likes), 1)
+        assert 0.05 < fraction < 0.55
+
+    def test_updates_sorted_by_due_time(self, split):
+        dues = [op.due_time for op in split.updates]
+        assert dues == sorted(dues)
+
+    def test_all_eight_kinds_present(self, split):
+        counts = split.update_counts()
+        for kind in UpdateKind:
+            assert counts[kind] > 0, kind
+
+
+class TestDependencyMetadata:
+    def test_dep_strictly_before_due(self, split):
+        for op in split.updates:
+            if op.is_dependent:
+                assert op.depends_on_time < op.due_time, op
+
+    def test_global_dep_bounded_by_dep(self, split):
+        for op in split.updates:
+            assert op.global_depends_on_time <= op.depends_on_time
+
+    def test_classification_matches_paper(self):
+        assert UpdateKind.ADD_PERSON in DEPENDENCY_KINDS
+        assert UpdateKind.ADD_PERSON not in DEPENDENT_KINDS
+        assert UpdateKind.ADD_LIKE_POST not in DEPENDENCY_KINDS
+        assert UpdateKind.ADD_LIKE_POST in DEPENDENT_KINDS
+        assert UpdateKind.ADD_POST in DEPENDENCY_KINDS
+        assert UpdateKind.ADD_POST in DEPENDENT_KINDS
+
+    def test_forum_ops_carry_partition_key(self, split):
+        for op in split.updates:
+            if op.kind in (UpdateKind.ADD_POST, UpdateKind.ADD_COMMENT,
+                           UpdateKind.ADD_FORUM,
+                           UpdateKind.ADD_FORUM_MEMBERSHIP,
+                           UpdateKind.ADD_LIKE_POST,
+                           UpdateKind.ADD_LIKE_COMMENT):
+                assert op.partition_key is not None
+            else:
+                assert op.partition_key is None
+
+    def test_comment_dep_is_parent(self, network, split):
+        posts = network.post_by_id()
+        comments = network.comment_by_id()
+        for op in split.updates:
+            if op.kind is not UpdateKind.ADD_COMMENT:
+                continue
+            comment = op.payload
+            parent = posts.get(comment.reply_of_id) \
+                or comments[comment.reply_of_id]
+            assert op.depends_on_time == parent.creation_date
+
+
+class TestPartitioning:
+    def test_forum_locality(self, split):
+        """All tree ops of one forum land in one partition (the paper's
+        sequential-mode prerequisite)."""
+        partitions = partition_updates(split.updates, 4)
+        owner: dict[int, int] = {}
+        for index, partition in enumerate(partitions):
+            for op in partition:
+                if op.partition_key is None:
+                    continue
+                previous = owner.setdefault(op.partition_key, index)
+                assert previous == index
+
+    def test_partitions_preserve_due_order(self, split):
+        for partition in partition_updates(split.updates, 5):
+            dues = [op.due_time for op in partition]
+            assert dues == sorted(dues)
+
+    def test_all_ops_assigned_once(self, split):
+        partitions = partition_updates(split.updates, 3)
+        assert sum(len(p) for p in partitions) == len(split.updates)
+
+    def test_zero_partitions_rejected(self, split):
+        with pytest.raises(DatagenError):
+            partition_updates(split.updates, 0)

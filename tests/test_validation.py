@@ -1,0 +1,118 @@
+"""Tests that the integrity validator catches injected violations."""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+
+from repro.schema import validate_network
+from repro.schema.entities import Comment, Knows, Like, Person, Post
+
+
+def _clone(network):
+    clone = copy.copy(network)
+    clone.persons = list(network.persons)
+    clone.knows = list(network.knows)
+    clone.posts = list(network.posts)
+    clone.comments = list(network.comments)
+    clone.likes = list(network.likes)
+    clone.forums = list(network.forums)
+    clone.memberships = list(network.memberships)
+    return clone
+
+
+class TestCleanNetwork:
+    def test_generated_network_has_no_violations(self, network):
+        report = validate_network(network)
+        assert report.ok
+        assert report.checked > 1000
+
+
+class TestInjectedViolations:
+    def test_duplicate_person(self, network):
+        broken = _clone(network)
+        broken.persons.append(broken.persons[0])
+        report = validate_network(broken)
+        assert any("duplicate person" in v for v in report.violations)
+
+    def test_person_created_before_birth(self, network):
+        broken = _clone(network)
+        victim = broken.persons[0]
+        broken.persons[0] = dataclasses.replace(
+            victim, creation_date=victim.birthday - 1) \
+            if dataclasses.is_dataclass(victim) else victim
+        report = validate_network(broken)
+        assert any("before birth" in v for v in report.violations)
+
+    def test_unnormalized_knows(self, network):
+        broken = _clone(network)
+        edge = broken.knows[0]
+        broken.knows[0] = Knows(edge.person2_id, edge.person1_id,
+                                edge.creation_date)
+        report = validate_network(broken)
+        assert any("not normalized" in v for v in report.violations)
+
+    def test_friendship_before_join(self, network):
+        broken = _clone(network)
+        edge = broken.knows[0]
+        broken.knows[0] = Knows(edge.person1_id, edge.person2_id, 0)
+        report = validate_network(broken)
+        assert any("predates a member joining" in v
+                   for v in report.violations)
+
+    def test_post_with_missing_author(self, network):
+        broken = _clone(network)
+        post = broken.posts[0]
+        broken.posts[0] = dataclasses.replace(post,
+                                              author_id=999_999_999)
+        report = validate_network(broken)
+        assert any("author missing" in v for v in report.violations)
+
+    def test_post_length_mismatch(self, network):
+        broken = _clone(network)
+        post = broken.posts[0]
+        broken.posts[0] = dataclasses.replace(post,
+                                              length=post.length + 7)
+        report = validate_network(broken)
+        assert any("length mismatch" in v for v in report.violations)
+
+    def test_comment_not_after_parent(self, network):
+        broken = _clone(network)
+        comment = broken.comments[0]
+        broken.comments[0] = dataclasses.replace(comment,
+                                                 creation_date=0)
+        report = validate_network(broken)
+        assert any("comment" in v and
+                   ("not after its parent" in v or "predates" in v)
+                   for v in report.violations)
+
+    def test_like_before_message(self, network):
+        broken = _clone(network)
+        like = broken.likes[0]
+        broken.likes[0] = Like(like.person_id, like.message_id, 1,
+                               like.is_post)
+        report = validate_network(broken)
+        assert any("like" in v.lower() for v in report.violations)
+
+    def test_duplicate_like(self, network):
+        broken = _clone(network)
+        broken.likes.append(broken.likes[0])
+        report = validate_network(broken)
+        assert any("duplicate like" in v for v in report.violations)
+
+    def test_membership_before_forum(self, network):
+        broken = _clone(network)
+        membership = broken.memberships[0]
+        import dataclasses as dc
+        broken.memberships[0] = dc.replace(membership, joined_date=0)
+        report = validate_network(broken)
+        assert any("predates" in v for v in report.violations)
+
+    def test_violation_cap(self, network):
+        """A badly broken network must not blow up the report."""
+        broken = _clone(network)
+        broken.likes = [Like(like.person_id, like.message_id, 1,
+                             like.is_post)
+                        for like in broken.likes] * 3
+        report = validate_network(broken)
+        assert len(report.violations) <= 1001

@@ -1,0 +1,39 @@
+"""Tests for the cross-SUT validation mode."""
+
+from __future__ import annotations
+
+from repro.core import cross_validate, render_validation
+from repro.core.validation import Mismatch, ValidationReport
+
+
+class TestCrossValidate:
+    def test_systems_agree(self, network, curated_params):
+        report = cross_validate(network, curated_params)
+        assert report.ok, render_validation(report)
+        assert report.queries_checked == 21  # 14 complex + 7 short
+        assert report.executions > 50
+
+    def test_render_ok(self, network, curated_params):
+        report = cross_validate(network, curated_params)
+        text = render_validation(report)
+        assert "OK — systems agree" in text
+        assert "21 query templates" in text
+
+    def test_render_mismatches(self):
+        report = ValidationReport(queries_checked=1, executions=1)
+        report.mismatches.append(Mismatch(
+            query="Q9", params="p", store_rows=3, engine_rows=4,
+            detail="complex read results differ"))
+        text = render_validation(report)
+        assert "MISMATCHES" in text
+        assert "Q9" in text
+        assert not report.ok
+
+    def test_cli_crosscheck(self, capsys):
+        from repro.cli import main
+
+        code = main(["crosscheck", "--persons", "70", "--seed", "2",
+                     "-k", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "systems agree" in out

@@ -1,0 +1,235 @@
+"""Tests for the query mix, random walk and calibration."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.rng import RandomStream
+from repro.workload import (
+    QueryMix,
+    RandomWalkConfig,
+    ReadOperation,
+    TABLE4_FREQUENCIES,
+    build_mixed_stream,
+    calibrate_frequencies,
+    expected_walk_length,
+    extract_entities,
+    run_walk,
+    scale_frequencies,
+    solve_walk_probability,
+)
+
+
+class TestTable4:
+    def test_paper_values(self):
+        """Table 4 verbatim."""
+        assert TABLE4_FREQUENCIES == {
+            1: 132, 2: 240, 3: 550, 4: 161, 5: 534, 6: 1615, 7: 144,
+            8: 13, 9: 1425, 10: 217, 11: 133, 12: 238, 13: 57, 14: 144,
+        }
+
+    def test_q8_most_frequent(self):
+        """The cheapest query (Q8) runs most often, the heaviest (Q6,
+        Q9) least often — the equal-CPU-share calibration."""
+        assert min(TABLE4_FREQUENCIES.values()) \
+            == TABLE4_FREQUENCIES[8]
+        assert TABLE4_FREQUENCIES[6] == max(TABLE4_FREQUENCIES.values())
+
+
+class TestQueryMix:
+    def test_due_queries_at_multiples(self):
+        mix = QueryMix({1: 10, 2: 25})
+        assert mix.due_queries(10) == [1]
+        assert mix.due_queries(25) == [2]
+        assert mix.due_queries(50) == [1, 2]
+        assert mix.due_queries(7) == []
+        assert mix.due_queries(0) == []
+
+    def test_executions_in(self):
+        mix = QueryMix({1: 10, 2: 25})
+        assert mix.executions_in(100) == {1: 10, 2: 4}
+
+    def test_reads_per_update(self):
+        mix = QueryMix({1: 10, 2: 20})
+        assert mix.reads_per_update() == pytest.approx(0.15)
+
+    def test_invalid_frequency(self):
+        with pytest.raises(WorkloadError):
+            QueryMix({1: 0})
+
+
+class TestMixedStream:
+    def test_read_counts_match_frequencies(self, split, curated_params):
+        mix = QueryMix()
+        stream = build_mixed_stream(split.updates, curated_params, mix)
+        reads = [op for op in stream
+                 if isinstance(op, ReadOperation)]
+        expected = mix.executions_in(len(split.updates))
+        for query_id, count in expected.items():
+            got = sum(1 for op in reads if op.query_id == query_id)
+            assert got == count
+
+    def test_stream_sorted_by_due_time(self, split, curated_params):
+        stream = build_mixed_stream(split.updates, curated_params)
+        dues = [op.due_time for op in stream]
+        assert dues == sorted(dues)
+
+    def test_reads_cycle_parameter_bindings(self, split,
+                                            curated_params):
+        stream = build_mixed_stream(split.updates, curated_params)
+        q8_params = [op.params for op in stream
+                     if isinstance(op, ReadOperation)
+                     and op.query_id == 8]
+        bindings = curated_params.by_query[8]
+        for index, params in enumerate(q8_params[:12]):
+            assert params == bindings[index % len(bindings)]
+
+    def test_reads_are_not_dependencies(self, split, curated_params):
+        stream = build_mixed_stream(split.updates, curated_params)
+        for op in stream:
+            if isinstance(op, ReadOperation):
+                assert not op.is_dependency
+                assert not op.is_dependent
+                assert op.op_class == f"Q{op.query_id}"
+
+
+class TestRandomWalk:
+    def test_config_validation(self):
+        with pytest.raises(WorkloadError):
+            RandomWalkConfig(probability=1.5)
+        with pytest.raises(WorkloadError):
+            RandomWalkConfig(delta=0.0)
+
+    def test_extract_entities(self):
+        from repro.queries.complex_reads.q2 import Q2Result
+
+        row = Q2Result(person_id=11, first_name="A", last_name="B",
+                       message_id=22, content="", creation_date=0,
+                       is_post=True)
+        entities = extract_entities([row])
+        assert ("person", 11) in entities
+        assert ("message", 22) in entities
+
+    def test_extract_handles_none_and_scalars(self):
+        assert extract_entities(None) == []
+        assert extract_entities([None]) == []
+        assert extract_entities(42) == []
+
+    def test_walk_terminates_and_counts(self):
+        executed = []
+
+        def execute_short(query_id, entity):
+            executed.append((query_id, entity))
+            return None
+
+        count = run_walk(execute_short, [("person", 1)],
+                         RandomWalkConfig(probability=1.0, delta=0.25),
+                         RandomStream(3))
+        assert count == len(executed)
+        assert count <= 4  # P drops to 0 after 4 steps
+
+    def test_walk_zero_probability(self):
+        count = run_walk(lambda q, e: None, [("person", 1)],
+                         RandomWalkConfig(probability=0.0, delta=0.1),
+                         RandomStream(1))
+        assert count == 0
+
+    def test_walk_uses_compatible_queries(self):
+        seen = []
+
+        def execute_short(query_id, entity):
+            seen.append((query_id, entity[0]))
+            return None
+
+        run_walk(execute_short,
+                 [("person", 1), ("message", 2)],
+                 RandomWalkConfig(probability=1.0, delta=0.05),
+                 RandomStream(5))
+        for query_id, kind in seen:
+            if kind == "person":
+                assert query_id in (1, 2, 3)
+            else:
+                assert query_id in (4, 5, 6, 7)
+
+
+class TestCalibration:
+    def test_expected_length_math(self):
+        # P=1.0, Δ=0.5: step survives with prob 1.0, then 1.0*0.5.
+        assert expected_walk_length(1.0, 0.5) == pytest.approx(1.5)
+
+    def test_expected_length_monotone_in_p(self):
+        lengths = [expected_walk_length(p, 0.2)
+                   for p in (0.2, 0.5, 0.8, 1.0)]
+        assert lengths == sorted(lengths)
+
+    def test_expected_length_matches_simulation(self):
+        config = RandomWalkConfig(probability=0.8, delta=0.2)
+        stream = RandomStream(7)
+        total = 0
+        trials = 4000
+        for __ in range(trials):
+            total += run_walk(lambda q, e: None, [("person", 1)],
+                              config, stream)
+        simulated = total / trials
+        predicted = expected_walk_length(0.8, 0.2)
+        assert abs(simulated - predicted) < 0.1
+
+    def test_solver_inverts_expected_length(self):
+        for target in (0.5, 1.0, 2.0):
+            p = solve_walk_probability(target, 0.1)
+            assert expected_walk_length(p, 0.1) \
+                == pytest.approx(target, abs=0.02)
+
+    def test_solver_clamps_at_one(self):
+        assert solve_walk_probability(100.0, 0.2) == 1.0
+
+    def test_calibrated_shares(self):
+        """Calibrated frequencies realize the 10/50/40 split."""
+        complex_means = {qid: 0.010 * qid for qid in range(1, 15)}
+        update_mean = 0.001
+        short_mean = 0.0005
+        result = calibrate_frequencies(complex_means, update_mean,
+                                       short_mean)
+        total_per_update = update_mean / 0.10
+        complex_time = sum(complex_means[qid] / freq for qid, freq
+                           in result.frequencies.items())
+        assert complex_time == pytest.approx(0.5 * total_per_update,
+                                             rel=0.25)
+        short_time = result.short_reads_per_update * short_mean
+        assert short_time == pytest.approx(0.4 * total_per_update,
+                                           rel=0.05)
+
+    def test_heavier_queries_less_frequent(self):
+        complex_means = {1: 0.001, 2: 0.100}
+        result = calibrate_frequencies(complex_means, 0.001, 0.0005)
+        assert result.frequencies[2] > result.frequencies[1]
+
+    def test_invalid_means_rejected(self):
+        with pytest.raises(WorkloadError):
+            calibrate_frequencies({1: 0.01}, 0.0, 0.001)
+        with pytest.raises(WorkloadError):
+            calibrate_frequencies({1: 0.0}, 0.001, 0.001)
+
+    def test_scale_frequencies_growth(self):
+        """Frequencies grow with D^hops as the dataset scales up."""
+        scaled = scale_frequencies(TABLE4_FREQUENCIES,
+                                   old_persons=10_000,
+                                   new_persons=1_000_000,
+                                   old_degree=20.0, new_degree=40.0)
+        # 1-hop queries grow 2×, 2-hop 4×, 3-hop 8×.
+        assert scaled[2] == pytest.approx(TABLE4_FREQUENCIES[2] * 2,
+                                          abs=1)
+        assert scaled[9] == pytest.approx(TABLE4_FREQUENCIES[9] * 4,
+                                          abs=2)
+        assert scaled[13] == pytest.approx(TABLE4_FREQUENCIES[13] * 8,
+                                           abs=4)
+
+    @given(st.floats(min_value=0.05, max_value=1.0),
+           st.floats(min_value=0.05, max_value=0.5))
+    @settings(max_examples=80)
+    def test_expected_length_bounded(self, probability, delta):
+        length = expected_walk_length(probability, delta)
+        assert 0 <= length <= probability / delta + 1

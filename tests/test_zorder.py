@@ -1,0 +1,81 @@
+"""Tests for Z-order encoding and the study-location composite key."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen.zorder import (
+    interleave_bits,
+    study_location_key,
+    zorder8,
+)
+
+
+class TestInterleave:
+    def test_zero(self):
+        assert interleave_bits(0, 0, 4) == 0
+
+    def test_x_even_positions(self):
+        assert interleave_bits(0b1111, 0, 4) == 0b01010101
+
+    def test_y_odd_positions(self):
+        assert interleave_bits(0, 0b1111, 4) == 0b10101010
+
+    def test_full(self):
+        assert interleave_bits(0b1111, 0b1111, 4) == 0b11111111
+
+
+class TestZOrder8:
+    def test_range(self):
+        for lat, lon in ((-90, -180), (90, 180), (0, 0), (52.5, 13.4)):
+            assert 0 <= zorder8(lat, lon) <= 255
+
+    def test_clamps_out_of_range(self):
+        assert zorder8(-999, -999) == zorder8(-90, -180)
+        assert zorder8(999, 999) == zorder8(90, 180)
+
+    def test_nearby_cities_share_prefix(self):
+        # Berlin and Hamburg are close; Berlin and Sydney are not.
+        berlin = zorder8(52.5, 13.4)
+        hamburg = zorder8(53.6, 10.0)
+        sydney = zorder8(-33.9, 151.2)
+        assert abs(berlin - hamburg) < abs(berlin - sydney)
+
+    @given(st.floats(min_value=-90, max_value=90),
+           st.floats(min_value=-180, max_value=180))
+    @settings(max_examples=200)
+    def test_always_8_bits(self, lat, lon):
+        assert 0 <= zorder8(lat, lon) <= 255
+
+
+class TestCompositeKey:
+    def test_bit_layout(self):
+        """Paper: city Z-order in bits 31-24, university in 23-12,
+        studied year in 11-0."""
+        key = study_location_key(0xAB, 0x123, 2005)
+        assert (key >> 24) & 0xFF == 0xAB
+        assert (key >> 12) & 0xFFF == 0x123
+        assert key & 0xFFF == 2005 & 0xFFF
+
+    def test_city_dominates_ordering(self):
+        same_city_a = study_location_key(5, 1, 2000)
+        same_city_b = study_location_key(5, 900, 2012)
+        other_city = study_location_key(6, 0, 1990)
+        assert same_city_a < other_city
+        assert same_city_b < other_city
+
+    def test_university_before_year(self):
+        a = study_location_key(5, 1, 2999)
+        b = study_location_key(5, 2, 1000)
+        assert a < b
+
+    @given(st.integers(min_value=0, max_value=255),
+           st.integers(min_value=0, max_value=0xFFF),
+           st.integers(min_value=0, max_value=0xFFF))
+    @settings(max_examples=200)
+    def test_roundtrip(self, z, university, year):
+        key = study_location_key(z, university, year)
+        assert (key >> 24) & 0xFF == z
+        assert (key >> 12) & 0xFFF == university
+        assert key & 0xFFF == year
