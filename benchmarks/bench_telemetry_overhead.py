@@ -1,0 +1,98 @@
+"""Micro-benchmark — cost of the telemetry guard when disabled.
+
+Every instrumented hot path checks ``telemetry.active`` (a module-level
+bool) before opening a span.  The subsystem's contract is that this
+guard is free for practical purposes: an instrumented operator pipeline
+with telemetry *disabled* must run at the same speed as the pure
+workload, and enabling tracing is the only thing that costs.
+
+Three measurements over an identical Scan→Filter plan on a 20k-row
+table:
+
+* ``baseline``   — uninstrumented loop over the same rows (the floor);
+* ``disabled``   — the real instrumented operators, telemetry off;
+* ``enabled``    — the same plan with tracing on (priced, not bounded).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import telemetry
+from repro.bench import emit_artifact, format_table
+from repro.engine.operators import Filter, Scan
+from repro.engine.rows import Schema, Table
+
+ROWS = 20_000
+REPEATS = 5
+
+
+def _table() -> Table:
+    table = Table("person", Schema(("id", "name")), primary_key="id")
+    table.bulk_load([(i, f"p{i}") for i in range(ROWS)])
+    return table
+
+
+def _plan(table: Table) -> Filter:
+    return Filter(Scan(table), lambda row: row[0] % 2 == 0)
+
+
+def _run_baseline(table: Table) -> int:
+    # The same tuple stream the operators produce, minus the operator
+    # machinery — the floor that the disabled guard is measured against.
+    count = 0
+    for row in table.rows:
+        if row[0] % 2 == 0:
+            count += 1
+    return count
+
+
+def _run_plan(table: Table) -> int:
+    return len(_plan(table).execute())
+
+
+def _best_of(func, *args) -> float:
+    best = float("inf")
+    for __ in range(REPEATS):
+        started = time.perf_counter()
+        func(*args)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_disabled_guard_adds_no_measurable_overhead(benchmark):
+    table = _table()
+    assert telemetry.active is False
+
+    baseline = _best_of(_run_baseline, table)
+    disabled = _best_of(_run_plan, table)
+
+    telemetry.enable(fresh_registry=True)
+    try:
+        enabled = _best_of(_run_plan, table)
+    finally:
+        telemetry.disable()
+
+    benchmark.pedantic(_run_plan, args=(table,), rounds=3, iterations=1)
+
+    rows = [
+        ["baseline (no operators)", f"{baseline * 1e3:.2f}", "1.00"],
+        ["instrumented, disabled", f"{disabled * 1e3:.2f}",
+         f"{disabled / baseline:.2f}"],
+        ["instrumented, enabled", f"{enabled * 1e3:.2f}",
+         f"{enabled / baseline:.2f}"],
+    ]
+    emit_artifact("telemetry_overhead", format_table(
+        ["configuration", "best-of-5 ms", "vs baseline"], rows,
+        title=f"Telemetry guard overhead — Scan→Filter over {ROWS} rows"))
+
+    # The operator machinery itself (generators, per-tuple counting)
+    # costs something over a bare loop; the *guard* must not add to it.
+    # Bound the whole instrumented-but-disabled plan at a generous
+    # multiple of the bare loop so the assertion survives noisy CI —
+    # a per-tuple guard regression (checking inside the loop instead of
+    # once per iterator) blows well past this.
+    assert disabled < 6.0 * baseline
+
+    # Sanity: disabled really took the plain path — no spans recorded.
+    assert telemetry.get_tracer() is None

@@ -14,9 +14,10 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
-from . import __version__
+from . import __version__, telemetry
 from .datagen import DatagenConfig, generate
 from .datagen.serializer import read_csv, write_csv
 from .datagen.stats import DatasetStatistics
@@ -40,6 +41,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="directory for CSV bulk export")
     gen.add_argument("--no-events", action="store_true",
                      help="disable event-driven post spikes")
+    _add_trace_flag(gen)
 
     val = commands.add_parser("validate",
                               help="validate a CSV export")
@@ -58,6 +60,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--mode",
                        choices=("parallel", "sequential", "windowed"),
                        default="sequential")
+    _add_trace_flag(bench)
 
     explain = commands.add_parser(
         "explain", help="EXPLAIN the Figure 4 plan for Q9")
@@ -85,6 +88,52 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_trace_flag(subparser) -> None:
+    subparser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="enable telemetry and write a trace to PATH on exit "
+             "(Chrome trace-event JSON for about:tracing/Perfetto, or "
+             "JSON-lines spans if PATH ends in .jsonl)")
+
+
+class _TraceSession:
+    """Enables telemetry for one command, exports on close."""
+
+    def __init__(self, path: str | None) -> None:
+        self.path = path
+        if path:
+            # Fail before the (possibly long) run, not at export time.
+            parent = os.path.dirname(os.path.abspath(path))
+            if not os.path.isdir(parent):
+                raise SystemExit(
+                    f"--trace: directory does not exist: {parent}")
+            telemetry.enable(fresh_registry=True)
+
+    def finish(self) -> None:
+        if not self.path:
+            return
+        tracer = telemetry.disable()
+        if str(self.path).endswith(".jsonl"):
+            written = telemetry.write_spans_jsonl(tracer, self.path)
+            kind = "JSON-lines span log"
+        else:
+            written = telemetry.write_chrome_trace(tracer, self.path)
+            kind = "Chrome trace (load in about:tracing or ui.perfetto.dev)"
+        print()
+        print(telemetry.render_span_summary(tracer))
+        breakdown = telemetry.wait_time_breakdown(tracer)
+        if breakdown:
+            print()
+            print(telemetry.render_wait_breakdown(tracer))
+        registry = telemetry.get_registry()
+        if len(registry):
+            print()
+            print(telemetry.render_metrics(registry))
+        print()
+        print(f"trace written: {self.path} — {kind}, "
+              f"{written} spans")
+
+
 def _cmd_generate(args) -> int:
     if args.scale_factor is not None:
         config = DatagenConfig.for_scale_factor(
@@ -95,6 +144,7 @@ def _cmd_generate(args) -> int:
                                event_driven_posts=not args.no_events)
     print(f"generating {config.num_persons} persons "
           f"(≈ SF {config.scale_factor:.4f}, seed {config.seed}) ...")
+    trace = _TraceSession(args.trace)
     network = generate(config)
     for name, value in DatasetStatistics.of(network).as_row().items():
         print(f"  {name:<10} {value}")
@@ -104,6 +154,7 @@ def _cmd_generate(args) -> int:
     if args.out:
         write_csv(network, args.out)
         print(f"CSV export written to {args.out}")
+    trace.finish()
     return 0 if report.ok else 1
 
 
@@ -135,8 +186,14 @@ def _cmd_benchmark(args) -> int:
         acceleration=(args.acceleration if args.acceleration is not None
                       else AS_FAST_AS_POSSIBLE),
     )
-    report = InteractiveBenchmark(config).run()
+    benchmark = InteractiveBenchmark(config)
+    # Preparation (datagen, bulk load, curation) happens untraced so the
+    # trace covers the measured run only.
+    benchmark.prepare()
+    trace = _TraceSession(args.trace)
+    report = benchmark.run()
     print(render_report(report))
+    trace.finish()
     return 0
 
 

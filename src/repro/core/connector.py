@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import time
 
+from .. import telemetry
 from ..datagen.update_stream import UpdateOperation
 from ..driver.metrics import LatencyRecorder
 from ..rng import RandomStream
@@ -36,6 +37,14 @@ class InteractiveConnector:
         self.short_reads_executed = 0
 
     def execute(self, operation) -> None:
+        if telemetry.active:
+            with telemetry.span("connector.execute",
+                                operation=type(operation).__name__):
+                self._dispatch(operation)
+        else:
+            self._dispatch(operation)
+
+    def _dispatch(self, operation) -> None:
         if isinstance(operation, UpdateOperation):
             self.sut.run_update(operation)
             return

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Protocol
 
+from .. import telemetry
 from ..datagen.update_stream import UpdateOperation
 from ..engine.catalog import Catalog
 from ..engine import snb_queries as engine_queries
@@ -49,6 +50,10 @@ class StoreSUT:
         entry = COMPLEX_QUERIES.get(query_id)
         if entry is None:
             raise WorkloadError(f"unknown complex query Q{query_id}")
+        if telemetry.active:
+            with telemetry.span(f"query.Q{query_id}", sut=self.name):
+                with self.store.transaction() as txn:
+                    return entry.run(txn, params)
         with self.store.transaction() as txn:
             return entry.run(txn, params)
 
@@ -56,10 +61,19 @@ class StoreSUT:
         entry = SHORT_QUERIES.get(query_id)
         if entry is None:
             raise WorkloadError(f"unknown short query S{query_id}")
+        if telemetry.active:
+            with telemetry.span(f"query.S{query_id}", sut=self.name):
+                with self.store.transaction() as txn:
+                    return entry.run(txn, entity[1])
         with self.store.transaction() as txn:
             return entry.run(txn, entity[1])
 
     def run_update(self, operation: UpdateOperation) -> None:
+        if telemetry.active:
+            with telemetry.span(f"update.{operation.kind.name}",
+                                sut=self.name):
+                execute_update(self.store, operation)
+            return
         execute_update(self.store, operation)
 
 
@@ -75,13 +89,25 @@ class EngineSUT:
         run = engine_queries.ENGINE_COMPLEX.get(query_id)
         if run is None:
             raise WorkloadError(f"unknown complex query Q{query_id}")
+        if telemetry.active:
+            with telemetry.span(f"query.Q{query_id}", sut=self.name):
+                return run(self.catalog, params)
         return run(self.catalog, params)
 
     def run_short(self, query_id: int, entity: tuple[str, int]) -> object:
         run = engine_queries.ENGINE_SHORT.get(query_id)
         if run is None:
             raise WorkloadError(f"unknown short query S{query_id}")
+        if telemetry.active:
+            with telemetry.span(f"query.S{query_id}", sut=self.name):
+                return run(self.catalog, entity[1])
         return run(self.catalog, entity[1])
 
     def run_update(self, operation: UpdateOperation) -> None:
+        if telemetry.active:
+            with telemetry.span(f"update.{operation.kind.name}",
+                                sut=self.name):
+                engine_queries.execute_engine_update(self.catalog,
+                                                     operation)
+            return
         engine_queries.execute_engine_update(self.catalog, operation)

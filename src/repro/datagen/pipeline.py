@@ -22,6 +22,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from .. import telemetry
 from ..schema.dataset import SocialNetwork
 from .activity import ActivityGenerator
 from .config import DatagenConfig
@@ -132,9 +133,15 @@ class DatagenPipeline:
 
     def _record(self, name: str, started: float,
                 parallel_fraction: float) -> None:
-        elapsed = time.perf_counter() - started
+        ended = time.perf_counter()
+        elapsed = ended - started
         self.timings.stages.append(StageTiming(name, elapsed,
                                                parallel_fraction))
+        if telemetry.active:
+            # Stages time themselves (perf_counter, the tracer's clock),
+            # so they export as pre-timed spans.
+            telemetry.add_span("datagen." + name, started, ended,
+                               parallel_fraction=parallel_fraction)
 
 
 def _adjacency(persons, knows) -> dict[int, list[tuple[int, int]]]:

@@ -12,14 +12,17 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 
+# The nearest-rank implementation lives with the telemetry histograms;
+# re-exported here because this module is its historical home.
+from ..telemetry.metrics import percentile
 
-def percentile(values: list[float], fraction: float) -> float:
-    """Nearest-rank percentile of a non-empty list (fraction in [0,1])."""
-    if not values:
-        raise ValueError("cannot take a percentile of nothing")
-    ordered = sorted(values)
-    rank = min(int(fraction * len(ordered)), len(ordered) - 1)
-    return ordered[rank]
+__all__ = [
+    "ClassStats",
+    "DriverMetrics",
+    "LatencyRecorder",
+    "percentile",
+    "steady_state_ok",
+]
 
 
 @dataclass

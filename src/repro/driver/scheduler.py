@@ -26,6 +26,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from .. import telemetry
 from ..datagen.update_stream import partition_updates
 from ..errors import DriverError
 from ..rng import RandomStream
@@ -134,6 +135,9 @@ class WorkloadDriver:
                            if self._op_count else 0.0),
             max_lateness=self._max_lateness,
         )
+        if telemetry.active:
+            telemetry.publish_driver_metrics(metrics,
+                                             telemetry.get_registry())
         return DriverReport(
             metrics=metrics,
             dependency_timeouts=self._timeouts,
@@ -148,14 +152,23 @@ class WorkloadDriver:
     def _partition_main(self, index, ops, lds, clock, run_start,
                         errors) -> None:
         try:
-            if self.config.mode is ExecutionMode.WINDOWED:
-                self._run_windowed(index, ops, lds, clock, run_start)
+            if telemetry.active:
+                with telemetry.span(f"scheduler.partition.{index}",
+                                    mode=self.config.mode.value,
+                                    operations=len(ops)):
+                    self._run_partition(index, ops, lds, clock, run_start)
             else:
-                self._run_ordered(ops, lds, clock, run_start)
+                self._run_partition(index, ops, lds, clock, run_start)
         except BaseException as exc:  # surfaced by run()
             errors.append(exc)
         finally:
             lds.finish()
+
+    def _run_partition(self, index, ops, lds, clock, run_start) -> None:
+        if self.config.mode is ExecutionMode.WINDOWED:
+            self._run_windowed(index, ops, lds, clock, run_start)
+        else:
+            self._run_ordered(index, ops, lds, clock, run_start)
 
     def _tracks_dependencies(self, op) -> bool:
         """Does this op register in IT/CT under the current mode?"""
@@ -175,14 +188,14 @@ class WorkloadDriver:
             return op.depends_on_time
         return op.global_depends_on_time
 
-    def _run_ordered(self, ops, lds, clock, run_start) -> None:
+    def _run_ordered(self, index, ops, lds, clock, run_start) -> None:
         """PARALLEL / SEQUENTIAL: the Figure 8 loop, in due-time order."""
         for op in ops:
             lds.advance_watermark(op.due_time)
             tracked = self._tracks_dependencies(op)
             if tracked:
                 lds.initiate(op.due_time)
-            self._wait_for_dependency(op)
+            self._wait_for_dependency(op, index)
             lateness = clock.wait_until_due(op.due_time)
             self._execute(op, run_start, lateness)
             if tracked:
@@ -204,7 +217,7 @@ class WorkloadDriver:
                 return
             max_dep = max(self._dependency_time(op) for op in window)
             if max_dep > 0:
-                self._wait_for_window(max_dep)
+                self._wait_for_window(max_dep, index)
             lateness = clock.wait_until_due(window_start)
             stream.shuffle(window)
             for op in window:
@@ -218,7 +231,7 @@ class WorkloadDriver:
                 # Dependencies are never windowed: flush and run inline.
                 flush()
                 lds.initiate(op.due_time)
-                self._wait_for_dependency(op)
+                self._wait_for_dependency(op, index)
                 lateness = clock.wait_until_due(op.due_time)
                 self._execute(op, run_start, lateness)
                 lds.complete(op.due_time)
@@ -235,33 +248,66 @@ class WorkloadDriver:
     # shared helpers
     # ------------------------------------------------------------------
 
-    def _wait_for_dependency(self, op) -> None:
+    def _gc_wait(self, dep_time: int) -> bool:
+        """Block on T_GC ≥ dep_time, timed into telemetry when active."""
+        if not telemetry.active:
+            return self.gds.wait_until(dep_time,
+                                       self.config.dependency_wait_timeout)
+        with telemetry.span("scheduler.wait.gc", dep_time=dep_time) as sp:
+            started = time.perf_counter()
+            arrived = self.gds.wait_until(
+                dep_time, self.config.dependency_wait_timeout)
+            waited = time.perf_counter() - started
+            sp.set("timed_out", not arrived)
+        telemetry.histogram(telemetry.GC_WAIT_HISTOGRAM).observe(waited)
+        if not arrived:
+            telemetry.counter(telemetry.GC_TIMEOUT_COUNTER).inc()
+        return arrived
+
+    def _wait_for_dependency(self, op, index: int) -> None:
         dep_time = self._dependency_time(op)
         if dep_time <= 0:
             return
-        if not self.gds.wait_until(dep_time,
-                                   self.config.dependency_wait_timeout):
+        if not self._gc_wait(dep_time):
             with self._timeout_lock:
                 self._timeouts += 1
             raise DriverError(
-                f"dependency wait timed out: T_GC stuck below {dep_time} "
-                f"for {op}")
+                f"partition {index}: dependency wait timed out: T_GC "
+                f"stuck below {dep_time} for {op}")
 
-    def _wait_for_window(self, max_dep: int) -> None:
-        if not self.gds.wait_until(max_dep,
-                                   self.config.dependency_wait_timeout):
+    def _wait_for_window(self, max_dep: int, index: int) -> None:
+        if not self._gc_wait(max_dep):
             with self._timeout_lock:
                 self._timeouts += 1
             raise DriverError(
-                f"windowed dependency wait timed out at {max_dep}")
+                f"partition {index}: windowed dependency wait timed out "
+                f"at {max_dep}")
 
     def _execute(self, op, run_start, lateness: float) -> None:
         started = time.monotonic()
+        if telemetry.active:
+            with telemetry.span("op." + _op_class_name(op),
+                                due_time=op.due_time,
+                                lateness_seconds=lateness):
+                self._execute_with_retries(op)
+        else:
+            self._execute_with_retries(op)
+        latency = time.monotonic() - started
+        self.recorder.record(_op_class_name(op), latency,
+                             started - run_start)
+        with self._timeout_lock:
+            self._op_count += 1
+            if lateness > self.config.lateness_tolerance:
+                self._late_count += 1
+            if lateness > self._max_lateness:
+                self._max_lateness = lateness
+
+    def _execute_with_retries(self, op) -> None:
         attempt = 0
         while True:
             try:
                 self.connector.execute(op)
-                break
+                return
             except Exception:
                 attempt += 1
                 if attempt > self.config.max_retries:
@@ -269,15 +315,10 @@ class WorkloadDriver:
                 with self._timeout_lock:
                     self._retries += 1
                 time.sleep(self.config.retry_backoff)
-        latency = time.monotonic() - started
-        op_class = getattr(op, "op_class", None) \
-            or getattr(op, "kind", None)
-        name = op_class.name if hasattr(op_class, "name") \
-            else str(op_class or type(op).__name__)
-        self.recorder.record(name, latency, started - run_start)
-        with self._timeout_lock:
-            self._op_count += 1
-            if lateness > self.config.lateness_tolerance:
-                self._late_count += 1
-            if lateness > self._max_lateness:
-                self._max_lateness = lateness
+
+
+def _op_class_name(op) -> str:
+    """The latency/span class of an operation (Q9, ADD_POST, ...)."""
+    op_class = getattr(op, "op_class", None) or getattr(op, "kind", None)
+    return op_class.name if hasattr(op_class, "name") \
+        else str(op_class or type(op).__name__)

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Iterator
 
+from .. import telemetry
 from ..errors import EngineError
 from .rows import Schema, Table
 
@@ -29,9 +30,29 @@ class Operator:
         raise NotImplementedError
 
     def __iter__(self) -> Iterator[tuple]:
+        if telemetry.active:
+            return self._iter_traced()
+        return self._iter_plain()
+
+    def _iter_plain(self) -> Iterator[tuple]:
         for row in self._produce():
             self.tuples_out += 1
             yield row
+
+    def _iter_traced(self) -> Iterator[tuple]:
+        # The span covers this operator's whole iteration, including
+        # time spent suspended while the consumer works; children pulled
+        # inside _produce() nest under it.  The tuples_out attribute is
+        # what feeds ``explain(show_actuals=True)`` and the trace view,
+        # and is recorded even when a consumer (Limit, TopK) abandons
+        # the iterator early.
+        with telemetry.span("engine." + self.label) as span:
+            try:
+                for row in self._produce():
+                    self.tuples_out += 1
+                    yield row
+            finally:
+                span.set("tuples_out", self.tuples_out)
 
     def execute(self) -> list[tuple]:
         """Materialize the full result."""

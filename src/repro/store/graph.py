@@ -26,6 +26,7 @@ import threading
 from enum import Enum
 from typing import Any, Iterator
 
+from .. import telemetry
 from ..errors import (
     DuplicateError,
     NotFoundError,
@@ -138,6 +139,16 @@ class GraphStore:
 
     def _apply_commit(self, txn: "Transaction") -> int:
         """Validate and apply a transaction's write set; return commit ts."""
+        if telemetry.active:
+            with telemetry.span(
+                    "store.commit",
+                    inserts=len(txn.new_vertices),
+                    updates=len(txn.updated_vertices),
+                    edges=len(txn.new_edges)):
+                return self._apply_commit_locked(txn)
+        return self._apply_commit_locked(txn)
+
+    def _apply_commit_locked(self, txn: "Transaction") -> int:
         with self._commit_lock:
             snapshot = txn.snapshot
             for (label, vid), props in txn.new_vertices.items():
@@ -377,6 +388,16 @@ class Transaction:
 
     def lookup(self, vertex_label: str, prop: str, value: Any) -> list[int]:
         """Equality index lookup."""
+        if telemetry.active:
+            with telemetry.span("store.index.lookup",
+                                label=vertex_label, prop=prop) as span:
+                found = self._lookup(vertex_label, prop, value)
+                span.set("matches", len(found))
+                return found
+        return self._lookup(vertex_label, prop, value)
+
+    def _lookup(self, vertex_label: str, prop: str,
+                value: Any) -> list[int]:
         self._check_open()
         index = self.store._hash_indexes.get((vertex_label, prop))
         if index is None:
@@ -397,6 +418,10 @@ class Transaction:
         if index is None:
             raise NotFoundError(
                 f"no ordered index on {vertex_label}.{prop}")
+        if telemetry.active:
+            # Range scans are consumed lazily, so a span would mostly
+            # measure the consumer; count them instead.
+            telemetry.counter("store.index.range_scans").inc()
         yield from index.range(low, high, snapshot=self.snapshot,
                                reverse=reverse)
 

@@ -18,9 +18,18 @@ from __future__ import annotations
 import json
 import os
 import threading
+import warnings
 from typing import IO, Any
 
+from .. import telemetry
 from ..errors import StoreError
+
+#: Telemetry counter incremented for every torn/partial record skipped
+#: during log reading (crash mid-append leaves at most one).
+TORN_RECORD_COUNTER = "store.wal.torn_records"
+
+#: The keys every well-formed commit record carries.
+_RECORD_KEYS = ("ts", "inserts", "updates", "edges")
 from ..schema.dataset import SocialNetwork
 from .graph import GraphStore
 from .loader import load_network
@@ -77,6 +86,14 @@ class WriteAheadLog:
                       for label, src, dst, props in new_edges],
         }
         line = json.dumps(record, separators=(",", ":"))
+        if telemetry.active:
+            with telemetry.span("store.wal.commit", ts=ts,
+                                bytes=len(line) + 1):
+                self._append(line)
+        else:
+            self._append(line)
+
+    def _append(self, line: str) -> None:
         with self._lock:
             self._handle.write(line + "\n")
             self._handle.flush()
@@ -98,19 +115,42 @@ class WriteAheadLog:
 def read_log(path: str | os.PathLike) -> list[dict]:
     """Parse all commit records of a log file (oldest first).
 
-    A torn final line (crash mid-write) is tolerated and dropped, as a
-    recovering database would.
+    A torn final record (crash mid-append) is skipped with a warning —
+    the ``store.wal.torn_records`` telemetry counter and a
+    :class:`UserWarning` — as a recovering database would.  Torn covers
+    both an unparsable trailing line and a truncation that still parses
+    as JSON but lost some of the record's fields.  Corruption *before*
+    the final record cannot come from a clean crash mid-append and
+    raises :class:`~repro.errors.StoreError` instead of silently
+    dropping committed data.
     """
-    records = []
     with open(path, encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                records.append(json.loads(line))
-            except json.JSONDecodeError:
-                break  # torn tail: everything after is unusable
+        lines = [line.strip() for line in handle]
+    while lines and not lines[-1]:
+        lines.pop()
+    records = []
+    for position, line in enumerate(lines):
+        if not line:
+            continue
+        record: dict | None
+        try:
+            parsed = json.loads(line)
+            record = parsed if isinstance(parsed, dict) and all(
+                key in parsed for key in _RECORD_KEYS) else None
+        except json.JSONDecodeError:
+            record = None
+        if record is not None:
+            records.append(record)
+            continue
+        if position != len(lines) - 1:
+            raise StoreError(
+                f"corrupt WAL record at line {position + 1} of "
+                f"{os.fspath(path)} (not the final record; refusing "
+                f"to drop committed data)")
+        telemetry.counter(TORN_RECORD_COUNTER).inc()
+        warnings.warn(
+            f"skipping torn trailing WAL record in {os.fspath(path)} "
+            f"(crash mid-append)", stacklevel=2)
     return records
 
 

@@ -1,0 +1,190 @@
+"""End-to-end tracing and observability for the reproduction.
+
+The subsystem has three parts:
+
+* hierarchical **spans** with thread-local context propagation
+  (:mod:`repro.telemetry.context`) — driver scheduler partitions,
+  connector calls, queries, engine operators, store commits and datagen
+  stages nest into one tree per thread;
+* a **metric registry** (:mod:`repro.telemetry.metrics`) — counters,
+  gauges and histograms with nearest-rank percentile snapshots;
+* **exporters** (:mod:`repro.telemetry.exporters`) — JSON-lines span
+  logs, Chrome ``trace_event`` JSON for ``about:tracing``/Perfetto, and
+  plain-text summary tables.
+
+Zero cost when disabled
+-----------------------
+
+Tracing is off by default and instrumented hot paths guard every span
+with a **module-level flag check**::
+
+    from repro import telemetry
+
+    if telemetry.active:
+        with telemetry.span("engine.HashJoin"):
+            work()
+    else:
+        work()
+
+``telemetry.active`` is a plain module attribute, so the disabled branch
+costs one attribute load and a jump — no allocation, no context-manager
+machinery (``benchmarks/bench_telemetry_overhead.py`` measures this).
+:func:`enable` installs a :class:`Tracer` and flips the flag;
+:func:`disable` flips it back and returns the tracer for export.
+
+The default :class:`MetricRegistry` is *always* available (counters such
+as the WAL's torn-record warning count are useful even without tracing);
+:func:`enable` optionally swaps in a fresh one.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from .bridge import (
+    GC_TIMEOUT_COUNTER,
+    GC_WAIT_HISTOGRAM,
+    publish_driver_metrics,
+)
+from .context import Span, Tracer
+from .exporters import (
+    chrome_trace_events,
+    render_metrics,
+    render_span_summary,
+    render_wait_breakdown,
+    wait_time_breakdown,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSnapshot,
+    MetricRegistry,
+    percentile,
+)
+
+__all__ = [
+    "GC_TIMEOUT_COUNTER",
+    "GC_WAIT_HISTOGRAM",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricRegistry",
+    "Span",
+    "Tracer",
+    "active",
+    "add_span",
+    "chrome_trace_events",
+    "counter",
+    "current_span",
+    "disable",
+    "enable",
+    "gauge",
+    "get_registry",
+    "get_tracer",
+    "histogram",
+    "percentile",
+    "publish_driver_metrics",
+    "render_metrics",
+    "render_span_summary",
+    "render_wait_breakdown",
+    "span",
+    "wait_time_breakdown",
+    "write_chrome_trace",
+    "write_spans_jsonl",
+]
+
+#: THE guard flag. Instrumented code reads this attribute directly
+#: (``telemetry.active``); it is True exactly while a tracer is installed.
+active: bool = False
+
+_tracer: Tracer | None = None
+_registry: MetricRegistry = MetricRegistry()
+
+
+def enable(tracer: Tracer | None = None,
+           fresh_registry: bool = False) -> Tracer:
+    """Install a tracer (a new one by default) and start recording.
+
+    Re-enabling while active replaces the tracer.  With
+    ``fresh_registry`` the default metric registry is reset too, so a
+    traced run starts from clean counters.
+    """
+    global active, _tracer, _registry
+    _tracer = tracer or Tracer()
+    if fresh_registry:
+        _registry = MetricRegistry()
+    active = True
+    return _tracer
+
+
+def disable() -> Tracer | None:
+    """Stop recording; returns the tracer that was active (for export)."""
+    global active, _tracer
+    active = False
+    tracer, _tracer = _tracer, None
+    return tracer
+
+
+def get_tracer() -> Tracer | None:
+    """The active tracer, or None when tracing is disabled."""
+    return _tracer
+
+
+def get_registry() -> MetricRegistry:
+    """The process-wide default metric registry (always available)."""
+    return _registry
+
+
+@contextmanager
+def _null_span() -> Iterator[Span | None]:
+    yield None
+
+
+def span(name: str, **attributes: Any):
+    """Open a span on the active tracer (no-op context when disabled).
+
+    Hot paths should guard with ``telemetry.active`` instead of relying
+    on the no-op fallback; the fallback exists so that cold paths and
+    tests can call :func:`span` unconditionally.
+    """
+    tracer = _tracer
+    if tracer is None:
+        return _null_span()
+    return tracer.span(name, **attributes)
+
+
+def add_span(name: str, start: float, end: float,
+             **attributes: Any) -> Span | None:
+    """Record a pre-timed span on the active tracer (None when off)."""
+    tracer = _tracer
+    if tracer is None:
+        return None
+    return tracer.add_span(name, start, end, **attributes)
+
+
+def current_span() -> Span | None:
+    """The calling thread's innermost open span (None when off)."""
+    tracer = _tracer
+    if tracer is None:
+        return None
+    return tracer.current_span()
+
+
+def counter(name: str) -> Counter:
+    """Counter from the default registry."""
+    return _registry.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    """Gauge from the default registry."""
+    return _registry.gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    """Histogram from the default registry."""
+    return _registry.histogram(name)

@@ -1,0 +1,41 @@
+"""Bridge from driver run metrics into the telemetry registry.
+
+The driver's :class:`~repro.driver.metrics.DriverMetrics` predates this
+subsystem and stays the canonical run result; this bridge republishes it
+into a :class:`~repro.telemetry.metrics.MetricRegistry` so one snapshot
+(and one set of exporters) covers latencies, throughput *and* the
+wait-time instrumentation the scheduler records directly — which is what
+lets bench tables show per-class latency next to T_GC wait breakdowns.
+"""
+
+from __future__ import annotations
+
+from .metrics import MetricRegistry
+
+#: Histogram fed by the scheduler with per-wait T_GC blocking seconds.
+GC_WAIT_HISTOGRAM = "driver.gc_wait_seconds"
+#: Counter of dependency-wait timeouts (wedged-run detector trips).
+GC_TIMEOUT_COUNTER = "driver.gc_wait_timeouts"
+
+
+def publish_driver_metrics(metrics, registry: MetricRegistry) -> None:
+    """Publish a DriverMetrics object's figures as telemetry metrics.
+
+    ``metrics`` is duck-typed (anything with ``wall_seconds``,
+    ``operations``, ``throughput``, ``late_fraction``, ``max_lateness``
+    and a ``per_class`` mapping of ClassStats) so this module does not
+    import the driver package.
+    """
+    registry.gauge("driver.wall_seconds").set(metrics.wall_seconds)
+    registry.gauge("driver.operations").set(metrics.operations)
+    registry.gauge("driver.throughput_ops").set(metrics.throughput)
+    registry.gauge("driver.late_fraction").set(metrics.late_fraction)
+    registry.gauge("driver.max_lateness_seconds").set(metrics.max_lateness)
+    for name, stats in metrics.per_class.items():
+        prefix = f"driver.latency_ms.{name}"
+        registry.gauge(f"{prefix}.count").set(stats.count)
+        registry.gauge(f"{prefix}.mean").set(stats.mean_ms)
+        registry.gauge(f"{prefix}.p50").set(stats.p50_ms)
+        registry.gauge(f"{prefix}.p95").set(stats.p95_ms)
+        registry.gauge(f"{prefix}.p99").set(stats.p99_ms)
+        registry.gauge(f"{prefix}.max").set(stats.max_ms)

@@ -1,0 +1,206 @@
+"""Span and metric exporters.
+
+Three formats:
+
+* **JSON lines** — one span per line, full fidelity (ids, parents,
+  threads, attributes); the machine-readable artifact.
+* **Chrome trace events** — a ``{"traceEvents": [...]}`` document of
+  complete (``"ph": "X"``) events, loadable in ``about:tracing`` or
+  https://ui.perfetto.dev for a flame-graph view of a run.  Span
+  hierarchy is preserved both visually (nesting per thread track) and
+  explicitly (``args.span_id`` / ``args.parent_id``).
+* **plain text** — per-span-name summary table and the per-partition
+  wait-time breakdown, for terminal output next to the bench tables.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import IO, Iterable
+
+from ..bench.tables import format_table
+from .context import Span, Tracer
+from .metrics import MetricRegistry, percentile
+
+
+def _spans_of(source: Tracer | Iterable[Span]) -> list[Span]:
+    if isinstance(source, Tracer):
+        return source.finished_spans()
+    return list(source)
+
+
+def _epoch_of(source: Tracer | Iterable[Span],
+              spans: list[Span]) -> float:
+    if isinstance(source, Tracer):
+        return source.epoch
+    return min((span.start for span in spans), default=0.0)
+
+
+def span_to_dict(span: Span, epoch: float = 0.0) -> dict:
+    """JSON-serializable rendering of one span (times in µs from epoch)."""
+    end = span.end if span.end is not None else span.start
+    return {
+        "name": span.name,
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "thread_id": span.thread_id,
+        "thread_name": span.thread_name,
+        "start_us": (span.start - epoch) * 1e6,
+        "duration_us": (end - span.start) * 1e6,
+        "attributes": span.attributes,
+    }
+
+
+def write_spans_jsonl(source: Tracer | Iterable[Span],
+                      path: str | os.PathLike) -> int:
+    """Write one JSON object per span; returns the number written."""
+    spans = _spans_of(source)
+    epoch = _epoch_of(source, spans)
+    with open(path, "w", encoding="utf-8") as handle:
+        for span in spans:
+            handle.write(json.dumps(span_to_dict(span, epoch),
+                                    separators=(",", ":"), default=str))
+            handle.write("\n")
+    return len(spans)
+
+
+def chrome_trace_events(source: Tracer | Iterable[Span]) -> list[dict]:
+    """Spans as Chrome ``trace_event`` complete events."""
+    spans = _spans_of(source)
+    epoch = _epoch_of(source, spans)
+    pid = os.getpid()
+    events = []
+    for span in spans:
+        end = span.end if span.end is not None else span.start
+        args = {"span_id": span.span_id, "parent_id": span.parent_id}
+        args.update(span.attributes)
+        events.append({
+            "name": span.name,
+            "cat": span.name.split(".", 1)[0],
+            "ph": "X",
+            "ts": (span.start - epoch) * 1e6,
+            "dur": (end - span.start) * 1e6,
+            "pid": pid,
+            "tid": span.thread_id,
+            "args": args,
+        })
+    events.sort(key=lambda event: (event["tid"], event["ts"]))
+    return events
+
+
+def write_chrome_trace(source: Tracer | Iterable[Span],
+                       path: str | os.PathLike,
+                       handle: IO[str] | None = None) -> int:
+    """Write an ``about:tracing``-loadable JSON document.
+
+    Returns the number of trace events written.
+    """
+    events = chrome_trace_events(source)
+    document = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if handle is not None:
+        json.dump(document, handle, default=str)
+    else:
+        with open(path, "w", encoding="utf-8") as out:
+            json.dump(document, out, default=str)
+    return len(events)
+
+
+def render_span_summary(source: Tracer | Iterable[Span],
+                        title: str = "telemetry span summary") -> str:
+    """Per-span-name table: count, total, mean, p50/p95/p99, max (ms)."""
+    by_name: dict[str, list[float]] = {}
+    for span in _spans_of(source):
+        by_name.setdefault(span.name, []).append(
+            span.duration_seconds * 1000.0)
+    rows = []
+    for name in sorted(by_name):
+        durations = by_name[name]
+        rows.append([
+            name,
+            len(durations),
+            sum(durations),
+            sum(durations) / len(durations),
+            percentile(durations, 0.50),
+            percentile(durations, 0.95),
+            percentile(durations, 0.99),
+            max(durations),
+        ])
+    return format_table(
+        ["span", "count", "total_ms", "mean_ms", "p50_ms", "p95_ms",
+         "p99_ms", "max_ms"], rows, title=title)
+
+
+def wait_time_breakdown(source: Tracer | Iterable[Span],
+                        ) -> dict[str, dict[str, float]]:
+    """Per scheduler-partition seconds spent working vs waiting on T_GC.
+
+    Returns ``partition span name → {"total", "gc_wait", "execute"}``;
+    the wait figures come from the ``scheduler.wait.gc`` spans nested
+    under each partition, the execute figures from the ``op.*`` spans.
+    """
+    spans = _spans_of(source)
+    partitions = {span.span_id: span for span in spans
+                  if span.name.startswith("scheduler.partition.")}
+    by_id = {span.span_id: span for span in spans}
+
+    def owning_partition(span: Span) -> Span | None:
+        seen = set()
+        current: Span | None = span
+        while current is not None and current.span_id not in seen:
+            seen.add(current.span_id)
+            if current.span_id in partitions:
+                return current
+            current = by_id.get(current.parent_id) \
+                if current.parent_id is not None else None
+        return None
+
+    breakdown = {
+        span.name: {"total": span.duration_seconds,
+                    "gc_wait": 0.0, "execute": 0.0}
+        for span in partitions.values()}
+    for span in spans:
+        bucket = None
+        if span.name == "scheduler.wait.gc":
+            bucket = "gc_wait"
+        elif span.name.startswith("op."):
+            bucket = "execute"
+        if bucket is None:
+            continue
+        partition = owning_partition(span)
+        if partition is not None:
+            breakdown[partition.name][bucket] += span.duration_seconds
+    return breakdown
+
+
+def render_wait_breakdown(source: Tracer | Iterable[Span]) -> str:
+    """The wait-time breakdown as an aligned text table."""
+    breakdown = wait_time_breakdown(source)
+    rows = []
+    for name in sorted(breakdown):
+        entry = breakdown[name]
+        rows.append([name, entry["total"], entry["gc_wait"],
+                     entry["execute"],
+                     entry["total"] - entry["gc_wait"] - entry["execute"]])
+    return format_table(
+        ["partition", "total_s", "gc_wait_s", "execute_s", "other_s"],
+        rows, title="scheduler wait-time breakdown")
+
+
+def render_metrics(registry: MetricRegistry,
+                   title: str = "telemetry metrics") -> str:
+    """Registry snapshot as an aligned text table."""
+    from .metrics import HistogramSnapshot
+
+    rows = []
+    for name, value in registry.snapshot().items():
+        if value is None:
+            continue
+        if isinstance(value, HistogramSnapshot):
+            rows.append([name,
+                         f"n={value.count} mean={value.mean:.6f} "
+                         f"p50={value.p50:.6f} p99={value.p99:.6f} "
+                         f"max={value.max:.6f}"])
+        else:
+            rows.append([name, value])
+    return format_table(["metric", "value"], rows, title=title)

@@ -1,0 +1,177 @@
+"""Metric primitives: counters, gauges, histograms, and the registry.
+
+This module is also the home of the one nearest-rank percentile
+implementation shared by the whole codebase — driver latency stats,
+bench tables and telemetry snapshots all import it from here, so the
+edge cases (empty input, single sample, fraction 0/1) are tested once.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Iterator
+
+
+def percentile(values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of a non-empty list (fraction in [0,1])."""
+    if not values:
+        raise ValueError("cannot take a percentile of nothing")
+    ordered = sorted(values)
+    rank = min(int(fraction * len(ordered)), len(ordered) - 1)
+    return ordered[rank]
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """Last-written value (e.g. a final run statistic)."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+@dataclass(frozen=True)
+class HistogramSnapshot:
+    """Point-in-time percentile summary of one histogram."""
+
+    name: str
+    count: int
+    sum: float
+    min: float
+    max: float
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+
+
+class Histogram:
+    """Sample collector with nearest-rank percentile snapshots.
+
+    Samples are kept raw (the workloads instrumented here produce at
+    most a few hundred thousand observations per run), so snapshots are
+    exact, matching what :class:`~repro.driver.metrics.LatencyRecorder`
+    reports for the same data.
+    """
+
+    __slots__ = ("name", "_lock", "_samples")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._samples: list[float] = []
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._samples.append(value)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+    def values(self) -> list[float]:
+        with self._lock:
+            return list(self._samples)
+
+    def snapshot(self) -> HistogramSnapshot | None:
+        """Percentile summary, or None if nothing was observed."""
+        samples = self.values()
+        if not samples:
+            return None
+        return HistogramSnapshot(
+            name=self.name,
+            count=len(samples),
+            sum=sum(samples),
+            min=min(samples),
+            max=max(samples),
+            mean=sum(samples) / len(samples),
+            p50=percentile(samples, 0.50),
+            p95=percentile(samples, 0.95),
+            p99=percentile(samples, 0.99),
+        )
+
+
+class MetricRegistry:
+    """Named metrics, created on first use, each name one kind."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, kind: type):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = kind(name)
+            elif not isinstance(metric, kind):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}")
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def __iter__(self) -> Iterator[Counter | Gauge | Histogram]:
+        with self._lock:
+            metrics = list(self._metrics.values())
+        return iter(sorted(metrics, key=lambda m: m.name))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)
+
+    def snapshot(self) -> dict[str, object]:
+        """Name → value (counters/gauges) or HistogramSnapshot."""
+        result: dict[str, object] = {}
+        for metric in self:
+            if isinstance(metric, Histogram):
+                result[metric.name] = metric.snapshot()
+            else:
+                result[metric.name] = metric.value
+        return result
+
+    def clear(self) -> None:
+        with self._lock:
+            self._metrics.clear()

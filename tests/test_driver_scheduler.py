@@ -161,3 +161,71 @@ class TestAcceleration:
         # operation's deadline only lower-bounds the wall time.
         assert 0.5 <= elapsed <= 15.0
         assert report.metrics.late_fraction < 0.9
+
+
+class TestDependencyWaitTimeout:
+    """The wedge detector: a dependent op whose T_DEP never arrives."""
+
+    def _wedging_ops(self):
+        from repro.datagen.update_stream import UpdateKind, UpdateOperation
+
+        # One dependent op waiting on a T_DEP no partition will ever
+        # complete (nothing with that due time exists in the stream).
+        return [
+            UpdateOperation(UpdateKind.ADD_PERSON, due_time=1_000,
+                            depends_on_time=0, payload=None),
+            UpdateOperation(UpdateKind.ADD_LIKE_POST, due_time=2_000,
+                            depends_on_time=10_000_000, payload=None),
+        ]
+
+    def test_timeout_raises_naming_stuck_partition(self):
+        driver = WorkloadDriver(SleepingConnector(0.0), DriverConfig(
+            num_partitions=1, mode=ExecutionMode.PARALLEL,
+            dependency_wait_timeout=0.2))
+        with pytest.raises(DriverError) as excinfo:
+            driver.run(self._wedging_ops())
+        message = str(excinfo.value)
+        assert "partition 0" in message
+        assert "T_GC stuck below 10000000" in message
+        assert "ADD_LIKE_POST" in message
+
+    def test_timeout_counted(self):
+        driver = WorkloadDriver(SleepingConnector(0.0), DriverConfig(
+            num_partitions=1, mode=ExecutionMode.PARALLEL,
+            dependency_wait_timeout=0.2))
+        with pytest.raises(DriverError):
+            driver.run(self._wedging_ops())
+        assert driver._timeouts == 1
+
+    def test_timeout_span_and_counter_when_traced(self):
+        from repro import telemetry
+
+        driver = WorkloadDriver(SleepingConnector(0.0), DriverConfig(
+            num_partitions=1, mode=ExecutionMode.PARALLEL,
+            dependency_wait_timeout=0.2))
+        tracer = telemetry.enable(fresh_registry=True)
+        try:
+            with pytest.raises(DriverError):
+                driver.run(self._wedging_ops())
+        finally:
+            telemetry.disable()
+        waits = [span for span in tracer.finished_spans()
+                 if span.name == "scheduler.wait.gc"]
+        assert len(waits) == 1
+        assert waits[0].attributes["timed_out"] is True
+        assert telemetry.get_registry().counter(
+            telemetry.GC_TIMEOUT_COUNTER).value == 1
+
+    def test_windowed_timeout_names_partition(self, datagen_config):
+        from repro.datagen.update_stream import UpdateKind, UpdateOperation
+
+        ops = [UpdateOperation(
+            UpdateKind.ADD_COMMENT, due_time=2_000,
+            depends_on_time=10_000_000, payload=None, partition_key=7,
+            global_depends_on_time=10_000_000)]
+        driver = WorkloadDriver(SleepingConnector(0.0), DriverConfig(
+            num_partitions=1, mode=ExecutionMode.WINDOWED,
+            window_millis=1_000, dependency_wait_timeout=0.2))
+        with pytest.raises(DriverError) as excinfo:
+            driver.run(ops)
+        assert "partition 0" in str(excinfo.value)

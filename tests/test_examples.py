@@ -40,6 +40,19 @@ class TestExamples:
         assert "friend recommendations" in out
         assert "experts by reply volume" in out
 
+    def test_trace_run(self, tmp_path):
+        import json
+
+        path = tmp_path / "trace.json"
+        out = _run("trace_run.py", str(path))
+        assert "spans ->" in out
+        assert "telemetry span summary" in out
+        document = json.loads(path.read_text())
+        names = {event["name"] for event in document["traceEvents"]}
+        assert any(name.startswith("scheduler.partition.")
+                   for name in names)
+        assert any(name.startswith("engine.") for name in names)
+
     def test_choke_point_explain(self):
         out = _run("choke_point_explain.py")
         assert "join decisions:" in out

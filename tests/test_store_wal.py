@@ -123,10 +123,70 @@ class TestRecovery:
         content = path.read_text().splitlines()
         content[-1] = content[-1][: len(content[-1]) // 2]
         path.write_text("\n".join(content))
-        records = read_log(path)
+        with pytest.warns(UserWarning, match="torn trailing WAL record"):
+            records = read_log(path)
         assert len(records) == 19
-        recovered = recover_store(split.bulk, path)
+        with pytest.warns(UserWarning):
+            recovered = recover_store(split.bulk, path)
         assert recovered.commit_count == 19
+
+
+class TestTornRecords:
+    """Robustness against crashes mid-append (truncated final line)."""
+
+    def _write_wal(self, split, path, count=20):
+        store = load_network(split.bulk)
+        with WriteAheadLog(path) as wal:
+            attach_wal(store, wal)
+            for op in split.updates[:count]:
+                execute_update(store, op)
+
+    def test_truncated_mid_record_recovers_with_warning_counter(
+            self, split, tmp_path):
+        from repro import telemetry
+        from repro.store.wal import TORN_RECORD_COUNTER
+
+        path = tmp_path / "commits.wal"
+        self._write_wal(split, path)
+        # Crash mid-append: the file ends inside the final record, with
+        # no trailing newline.
+        raw = path.read_bytes()
+        cut = raw.rstrip(b"\n").rfind(b"\n")
+        path.write_bytes(raw[: cut + 1 + (len(raw) - cut) // 3])
+        before = telemetry.counter(TORN_RECORD_COUNTER).value
+        with pytest.warns(UserWarning, match="crash mid-append"):
+            recovered = recover_store(split.bulk, path)
+        assert recovered.commit_count == 19
+        assert telemetry.counter(TORN_RECORD_COUNTER).value == before + 1
+
+    def test_parseable_but_partial_final_record_is_torn(
+            self, split, tmp_path):
+        """Truncation that still parses as JSON but lost fields."""
+        path = tmp_path / "commits.wal"
+        self._write_wal(split, path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"ts":99}\n')
+        with pytest.warns(UserWarning, match="torn trailing"):
+            records = read_log(path)
+        assert len(records) == 20
+
+    def test_mid_file_corruption_raises(self, split, tmp_path):
+        """Garbage before the final record is not a clean crash and
+        must not silently drop the committed records after it."""
+        path = tmp_path / "commits.wal"
+        self._write_wal(split, path)
+        lines = path.read_text().splitlines()
+        lines[5] = lines[5][:10]  # corrupt a middle record
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(StoreError, match="line 6"):
+            read_log(path)
+
+    def test_trailing_blank_lines_ignored(self, split, tmp_path):
+        path = tmp_path / "commits.wal"
+        self._write_wal(split, path, count=5)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("\n\n")
+        assert len(read_log(path)) == 5
 
     def test_log_records_are_json_lines(self, walled_store, split):
         store, wal, path = walled_store

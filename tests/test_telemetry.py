@@ -1,0 +1,323 @@
+"""Unit tests for the telemetry subsystem (spans, metrics, exporters)."""
+
+from __future__ import annotations
+
+import gc
+import json
+import threading
+
+import pytest
+
+from repro import telemetry
+from repro.driver import metrics as driver_metrics
+from repro.engine.operators import Filter, Limit, Scan
+from repro.engine.rows import Schema, Table
+from repro.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    Tracer,
+    chrome_trace_events,
+    percentile,
+    render_metrics,
+    render_span_summary,
+    render_wait_breakdown,
+    wait_time_breakdown,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+
+
+@pytest.fixture()
+def traced():
+    """Telemetry enabled for one test, always disabled afterwards."""
+    tracer = telemetry.enable(fresh_registry=True)
+    try:
+        yield tracer
+    finally:
+        telemetry.disable()
+
+
+class TestSpans:
+    def test_nesting_sets_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+            assert tracer.current_span() is outer
+        assert tracer.current_span() is None
+        spans = tracer.finished_spans()
+        assert [span.name for span in spans] == ["inner", "outer"]
+
+    def test_attributes_and_duration(self):
+        tracer = Tracer()
+        with tracer.span("work", phase="x") as span:
+            span.set("tuples", 7)
+        (finished,) = tracer.finished_spans()
+        assert finished.attributes == {"phase": "x", "tuples": 7}
+        assert finished.duration_seconds >= 0.0
+
+    def test_threads_have_independent_stacks(self):
+        tracer = Tracer()
+        seen = {}
+
+        def worker(name):
+            with tracer.span(name):
+                seen[name] = tracer.current_span().name
+
+        with tracer.span("main-root"):
+            threads = [threading.Thread(target=worker, args=(f"t{i}",))
+                       for i in range(3)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        for i in range(3):
+            assert seen[f"t{i}"] == f"t{i}"
+        # Worker spans must not be parented to the main thread's span.
+        for span in tracer.finished_spans():
+            if span.name.startswith("t"):
+                assert span.parent_id is None
+
+    def test_out_of_order_end_is_tolerated(self):
+        tracer = Tracer()
+        outer = tracer.start_span("outer")
+        inner = tracer.start_span("inner")
+        tracer.end_span(outer)  # generator-teardown ordering
+        tracer.end_span(inner)
+        assert tracer.current_span() is None
+        assert len(tracer.finished_spans()) == 2
+        assert tracer.finished_spans()[1].parent_id == outer.span_id
+
+    def test_add_span_parents_to_current(self):
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            pre_timed = tracer.add_span("stage", 1.0, 2.5, kind="datagen")
+        assert pre_timed.parent_id == parent.span_id
+        assert pre_timed.duration_seconds == pytest.approx(1.5)
+
+
+class TestGlobalFacade:
+    def test_disabled_by_default(self):
+        assert telemetry.active is False
+        assert telemetry.get_tracer() is None
+        # span() degrades to a no-op context manager.
+        with telemetry.span("ignored") as span:
+            assert span is None
+        assert telemetry.current_span() is None
+        assert telemetry.add_span("ignored", 0.0, 1.0) is None
+
+    def test_enable_disable_round_trip(self):
+        tracer = telemetry.enable()
+        try:
+            assert telemetry.active is True
+            assert telemetry.get_tracer() is tracer
+            with telemetry.span("visible"):
+                pass
+        finally:
+            returned = telemetry.disable()
+        assert returned is tracer
+        assert telemetry.active is False
+        assert [span.name for span in returned.finished_spans()] \
+            == ["visible"]
+
+    def test_fresh_registry_resets_counters(self):
+        telemetry.enable(fresh_registry=True)
+        try:
+            telemetry.counter("x").inc()
+            assert telemetry.get_registry().counter("x").value == 1
+        finally:
+            telemetry.disable()
+        telemetry.enable(fresh_registry=True)
+        try:
+            assert telemetry.get_registry().counter("x").value == 0
+        finally:
+            telemetry.disable()
+
+
+class TestMetrics:
+    def test_counter(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge(self):
+        gauge = Gauge("g")
+        gauge.set(2.5)
+        gauge.set(1.0)
+        assert gauge.value == 1.0
+
+    def test_histogram_snapshot(self):
+        histogram = Histogram("h")
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        snapshot = histogram.snapshot()
+        assert snapshot.count == 100
+        assert snapshot.min == 1.0
+        assert snapshot.max == 100.0
+        assert snapshot.mean == pytest.approx(50.5)
+        assert snapshot.p50 == 51.0  # nearest-rank
+        assert snapshot.p99 == 100.0
+
+    def test_empty_histogram_snapshot_is_none(self):
+        assert Histogram("h").snapshot() is None
+
+    def test_registry_kinds_are_sticky(self):
+        registry = MetricRegistry()
+        registry.counter("a")
+        with pytest.raises(ValueError):
+            registry.gauge("a")
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_registry_snapshot(self):
+        registry = MetricRegistry()
+        registry.counter("ops").inc(3)
+        registry.gauge("ratio").set(0.5)
+        registry.histogram("lat").observe(1.0)
+        snapshot = registry.snapshot()
+        assert snapshot["ops"] == 3
+        assert snapshot["ratio"] == 0.5
+        assert snapshot["lat"].count == 1
+
+
+class TestPercentile:
+    """Edge cases of the single shared nearest-rank implementation."""
+
+    def test_driver_metrics_reexports_same_function(self):
+        assert driver_metrics.percentile is percentile
+
+    def test_median(self):
+        assert percentile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+    def test_single_sample_any_fraction(self):
+        assert percentile([7.0], 0.0) == 7.0
+        assert percentile([7.0], 0.99) == 7.0
+        assert percentile([7.0], 1.0) == 7.0
+
+    def test_fraction_one_clamps_to_max(self):
+        assert percentile([1.0, 2.0, 3.0], 1.0) == 3.0
+
+    def test_fraction_zero_is_min(self):
+        assert percentile([9.0, 1.0, 5.0], 0.0) == 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+    def test_unsorted_input(self):
+        values = [float(v) for v in range(100, 0, -1)]
+        assert percentile(values, 0.99) == 100.0
+
+
+class TestExporters:
+    def _tracer_with_spans(self):
+        tracer = Tracer()
+        with tracer.span("scheduler.partition.0", mode="parallel"):
+            with tracer.span("op.Q9"):
+                with tracer.span("engine.hashjoin") as span:
+                    span.set("tuples_out", 42)
+            with tracer.span("scheduler.wait.gc", dep_time=10):
+                pass
+        return tracer
+
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer = self._tracer_with_spans()
+        path = tmp_path / "spans.jsonl"
+        written = write_spans_jsonl(tracer, path)
+        lines = path.read_text().splitlines()
+        assert written == len(lines) == 4
+        records = [json.loads(line) for line in lines]
+        by_name = {record["name"]: record for record in records}
+        assert by_name["engine.hashjoin"]["attributes"]["tuples_out"] \
+            == 42
+        assert by_name["op.Q9"]["parent_id"] \
+            == by_name["scheduler.partition.0"]["span_id"]
+
+    def test_chrome_trace_document(self, tmp_path):
+        tracer = self._tracer_with_spans()
+        path = tmp_path / "trace.json"
+        written = write_chrome_trace(tracer, path)
+        document = json.loads(path.read_text())
+        events = document["traceEvents"]
+        assert written == len(events) == 4
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0
+            assert event["dur"] >= 0
+            assert {"name", "cat", "pid", "tid", "args"} <= set(event)
+        by_name = {event["name"]: event for event in events}
+        assert by_name["engine.hashjoin"]["args"]["tuples_out"] == 42
+        assert by_name["op.Q9"]["args"]["parent_id"] \
+            == by_name["scheduler.partition.0"]["args"]["span_id"]
+        assert by_name["engine.hashjoin"]["cat"] == "engine"
+
+    def test_chrome_events_sorted_by_time(self):
+        events = chrome_trace_events(self._tracer_with_spans())
+        times = [event["ts"] for event in events]
+        assert times == sorted(times)
+
+    def test_span_summary_table(self):
+        table = render_span_summary(self._tracer_with_spans())
+        assert "span" in table and "p99_ms" in table
+        assert "engine.hashjoin" in table
+        assert "op.Q9" in table
+
+    def test_wait_time_breakdown(self):
+        tracer = self._tracer_with_spans()
+        breakdown = wait_time_breakdown(tracer)
+        entry = breakdown["scheduler.partition.0"]
+        assert entry["total"] >= entry["gc_wait"] + entry["execute"]
+        assert entry["gc_wait"] > 0.0
+        assert entry["execute"] > 0.0
+        assert "gc_wait_s" in render_wait_breakdown(tracer)
+
+    def test_render_metrics(self):
+        registry = MetricRegistry()
+        registry.counter("store.wal.torn_records").inc(2)
+        registry.histogram("driver.gc_wait_seconds").observe(0.25)
+        table = render_metrics(registry)
+        assert "store.wal.torn_records" in table
+        assert "driver.gc_wait_seconds" in table
+
+
+def _person_table() -> Table:
+    table = Table("person", Schema(("id", "name")), primary_key="id")
+    table.bulk_load([(i, f"p{i}") for i in range(20)])
+    return table
+
+
+class TestOperatorTracing:
+    def test_traced_iteration_records_tuples_out(self, traced):
+        scan = Scan(_person_table())
+        plan = Filter(scan, lambda row: row[0] % 2 == 0)
+        rows = plan.execute()
+        assert len(rows) == 10
+        spans = {span.name: span for span in traced.finished_spans()}
+        assert spans["engine.filter"].attributes["tuples_out"] == 10
+        assert spans["engine.scan(person)"].attributes["tuples_out"] == 20
+        assert spans["engine.scan(person)"].parent_id \
+            == spans["engine.filter"].span_id
+
+    def test_abandoned_child_iterator_still_closes_span(self, traced):
+        plan = Limit(Scan(_person_table()), 3)
+        assert len(plan.execute()) == 3
+        del plan
+        gc.collect()  # close the abandoned scan generator
+        spans = traced.finished_spans()
+        names = [span.name for span in spans]
+        assert "engine.limit(3)" in names
+        assert "engine.scan(person)" in names
+        for span in spans:
+            assert span.end is not None
+        # The tracer's stack must be clean for the next plan.
+        assert traced.current_span() is None
+
+    def test_untraced_iteration_identical(self):
+        scan = Scan(_person_table())
+        assert telemetry.active is False
+        assert len(scan.execute()) == 20
+        assert scan.tuples_out == 20
