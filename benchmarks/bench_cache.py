@@ -1,0 +1,171 @@
+"""A/B harness for the hot-path caching layer (``repro.cache``).
+
+Runs the same interactive mix twice per SUT — caches off (the seed
+behaviour) vs caches on — and reports wall time, speedup, and every
+cache's hit/miss counters as a telemetry metric table.
+
+Two phases per run, mirroring how the caches see production traffic:
+
+* **warm**: the full mixed stream (updates + complex reads + walks) is
+  played once in stream order.  Updates exercise commit-time
+  invalidation; this phase is deliberately untimed, since replaying the
+  insert stream twice would raise duplicate-key errors.
+* **repeat**: the read-only portion of the mix (complex reads with
+  their short-read walks) is replayed R times and timed.  This is the
+  steady-state the caches exist for: repeated query shapes (plan
+  cache), hot adjacency lists (adjacency cache), revisited entities
+  (short-read memo).
+
+Standalone: ``PYTHONPATH=src python benchmarks/bench_cache.py --quick``
+exits 1 if any cached configuration is more than 10% slower than its
+uncached twin (the CI regression gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench import emit_artifact, format_table
+from repro.cache import (
+    AdjacencyCache,
+    CacheConfig,
+    PlanCache,
+    ShortReadMemo,
+)
+from repro.core import InteractiveConnector, EngineSUT, StoreSUT
+from repro.curation import ParameterCurator
+from repro.datagen import DatagenConfig, generate
+from repro.datagen.stats import FrequencyStatistics
+from repro.datagen.update_stream import split_network
+from repro.engine.catalog import load_catalog
+from repro.store import load_network
+from repro.telemetry import render_metrics
+from repro.telemetry.metrics import MetricRegistry
+from repro.workload import QueryMix, build_mixed_stream
+from repro.workload.operations import ReadOperation
+from repro.workload.random_walk import RandomWalkConfig
+
+#: CI gate: cached must not be slower than uncached by more than this.
+MAX_REGRESSION = 1.10
+
+#: The interactive mix is short-read dominated (the paper's driver
+#: issues a short-read chain after every complex read); a slow-decaying
+#: walk reproduces that ratio, and is where the memo earns its keep.
+WALK = RandomWalkConfig(probability=0.98, delta=0.02)
+
+
+def _prepare(persons: int, seed: int):
+    network = generate(DatagenConfig(num_persons=persons, seed=seed))
+    split = split_network(network)
+    stats = FrequencyStatistics.of(network)
+    params = ParameterCurator(network, stats, seed=seed).curate(6)
+    stream = build_mixed_stream(split.updates, params, QueryMix(),
+                                walk_seed=seed)
+    return split, stream
+
+
+def _build_connector(sut_kind: str, cache: CacheConfig, split, seed: int):
+    if sut_kind == "store":
+        store = load_network(split.bulk)
+        if cache.adjacency:
+            store.adjacency_cache = AdjacencyCache(
+                cache.adjacency_max_entries)
+        sut, caches = StoreSUT(store), \
+            [store.adjacency_cache] if cache.adjacency else []
+    else:
+        catalog = load_catalog(split.bulk)
+        if cache.plan:
+            catalog.plan_cache = PlanCache(cache.plan_max_entries)
+        sut, caches = EngineSUT(catalog), \
+            [catalog.plan_cache] if cache.plan else []
+    memo = ShortReadMemo(cache.memo_max_entries) if cache.memo else None
+    if memo is not None:
+        caches.append(memo)
+    connector = InteractiveConnector(sut, WALK, seed=seed, memo=memo)
+    return connector, caches
+
+
+def _run_one(sut_kind: str, cache: CacheConfig, split, stream,
+             repeats: int, seed: int):
+    """Warm on the full mix, then time R repeats of the read-only mix."""
+    connector, caches = _build_connector(sut_kind, cache, split, seed)
+    for operation in stream:
+        connector.execute(operation)
+    reads = [op for op in stream if isinstance(op, ReadOperation)]
+    started = time.perf_counter()
+    for __ in range(repeats):
+        for operation in reads:
+            connector.execute(operation)
+    elapsed = time.perf_counter() - started
+    return elapsed, [c.stats for c in caches]
+
+
+def run_ab(persons: int, repeats: int, seed: int = 42,
+           suts=("store", "engine")):
+    """Run the A/B comparison; returns (rows, all_stats, ok)."""
+    split, stream = _prepare(persons, seed)
+    rows, all_stats, ok = [], [], True
+    for sut_kind in suts:
+        uncached, __ = _run_one(sut_kind, CacheConfig.none(), split,
+                                stream, repeats, seed)
+        cached, stats = _run_one(sut_kind, CacheConfig.enabled(), split,
+                                 stream, repeats, seed)
+        speedup = uncached / cached if cached > 0 else float("inf")
+        ok = ok and cached <= uncached * MAX_REGRESSION
+        rows.append([sut_kind, f"{uncached:.3f}", f"{cached:.3f}",
+                     f"{speedup:.2f}x"])
+        all_stats.extend(stats)
+    return rows, all_stats, ok
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="A/B the hot-path caches against the uncached seed")
+    parser.add_argument("--quick", action="store_true",
+                        help="small network, few repeats (CI smoke)")
+    parser.add_argument("--persons", type=int, default=None)
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--sut", choices=("store", "engine", "both"),
+                        default="both")
+    args = parser.parse_args(argv)
+    persons = args.persons or (160 if args.quick else 250)
+    repeats = args.repeats or (3 if args.quick else 6)
+    suts = ("store", "engine") if args.sut == "both" else (args.sut,)
+
+    rows, all_stats, ok = run_ab(persons, repeats, seed=args.seed,
+                                 suts=suts)
+    table = format_table(
+        ["sut", "uncached (s)", "cached (s)", "speedup"], rows,
+        title=f"hot-path cache A/B — {persons} persons, "
+              f"{repeats}x repeated read mix")
+    print(table)
+    registry = MetricRegistry()
+    for stats in all_stats:
+        stats.publish(registry)
+    print()
+    print(render_metrics(registry))
+    if not ok:
+        print(f"\nFAIL: a cached run was more than "
+              f"{MAX_REGRESSION - 1:.0%} slower than uncached",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def test_cache_speedup(benchmark):
+    """Pytest entry: cached must beat the 10%-regression gate."""
+    rows, all_stats, ok = benchmark.pedantic(
+        run_ab, args=(120, 2), kwargs={"suts": ("store",)},
+        rounds=1, iterations=1)
+    emit_artifact("cache_ab", format_table(
+        ["sut", "uncached (s)", "cached (s)", "speedup"], rows,
+        title="hot-path cache A/B (store, quick)"))
+    assert ok
+    assert any(stats.hits > 0 for stats in all_stats)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

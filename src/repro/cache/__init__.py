@@ -1,0 +1,27 @@
+"""Hot-path caching layer: plan cache, adjacency cache, short-read memo.
+
+All three caches are off by default (``CacheConfig.none()`` reproduces
+the seed behaviour) and are enabled per-component via ``--cache`` on the
+CLI.  Each exports hit/miss counters through
+:meth:`~repro.cache.stats.CacheStats.publish` into the telemetry metric
+registry.
+"""
+
+from .adjacency import AdjacencyCache
+from .config import COMPONENTS, CacheConfig
+from .memo import (FRIENDSHIP_SENSITIVE, MemoToken, ShortReadMemo,
+                   touched_refs)
+from .plan_cache import PlanCache
+from .stats import CacheStats
+
+__all__ = [
+    "AdjacencyCache",
+    "COMPONENTS",
+    "CacheConfig",
+    "CacheStats",
+    "FRIENDSHIP_SENSITIVE",
+    "MemoToken",
+    "PlanCache",
+    "ShortReadMemo",
+    "touched_refs",
+]

@@ -1,0 +1,145 @@
+"""Versioned adjacency cache for the MVCC graph store.
+
+Sparksee's role in the paper — serving traversals from warm adjacency
+structures — is played here by materializing the *visible* neighbor list
+of hot ``(edge label, vertex, direction)`` keys so repeated traversals
+skip the per-record version check and tuple construction.
+
+MVCC correctness rests on two store invariants (documented and upheld in
+:mod:`repro.store.graph`):
+
+* each physical adjacency list is **append-only and ordered by commit
+  timestamp** — commits append under the commit lock with a strictly
+  increasing timestamp;
+* a commit's edges are fully applied **before** its timestamp is
+  published, so a transaction whose snapshot includes timestamp ``t``
+  can always see all records with ``ts <= t`` already in the list.
+
+A cache entry therefore describes an exact snapshot range: it stores the
+visible pairs at build snapshot ``B`` plus the physical prefix length it
+scanned, and is valid for every snapshot ``S >= B`` as long as no record
+beyond the scanned prefix has ``ts <= S``.  Serving checks that range:
+
+* ``S >= B`` and no newer visible records → pure **hit**;
+* ``S >= B`` with newer visible records → **extension**: the delta is
+  appended (timestamp order makes this a prefix scan) and the refreshed
+  entry replaces the old one;
+* ``S < B`` (a reader older than the entry) → bypass; the entry may
+  contain records invisible to that snapshot, so the store's uncached
+  scan is used and the newer entry is kept.
+
+Commits additionally *invalidate* entries for the keys they touch (via
+:meth:`AdjacencyCache.invalidate`), which keeps the table from serving
+ever-growing extension deltas; the snapshot-range check above is what
+makes the cache correct even in the instant between a commit applying
+its edges and the invalidation landing.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from .stats import CacheStats
+
+
+class _Entry:
+    """Visible pairs at ``snapshot``, covering ``records[:scanned]``."""
+
+    __slots__ = ("pairs", "snapshot", "scanned")
+
+    def __init__(self, pairs: list, snapshot: int, scanned: int) -> None:
+        self.pairs = pairs
+        self.snapshot = snapshot
+        self.scanned = scanned
+
+
+class AdjacencyCache:
+    """Materialized, snapshot-tagged neighbor lists."""
+
+    def __init__(self, max_entries: int = 65536) -> None:
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: dict[object, _Entry] = {}
+        self.stats = CacheStats("adjacency")
+
+    def lookup(self, key, records, snapshot: int) -> list:
+        """The visible ``(other, props)`` pairs of one adjacency list.
+
+        ``records`` is the store's physical list for ``key`` (objects
+        with ``ts``/``other``/``props``, timestamp-ordered); ``snapshot``
+        is the reading transaction's snapshot.  Never returns stale data:
+        entries are only served inside their validity range.
+        """
+        entry = self._entries.get(key)
+        if entry is not None and entry.snapshot <= snapshot \
+                and entry.scanned >= len(records):
+            # Pure hit — the dominant steady-state path, kept lean.
+            self.stats.hits += 1
+            return entry.pairs
+        return self._lookup_slow(entry, key, records, snapshot)
+
+    def _lookup_slow(self, entry, key, records, snapshot: int) -> list:
+        """Extension, bypass, and cold-miss paths of :meth:`lookup`."""
+        if entry is not None and entry.snapshot <= snapshot:
+            length = len(records)
+            # Records appended since the entry was built; extend with
+            # the ones visible to this snapshot (ts-ordered prefix).
+            scanned = entry.scanned
+            extended = None
+            while scanned < length:
+                record = records[scanned]
+                if record.ts > snapshot:
+                    break
+                if extended is None:
+                    extended = list(entry.pairs)
+                extended.append((record.other, record.props))
+                scanned += 1
+            if extended is None:
+                # Everything new is above our snapshot: still a hit.
+                self.stats.hits += 1
+                return entry.pairs
+            self.stats.extensions += 1
+            self._entries[key] = _Entry(extended, snapshot, scanned)
+            return extended
+        # Miss — either no entry, or the entry was built at a newer
+        # snapshot than ours (bypassed; the newer entry is kept).
+        self.stats.misses += 1
+        pairs: list = []
+        scanned = 0
+        length = len(records)
+        while scanned < length:
+            record = records[scanned]
+            if record.ts > snapshot:
+                break
+            pairs.append((record.other, record.props))
+            scanned += 1
+        if entry is None:
+            if len(self._entries) >= self.max_entries:
+                self._evict()
+            self._entries[key] = _Entry(pairs, snapshot, scanned)
+        return pairs
+
+    def invalidate(self, keys) -> None:
+        """Drop the entries a commit's edges touched (called under the
+        store's commit lock, before the commit timestamp is published)."""
+        entries = self._entries
+        for key in keys:
+            if entries.pop(key, None) is not None:
+                self.stats.invalidations += 1
+
+    def _evict(self) -> None:
+        """Drop the oldest half of the table (insertion order)."""
+        with self._lock:
+            if len(self._entries) < self.max_entries:
+                return
+            drop = len(self._entries) // 2
+            for key in list(self._entries)[:drop]:
+                self._entries.pop(key, None)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

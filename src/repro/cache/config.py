@@ -1,0 +1,68 @@
+"""Configuration of the hot-path caching layer.
+
+One :class:`CacheConfig` value is threaded from the CLI (``--cache``)
+through :class:`~repro.core.benchmark.BenchmarkConfig` down to the three
+caches it governs:
+
+* ``plan`` — the relational engine's query-plan cache;
+* ``adjacency`` — the graph store's versioned adjacency cache;
+* ``memo`` — the connector's short-read memo for the random-walk phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Component names accepted by :meth:`CacheConfig.from_spec`.
+COMPONENTS = ("plan", "adjacency", "memo")
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Which caches are enabled, and their capacity bounds."""
+
+    plan: bool = True
+    adjacency: bool = True
+    memo: bool = True
+    plan_max_entries: int = 256
+    adjacency_max_entries: int = 65536
+    memo_max_entries: int = 16384
+
+    @property
+    def any_enabled(self) -> bool:
+        return self.plan or self.adjacency or self.memo
+
+    @classmethod
+    def enabled(cls) -> "CacheConfig":
+        """All three caches on (the ``--cache all`` setting)."""
+        return cls()
+
+    @classmethod
+    def none(cls) -> "CacheConfig":
+        """Caching fully off — the seed behaviour, and the default."""
+        return cls(plan=False, adjacency=False, memo=False)
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "CacheConfig":
+        """Parse a CLI spec: ``all``, ``none``, or ``plan,adjacency``."""
+        normalized = (spec or "").strip().lower()
+        if normalized in ("all", "on"):
+            return cls.enabled()
+        if normalized in ("", "none", "off"):
+            return cls.none()
+        selected = {part.strip() for part in normalized.split(",")
+                    if part.strip()}
+        unknown = selected.difference(COMPONENTS)
+        if unknown:
+            raise ValueError(
+                f"unknown cache component(s) {sorted(unknown)}; "
+                f"expected 'all', 'none', or a comma list of "
+                f"{', '.join(COMPONENTS)}")
+        return cls(plan="plan" in selected,
+                   adjacency="adjacency" in selected,
+                   memo="memo" in selected)
+
+    def describe(self) -> str:
+        """Human-readable summary (``plan+adjacency+memo`` or ``none``)."""
+        parts = [name for name in COMPONENTS if getattr(self, name)]
+        return "+".join(parts) if parts else "none"

@@ -1,0 +1,151 @@
+"""Short-read memo for the random-walk phase.
+
+The walk re-visits hot entities constantly — complex-read results seed
+it with the same curated persons and their newest messages — so the
+connector can memoize short-read results keyed by
+``(query id, EntityRef)`` (the frozen ref is the hash key).
+
+Invalidation is by *touched entity*: every update names the refs whose
+short reads it can change (:func:`touched_refs`), and the memo drops
+exactly those keys.  SNB-Interactive updates are pure inserts, which
+makes the dependency analysis exact:
+
+* person/message attributes never change after insert, so S1/S4/S5/S6
+  depend only on their target ref (invalidated when the entity itself is
+  inserted, which also clears negative results memoized before the
+  insert committed);
+* a new message invalidates its author's S2 (and the parent message's
+  S7 for comments);
+* S3 (friend list) and S7's ``knows_original_author`` flag read the
+  friendship graph, whose edges connect persons *not named in the memo
+  key*; those two queries are additionally guarded by a **friendship
+  epoch** bumped on every ADD_FRIENDSHIP — an entry only serves while
+  its epoch is current.
+
+Concurrent drivers interleave reads and updates from different
+partitions, so a result computed against a pre-update snapshot could be
+stored *after* the update invalidated its key.  :meth:`ShortReadMemo.begin`
+hands out a generation token; :meth:`ShortReadMemo.put` refuses the
+store when the target ref was invalidated at or after that generation,
+and epoch-guarded entries stored with a stale epoch simply never serve.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import NamedTuple
+
+from ..datagen.update_stream import UpdateKind, UpdateOperation
+from ..workload.operations import EntityRef
+from .stats import CacheStats
+
+#: Short reads whose results depend on the friendship graph (guarded by
+#: the friendship epoch in addition to their target ref).
+FRIENDSHIP_SENSITIVE = frozenset({3, 7})
+
+#: All short-read query ids (for per-ref key enumeration).
+SHORT_QUERY_IDS = tuple(range(1, 8))
+
+
+def touched_refs(operation: UpdateOperation) -> tuple[EntityRef, ...]:
+    """The entity refs whose memoized short reads an update can change."""
+    kind = operation.kind
+    payload = operation.payload
+    if kind is UpdateKind.ADD_PERSON:
+        return (EntityRef.person(payload.id),)
+    if kind is UpdateKind.ADD_FRIENDSHIP:
+        return (EntityRef.person(payload.person1_id),
+                EntityRef.person(payload.person2_id))
+    if kind is UpdateKind.ADD_POST:
+        return (EntityRef.person(payload.author_id),
+                EntityRef.message(payload.id))
+    if kind is UpdateKind.ADD_COMMENT:
+        return (EntityRef.person(payload.author_id),
+                EntityRef.message(payload.id),
+                EntityRef.message(payload.reply_of_id))
+    # ADD_FORUM / ADD_FORUM_MEMBERSHIP / ADD_LIKE_*: no short read
+    # observes forums a person moderates, memberships, or likes.
+    return ()
+
+
+class MemoToken(NamedTuple):
+    """Read-begin marker consumed by :meth:`ShortReadMemo.put`."""
+
+    generation: int
+    epoch: int
+
+
+class ShortReadMemo:
+    """Memoized short-read results with per-entity invalidation."""
+
+    def __init__(self, max_entries: int = 16384) -> None:
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: dict[tuple[int, EntityRef], tuple] = {}
+        #: ref → generation of its most recent invalidation.
+        self._invalidated_at: dict[EntityRef, int] = {}
+        self._generation = 0
+        self._friend_epoch = 0
+        self.stats = CacheStats("memo")
+
+    # -- read side ---------------------------------------------------------
+
+    def begin(self, query_id: int, ref: EntityRef):
+        """Look up a memoized result before executing a short read.
+
+        Returns ``(result, None)`` on a hit.  On a miss, returns
+        ``(None, token)`` — execute the query and hand the token back to
+        :meth:`put` with the result.
+        """
+        entry = self._entries.get((query_id, ref))
+        if entry is not None:
+            result, epoch = entry
+            if query_id not in FRIENDSHIP_SENSITIVE \
+                    or epoch == self._friend_epoch:
+                self.stats.hits += 1
+                return result, None
+        self.stats.misses += 1
+        return None, MemoToken(self._generation, self._friend_epoch)
+
+    def put(self, query_id: int, ref: EntityRef, result,
+            token: MemoToken) -> None:
+        """Store a computed result, unless it raced an invalidation.
+
+        A token issued at generation G proves the read began after every
+        invalidation up to G, so only a strictly newer invalidation of
+        the target ref makes the result untrustworthy.
+        """
+        if self._invalidated_at.get(ref, 0) > token.generation:
+            return
+        with self._lock:
+            if len(self._entries) >= self.max_entries:
+                self._entries.clear()
+                self.stats.evictions += 1
+            self._entries[(query_id, ref)] = (result, token.epoch)
+
+    # -- write side --------------------------------------------------------
+
+    def note_update(self, operation: UpdateOperation) -> None:
+        """Invalidate after an update committed (order matters: the
+        caller must apply the update first, then note it here)."""
+        refs = touched_refs(operation)
+        with self._lock:
+            self._generation += 1
+            generation = self._generation
+            if operation.kind is UpdateKind.ADD_FRIENDSHIP:
+                self._friend_epoch = generation
+            for ref in refs:
+                self._invalidated_at[ref] = generation
+                for query_id in SHORT_QUERY_IDS:
+                    if self._entries.pop((query_id, ref), None) \
+                            is not None:
+                        self.stats.invalidations += 1
+            if len(self._invalidated_at) > 4 * self.max_entries:
+                # The generation map only matters for in-flight reads;
+                # clearing it (with the entries) is always safe.
+                self._entries.clear()
+                self._invalidated_at.clear()
+                self.stats.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,68 @@
+"""Query-plan cache for the relational engine.
+
+The paper's Virtuoso runs amortize optimization by compiling each query
+template once and reusing the plan for every binding; our cost-based
+:class:`~repro.engine.optimizer.Optimizer` historically re-planned every
+execution.  This cache stores the optimizer's *decisions* (the join
+algorithm chosen per step, with the costs that justified it) keyed by
+``(query id, catalog version)``:
+
+* the **query id** identifies the query shape — every binding of one
+  template produces the same :class:`~repro.engine.optimizer.JoinSpec`
+  structure, only the source keys differ, and those are not part of the
+  cached decisions;
+* the **catalog version** is the statistics epoch.  Inserts do not bump
+  it; an explicit :meth:`~repro.engine.catalog.Catalog.refresh_stats`
+  does, after which the next execution re-optimizes against fresh
+  statistics under a new key.
+
+Physical operator trees are *not* cached — they embed per-binding probe
+keys — so a hit rebuilds the (cheap) operator chain from the cached
+algorithm choices and skips cardinality estimation and costing entirely.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from .stats import CacheStats
+
+
+class PlanCache:
+    """(query id, catalog version) → planner decisions."""
+
+    def __init__(self, max_entries: int = 256) -> None:
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._decisions: dict[tuple[int, int], tuple] = {}
+        self.stats = CacheStats("plan")
+
+    def get(self, query_id: int, catalog_version: int):
+        """Cached decisions for the key, or None (counted as a miss)."""
+        decisions = self._decisions.get((query_id, catalog_version))
+        if decisions is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return decisions
+
+    def put(self, query_id: int, catalog_version: int,
+            decisions) -> None:
+        """Store a freshly planned query's decisions."""
+        with self._lock:
+            if len(self._decisions) >= self.max_entries:
+                # Plans are tiny and replanning is cheap; a wholesale
+                # reset keeps the bookkeeping trivial.
+                self._decisions.clear()
+                self.stats.evictions += 1
+            self._decisions[(query_id, catalog_version)] = tuple(decisions)
+
+    def invalidate(self) -> None:
+        """Drop every cached plan (e.g. after a schema change)."""
+        with self._lock:
+            if self._decisions:
+                self.stats.invalidations += len(self._decisions)
+                self._decisions.clear()
+
+    def __len__(self) -> int:
+        return len(self._decisions)

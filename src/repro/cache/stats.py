@@ -1,0 +1,72 @@
+"""Hit/miss accounting shared by every cache in :mod:`repro.cache`.
+
+Counting happens on plain instance integers (lock-free under the GIL —
+these are hot-path increments), and :meth:`CacheStats.publish` exports
+the totals as monotonic counters into a telemetry
+:class:`~repro.telemetry.metrics.MetricRegistry`, so cache behaviour
+shows up in the same metric table as driver latencies and T_GC waits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CacheStats:
+    """Counters of one cache: hits, misses, extensions, invalidations.
+
+    ``extensions`` are the adjacency cache's partial hits — a cached list
+    served after appending the delta committed since it was built.
+    ``evictions`` counts capacity resets, ``invalidations`` entries
+    dropped for correctness (commit / update touching them).
+    """
+
+    name: str
+    hits: int = 0
+    misses: int = 0
+    extensions: int = 0
+    invalidations: int = 0
+    evictions: int = 0
+    #: (registry id, metric name) → value already pushed as a counter.
+    _published: dict = field(default_factory=dict, repr=False)
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses + self.extensions
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requests served from cache (extensions count)."""
+        requests = self.requests
+        if requests == 0:
+            return 0.0
+        return (self.hits + self.extensions) / requests
+
+    def publish(self, registry) -> None:
+        """Export totals as ``cache.<name>.*`` counters in a registry.
+
+        Idempotent per registry: repeated publishes only push the delta
+        accumulated since the previous publish into that registry.
+        """
+        for metric in ("hits", "misses", "extensions", "invalidations",
+                       "evictions"):
+            value = getattr(self, metric)
+            key = (id(registry), metric)
+            delta = value - self._published.get(key, 0)
+            if delta > 0:
+                registry.counter(f"cache.{self.name}.{metric}").inc(delta)
+            self._published[key] = value
+        registry.gauge(f"cache.{self.name}.hit_rate").set(self.hit_rate)
+
+    def as_row(self) -> dict[str, object]:
+        """Summary mapping for reports and bench tables."""
+        return {
+            "cache": self.name,
+            "hits": self.hits,
+            "misses": self.misses,
+            "extensions": self.extensions,
+            "invalidations": self.invalidations,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }

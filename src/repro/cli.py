@@ -60,6 +60,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--mode",
                        choices=("parallel", "sequential", "windowed"),
                        default="sequential")
+    bench.add_argument(
+        "--cache", metavar="SPEC", default="none",
+        help="hot-path caches to enable: 'all', 'none' (default), or a "
+             "comma list of plan,adjacency,memo")
     _add_trace_flag(bench)
 
     explain = commands.add_parser(
@@ -172,11 +176,16 @@ def _cmd_validate(args) -> int:
 
 
 def _cmd_benchmark(args) -> int:
+    from .cache import CacheConfig
     from .core import BenchmarkConfig, InteractiveBenchmark, \
         render_report
     from .driver.clock import AS_FAST_AS_POSSIBLE
     from .driver.modes import ExecutionMode
 
+    try:
+        cache = CacheConfig.from_spec(args.cache)
+    except ValueError as exc:
+        raise SystemExit(f"--cache: {exc}")
     config = BenchmarkConfig(
         num_persons=args.persons,
         seed=args.seed,
@@ -185,6 +194,7 @@ def _cmd_benchmark(args) -> int:
         mode=ExecutionMode(args.mode),
         acceleration=(args.acceleration if args.acceleration is not None
                       else AS_FAST_AS_POSSIBLE),
+        cache=cache,
     )
     benchmark = InteractiveBenchmark(config)
     # Preparation (datagen, bulk load, curation) happens untraced so the

@@ -10,18 +10,33 @@ latencies (the full-disclosure breakdown).
 
 from .benchmark import BenchmarkConfig, BenchmarkReport, InteractiveBenchmark
 from .connector import InteractiveConnector
+from .operation import (
+    ComplexRead,
+    Operation,
+    OperationResult,
+    ShortRead,
+    Update,
+    as_operation,
+)
 from .report import render_report
-from .sut import EngineSUT, StoreSUT, SystemUnderTest
+from .sut import BaseSUT, EngineSUT, StoreSUT, SystemUnderTest
 from .validation import ValidationReport, cross_validate, render_validation
 
 __all__ = [
+    "BaseSUT",
     "BenchmarkConfig",
     "BenchmarkReport",
+    "ComplexRead",
     "EngineSUT",
     "InteractiveBenchmark",
     "InteractiveConnector",
+    "Operation",
+    "OperationResult",
+    "ShortRead",
     "StoreSUT",
     "SystemUnderTest",
+    "Update",
+    "as_operation",
     "ValidationReport",
     "cross_validate",
     "render_report",

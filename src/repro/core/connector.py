@@ -4,6 +4,12 @@ Updates pass straight through; complex reads additionally trigger the
 short-read random walk seeded from their results, with each short read
 timed into a dedicated recorder (the driver times the update/complex-read
 operation itself).
+
+Every operation — whatever legacy shape the driver hands over — is
+coerced into the typed :mod:`repro.core.operation` union and dispatched
+through the SUT's single ``execute`` entry point.  When a
+:class:`~repro.cache.memo.ShortReadMemo` is attached, walk short reads
+consult it first and updates invalidate the entities they touch.
 """
 
 from __future__ import annotations
@@ -11,15 +17,15 @@ from __future__ import annotations
 import time
 
 from .. import telemetry
-from ..datagen.update_stream import UpdateOperation
 from ..driver.metrics import LatencyRecorder
 from ..rng import RandomStream
-from ..workload.operations import ReadOperation
+from ..workload.operations import EntityRef, op_class_name
 from ..workload.random_walk import (
     RandomWalkConfig,
     extract_entities,
     run_walk,
 )
+from .operation import ComplexRead, ShortRead, Update, as_operation
 from .sut import SystemUnderTest
 
 
@@ -28,47 +34,58 @@ class InteractiveConnector:
 
     def __init__(self, sut: SystemUnderTest,
                  walk: RandomWalkConfig | None = None,
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 memo=None) -> None:
         self.sut = sut
         self.walk = walk or RandomWalkConfig()
         self.seed = seed
+        #: Optional ShortReadMemo consulted by the walk's short reads.
+        self.memo = memo
         #: Short-read latencies, recorded per S-class.
         self.short_recorder = LatencyRecorder()
         self.short_reads_executed = 0
 
     def execute(self, operation) -> None:
+        op = as_operation(operation)
         if telemetry.active:
             with telemetry.span("connector.execute",
-                                operation=type(operation).__name__):
-                self._dispatch(operation)
+                                operation=op_class_name(op)):
+                self._dispatch(op)
         else:
-            self._dispatch(operation)
+            self._dispatch(op)
 
-    def _dispatch(self, operation) -> None:
-        if isinstance(operation, UpdateOperation):
-            self.sut.run_update(operation)
+    def _dispatch(self, op) -> None:
+        result = self.sut.execute(op)
+        if isinstance(op, Update):
+            if self.memo is not None:
+                self.memo.note_update(op.operation)
             return
-        if isinstance(operation, ReadOperation):
-            result = self.sut.run_complex(operation.query_id,
-                                          operation.params)
-            self._run_short_walk(operation, result)
-            return
-        raise TypeError(f"unsupported operation {type(operation)}")
+        if isinstance(op, ComplexRead):
+            self._run_short_walk(op, result.value)
 
-    def _run_short_walk(self, operation: ReadOperation,
+    def _run_short_walk(self, operation: ComplexRead,
                         result: object) -> None:
         seeds = extract_entities(result)
         if not seeds:
             return
         stream = RandomStream.for_key(self.seed, "walk",
                                       operation.walk_seed)
-
-        def execute_short(query_id: int, entity: tuple[str, int]):
-            started = time.perf_counter()
-            short_result = self.sut.run_short(query_id, entity)
-            self.short_recorder.record(f"S{query_id}",
-                                       time.perf_counter() - started)
-            return short_result
-
         self.short_reads_executed += run_walk(
-            execute_short, seeds, self.walk, stream)
+            self._execute_short, seeds, self.walk, stream)
+
+    def _execute_short(self, query_id: int, entity):
+        ref = EntityRef.of(entity)
+        started = time.perf_counter()
+        if self.memo is not None:
+            value, token = self.memo.begin(query_id, ref)
+            if token is None:
+                self.short_recorder.record(
+                    f"S{query_id}", time.perf_counter() - started)
+                return value
+            value = self.sut.execute(ShortRead(query_id, ref)).value
+            self.memo.put(query_id, ref, value, token)
+        else:
+            value = self.sut.execute(ShortRead(query_id, ref)).value
+        self.short_recorder.record(f"S{query_id}",
+                                   time.perf_counter() - started)
+        return value

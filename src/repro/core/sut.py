@@ -1,13 +1,21 @@
 """System-under-test adapters.
 
-The benchmark core is SUT-agnostic: any object implementing the three
-``run_*`` methods can be measured.  Two built-in SUTs mirror the paper's
-evaluation: the native-API graph store (Sparksee's role) and the
-relational engine with explicit plans (Virtuoso's role).
+The benchmark core is SUT-agnostic: any object implementing
+``execute(op: Operation) -> OperationResult`` can be measured.  Two
+built-in SUTs mirror the paper's evaluation: the native-API graph store
+(Sparksee's role) and the relational engine with explicit plans
+(Virtuoso's role).
+
+Both extend :class:`BaseSUT`, which owns the dispatch over the typed
+operation union and the telemetry span bracketing; subclasses implement
+the three private hooks.  The historical ``run_complex`` /
+``run_short`` / ``run_update`` methods survive as deprecation shims
+that forward into ``execute``.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Protocol
 
 from .. import telemetry
@@ -18,6 +26,15 @@ from ..errors import WorkloadError
 from ..queries.registry import COMPLEX_QUERIES, SHORT_QUERIES
 from ..queries.updates import execute_update
 from ..store.graph import GraphStore
+from ..workload.operations import EntityRef
+from .operation import (
+    ComplexRead,
+    Operation,
+    OperationResult,
+    ShortRead,
+    Update,
+    as_operation,
+)
 
 
 class SystemUnderTest(Protocol):
@@ -25,20 +42,81 @@ class SystemUnderTest(Protocol):
 
     name: str
 
-    def run_complex(self, query_id: int, params: object) -> object:
-        """Execute one complex read; returns its result rows."""
+    def execute(self, op: Operation) -> OperationResult:
+        """Execute one operation of any class; returns its result."""
         ...
 
-    def run_short(self, query_id: int, entity: tuple[str, int]) -> object:
-        """Execute one short read on a (kind, id) entity."""
-        ...
+
+class BaseSUT:
+    """Dispatch, span bracketing, and the deprecated ``run_*`` shims."""
+
+    name = "base"
+
+    def execute(self, op: Operation) -> OperationResult:
+        op = as_operation(op)
+        if isinstance(op, ComplexRead):
+            label = f"query.Q{op.query_id}"
+        elif isinstance(op, ShortRead):
+            label = f"query.S{op.query_id}"
+        elif isinstance(op, Update):
+            label = f"update.{op.operation.kind.name}"
+        else:  # pragma: no cover - as_operation already rejects these
+            raise TypeError(f"unsupported operation {type(op).__name__}")
+        if telemetry.active:
+            with telemetry.span(label, sut=self.name):
+                value = self._run(op)
+        else:
+            value = self._run(op)
+        return OperationResult(op.op_class, value)
+
+    def _run(self, op: Operation):
+        if isinstance(op, ComplexRead):
+            return self._complex(op.query_id, op.params)
+        if isinstance(op, ShortRead):
+            return self._short(op.query_id, op.entity)
+        self._update(op.operation)
+        return None
+
+    # -- subclass hooks ----------------------------------------------------
+
+    def _complex(self, query_id: int, params: object):
+        raise NotImplementedError
+
+    def _short(self, query_id: int, entity: EntityRef):
+        raise NotImplementedError
+
+    def _update(self, operation: UpdateOperation) -> None:
+        raise NotImplementedError
+
+    # -- deprecated three-method protocol ----------------------------------
+
+    def run_complex(self, query_id: int, params: object) -> object:
+        """Deprecated: use ``execute(ComplexRead(...))``."""
+        warnings.warn(
+            "SystemUnderTest.run_complex() is deprecated; use "
+            "execute(ComplexRead(query_id, params))",
+            DeprecationWarning, stacklevel=2)
+        return self.execute(ComplexRead(query_id, params)).value
+
+    def run_short(self, query_id: int, entity) -> object:
+        """Deprecated: use ``execute(ShortRead(...))``."""
+        warnings.warn(
+            "SystemUnderTest.run_short() is deprecated; use "
+            "execute(ShortRead(query_id, EntityRef.of(entity)))",
+            DeprecationWarning, stacklevel=2)
+        return self.execute(
+            ShortRead(query_id, EntityRef.of(entity))).value
 
     def run_update(self, operation: UpdateOperation) -> None:
-        """Apply one update transactionally."""
-        ...
+        """Deprecated: use ``execute(Update(operation))``."""
+        warnings.warn(
+            "SystemUnderTest.run_update() is deprecated; use "
+            "execute(Update(operation))",
+            DeprecationWarning, stacklevel=2)
+        self.execute(Update(operation))
 
 
-class StoreSUT:
+class StoreSUT(BaseSUT):
     """The MVCC property-graph store (native-API implementation)."""
 
     name = "graph-store"
@@ -46,38 +124,25 @@ class StoreSUT:
     def __init__(self, store: GraphStore) -> None:
         self.store = store
 
-    def run_complex(self, query_id: int, params: object) -> object:
+    def _complex(self, query_id: int, params: object):
         entry = COMPLEX_QUERIES.get(query_id)
         if entry is None:
             raise WorkloadError(f"unknown complex query Q{query_id}")
-        if telemetry.active:
-            with telemetry.span(f"query.Q{query_id}", sut=self.name):
-                with self.store.transaction() as txn:
-                    return entry.run(txn, params)
         with self.store.transaction() as txn:
             return entry.run(txn, params)
 
-    def run_short(self, query_id: int, entity: tuple[str, int]) -> object:
+    def _short(self, query_id: int, entity: EntityRef):
         entry = SHORT_QUERIES.get(query_id)
         if entry is None:
             raise WorkloadError(f"unknown short query S{query_id}")
-        if telemetry.active:
-            with telemetry.span(f"query.S{query_id}", sut=self.name):
-                with self.store.transaction() as txn:
-                    return entry.run(txn, entity[1])
         with self.store.transaction() as txn:
-            return entry.run(txn, entity[1])
+            return entry.run(txn, entity.id)
 
-    def run_update(self, operation: UpdateOperation) -> None:
-        if telemetry.active:
-            with telemetry.span(f"update.{operation.kind.name}",
-                                sut=self.name):
-                execute_update(self.store, operation)
-            return
+    def _update(self, operation: UpdateOperation) -> None:
         execute_update(self.store, operation)
 
 
-class EngineSUT:
+class EngineSUT(BaseSUT):
     """The relational volcano engine (explicit-plan implementation)."""
 
     name = "relational-engine"
@@ -85,29 +150,17 @@ class EngineSUT:
     def __init__(self, catalog: Catalog) -> None:
         self.catalog = catalog
 
-    def run_complex(self, query_id: int, params: object) -> object:
+    def _complex(self, query_id: int, params: object):
         run = engine_queries.ENGINE_COMPLEX.get(query_id)
         if run is None:
             raise WorkloadError(f"unknown complex query Q{query_id}")
-        if telemetry.active:
-            with telemetry.span(f"query.Q{query_id}", sut=self.name):
-                return run(self.catalog, params)
         return run(self.catalog, params)
 
-    def run_short(self, query_id: int, entity: tuple[str, int]) -> object:
+    def _short(self, query_id: int, entity: EntityRef):
         run = engine_queries.ENGINE_SHORT.get(query_id)
         if run is None:
             raise WorkloadError(f"unknown short query S{query_id}")
-        if telemetry.active:
-            with telemetry.span(f"query.S{query_id}", sut=self.name):
-                return run(self.catalog, entity[1])
-        return run(self.catalog, entity[1])
+        return run(self.catalog, entity.id)
 
-    def run_update(self, operation: UpdateOperation) -> None:
-        if telemetry.active:
-            with telemetry.span(f"update.{operation.kind.name}",
-                                sut=self.name):
-                engine_queries.execute_engine_update(self.catalog,
-                                                     operation)
-            return
+    def _update(self, operation: UpdateOperation) -> None:
         engine_queries.execute_engine_update(self.catalog, operation)

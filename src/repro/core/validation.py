@@ -16,6 +16,8 @@ from ..curation.curator import CuratedWorkloadParams, ParameterCurator
 from ..engine.catalog import load_catalog
 from ..schema.dataset import SocialNetwork
 from ..store.loader import load_network
+from ..workload.operations import EntityRef
+from .operation import ComplexRead, ShortRead
 from .sut import EngineSUT, StoreSUT
 
 #: Q1's engine row lacks the denormalized multi-valued attributes;
@@ -74,8 +76,9 @@ def cross_validate(network: SocialNetwork,
         report.queries_checked += 1
         for binding in params.by_query.get(query_id, ()):
             report.executions += 1
-            store_rows = store.run_complex(query_id, binding)
-            engine_rows = engine.run_complex(query_id, binding)
+            op = ComplexRead(query_id, binding)
+            store_rows = store.execute(op).value
+            engine_rows = engine.execute(op).value
             if _comparable(query_id, store_rows) \
                     != _comparable(query_id, engine_rows):
                 report.mismatches.append(Mismatch(
@@ -84,17 +87,20 @@ def cross_validate(network: SocialNetwork,
                     engine_rows=len(engine_rows),
                     detail="complex read results differ"))
 
-    person_inputs = [("person", p.id) for p in network.persons[:10]]
-    message_inputs = [("message", m.id) for m in network.posts[:5]] \
-        + [("message", c.id) for c in network.comments[:5]]
+    person_inputs = [EntityRef.person(p.id)
+                     for p in network.persons[:10]]
+    message_inputs = [EntityRef.message(m.id)
+                      for m in network.posts[:5]] \
+        + [EntityRef.message(c.id) for c in network.comments[:5]]
     for query_id, entry in sorted(SHORT_QUERIES.items()):
         report.queries_checked += 1
         inputs = person_inputs if entry.input_kind == "person" \
             else message_inputs
         for entity in inputs:
             report.executions += 1
-            store_rows = store.run_short(query_id, entity)
-            engine_rows = engine.run_short(query_id, entity)
+            op = ShortRead(query_id, entity)
+            store_rows = store.execute(op).value
+            engine_rows = engine.execute(op).value
             if store_rows != engine_rows:
                 report.mismatches.append(Mismatch(
                     query=f"S{query_id}", params=entity,

@@ -30,6 +30,7 @@ from .. import telemetry
 from ..datagen.update_stream import partition_updates
 from ..errors import DriverError
 from ..rng import RandomStream
+from ..workload.operations import op_class_name as _op_class_name
 from .clock import AS_FAST_AS_POSSIBLE, AccelerationClock
 from .connectors import Connector
 from .dependency import GlobalDependencyService, LocalDependencyService
@@ -317,8 +318,7 @@ class WorkloadDriver:
                 time.sleep(self.config.retry_backoff)
 
 
-def _op_class_name(op) -> str:
-    """The latency/span class of an operation (Q9, ADD_POST, ...)."""
-    op_class = getattr(op, "op_class", None) or getattr(op, "kind", None)
-    return op_class.name if hasattr(op_class, "name") \
-        else str(op_class or type(op).__name__)
+# _op_class_name is the shared repro.workload.operations.op_class_name
+# helper (imported above), so the recorder's per-class labels — and the
+# driver.latency_ms.* gauge names the telemetry bridge derives from them
+# — always match the connector's span labels.

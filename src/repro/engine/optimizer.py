@@ -96,20 +96,46 @@ class PlannedPipeline:
 
     root: Operator
     decisions: list[PlannedJoin]
+    #: True when the decisions were served by the plan cache (operators
+    #: are always rebuilt — they embed this execution's probe keys).
+    from_cache: bool = False
 
     def execute(self) -> list[tuple]:
         return self.root.execute()
 
 
 class Optimizer:
-    """Plans join pipelines against a catalog."""
+    """Plans join pipelines against a catalog.
+
+    When the catalog carries a :class:`repro.cache.PlanCache` and the
+    caller identifies the query shape (``query_id``), planning decisions
+    are cached per ``(query id, catalog version)``: a hit rebuilds the
+    cheap operator chain from the remembered join algorithms and skips
+    cardinality estimation and costing entirely.
+    """
 
     def __init__(self, catalog: Catalog) -> None:
         self.catalog = catalog
         self.estimator = CardinalityEstimator(catalog)
 
-    def plan(self, spec: JoinSpec) -> PlannedPipeline:
-        """Choose join algorithms and build the physical plan."""
+    def plan(self, spec: JoinSpec,
+             query_id: int | None = None) -> PlannedPipeline:
+        """Choose join algorithms and build the physical plan.
+
+        ``query_id`` names the query shape for plan caching; pass None
+        for ad-hoc or force-overridden pipelines (never cached).
+        """
+        cache = self.catalog.plan_cache
+        if cache is not None and query_id is not None:
+            cached = cache.get(query_id, self.catalog.version)
+            if cached is not None:
+                return self._rebuild(spec, cached)
+        pipeline = self._plan_fresh(spec)
+        if cache is not None and query_id is not None:
+            cache.put(query_id, self.catalog.version, pipeline.decisions)
+        return pipeline
+
+    def _plan_fresh(self, spec: JoinSpec) -> PlannedPipeline:
         source_table = self.catalog.table(spec.source_table)
         root: Operator = KeyLookup(source_table, spec.source_keys,
                                    spec.source_column)
@@ -122,6 +148,18 @@ class Optimizer:
                 root, outer_rows, index, step)
             decisions.append(decision)
         return PlannedPipeline(root, decisions)
+
+    def _rebuild(self, spec: JoinSpec,
+                 decisions) -> PlannedPipeline:
+        """Rebuild the operator chain from cached algorithm choices."""
+        source_table = self.catalog.table(spec.source_table)
+        root: Operator = KeyLookup(source_table, spec.source_keys,
+                                   spec.source_column)
+        for index, (step, decision) in enumerate(
+                zip(spec.steps, decisions)):
+            root = self._build_join(root, index, step,
+                                    decision.algorithm)
+        return PlannedPipeline(root, list(decisions), from_cache=True)
 
     def _plan_step(self, outer: Operator, outer_rows: float, index: int,
                    step: JoinStep):
@@ -144,6 +182,25 @@ class Optimizer:
             algorithm = "hash"
         else:
             algorithm = "inl" if inl_cost <= hash_cost else "hash"
+
+        joined = self._build_join(outer, index, step, algorithm)
+        decision = PlannedJoin(
+            step_index=index,
+            inner_table=step.inner_table,
+            algorithm=algorithm,
+            estimated_outer=outer_rows,
+            estimated_output=estimate.rows,
+            inl_cost=inl_cost,
+            hash_cost=hash_cost,
+        )
+        return joined, estimate.rows, decision
+
+    def _build_join(self, outer: Operator, index: int, step: JoinStep,
+                    algorithm: str) -> Operator:
+        """Construct one step's physical operators for an algorithm."""
+        inner = self.catalog.table(step.inner_table)
+        indexed = (step.inner_column is None
+                   or inner.has_hash_index(step.inner_column))
         if algorithm == "inl" and not indexed:
             raise PlanError(
                 f"cannot INL-join {step.inner_table}.{step.inner_column} "
@@ -165,13 +222,4 @@ class Optimizer:
 
             joined = Filter(joined, step.residual,
                             label=f"filter#{index}")
-        decision = PlannedJoin(
-            step_index=index,
-            inner_table=step.inner_table,
-            algorithm=algorithm,
-            estimated_outer=outer_rows,
-            estimated_output=estimate.rows,
-            inl_cost=inl_cost,
-            hash_cost=hash_cost,
-        )
-        return joined, estimate.rows, decision
+        return joined

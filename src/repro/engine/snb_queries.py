@@ -129,7 +129,9 @@ def q2_pipeline(catalog: Catalog, params: g2.Q2Params,
                      residual=_date_filter_factory(3, params.max_date),
                      selectivity=0.5, force=force.get(0)),
         ])
-    return Optimizer(catalog).plan(spec)
+    # Forced pipelines must not poison (or be served by) the plan cache.
+    return Optimizer(catalog).plan(spec,
+                                   query_id=None if force else 2)
 
 
 def _date_filter_factory(position_hint: int, max_date: int):
@@ -226,7 +228,8 @@ def q5_pipeline(catalog: Catalog, params: g5.Q5Params,
                      inner_column="person_id", residual=joined_after,
                      selectivity=0.3, force=force.get(1)),
         ])
-    return Optimizer(catalog).plan(spec)
+    return Optimizer(catalog).plan(spec,
+                                   query_id=None if force else 5)
 
 
 def q5(catalog: Catalog, params: g5.Q5Params) -> list[g5.Q5Result]:
@@ -337,7 +340,8 @@ def q9_pipeline(catalog: Catalog, params: g9.Q9Params,
                      inner_column="creator_id", residual=date_filter,
                      selectivity=0.5, force=force.get(1)),
         ])
-    return Optimizer(catalog).plan(spec)
+    return Optimizer(catalog).plan(spec,
+                                   query_id=None if force else 9)
 
 
 def q9(catalog: Catalog, params: g9.Q9Params) -> list[g9.Q9Result]:

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import threading
 from enum import Enum
-from typing import Any, Iterator
+from typing import Any, Iterable, Iterator
 
 from .. import telemetry
 from ..errors import (
@@ -60,7 +60,10 @@ class _VertexRecord:
 
     def visible(self, snapshot: int) -> dict[str, Any] | None:
         """Latest version at or before ``snapshot`` (None if tombstoned)."""
-        for ts, props in reversed(self.versions):
+        versions = self.versions
+        if versions and versions[-1][0] <= snapshot:
+            return versions[-1][1]
+        for ts, props in reversed(versions):
             if ts <= snapshot:
                 return props
         return None
@@ -95,6 +98,11 @@ class GraphStore:
         self._last_committed = 0
         self._commits = 0
         self._aborts = 0
+        #: Optional :class:`repro.cache.AdjacencyCache`.  When attached,
+        #: :meth:`Transaction.neighbors` serves visible adjacency from it
+        #: and commits invalidate the keys they touch (under the commit
+        #: lock, before the commit timestamp is published).
+        self.adjacency_cache = None
 
     # -- schema ----------------------------------------------------------
 
@@ -186,6 +194,14 @@ class GraphStore:
                     src, []).append(_EdgeRecord(dst, props, ts))
                 self._adjacency(label, Direction.IN).setdefault(
                     dst, []).append(_EdgeRecord(src, props, ts))
+            if self.adjacency_cache is not None and txn.new_edges:
+                # Invalidate touched keys before the timestamp publish;
+                # the cache's serve-time snapshot-range check covers any
+                # reader racing this window.
+                self.adjacency_cache.invalidate(
+                    key for label, src, dst, __ in txn.new_edges
+                    for key in ((label, src, Direction.OUT),
+                                (label, dst, Direction.IN)))
             # Publish: the new snapshot becomes visible atomically here.
             self._last_committed = ts
             self._commits += 1
@@ -237,6 +253,8 @@ class GraphStore:
         for src, dst, props in rows:
             out_table.setdefault(src, []).append(_EdgeRecord(dst, props, 1))
             in_table.setdefault(dst, []).append(_EdgeRecord(src, props, 1))
+        if self.adjacency_cache is not None:
+            self.adjacency_cache.clear()
         if self._last_committed < 1:
             self._last_committed = 1
 
@@ -333,6 +351,12 @@ class Transaction:
     def vertex(self, label: str, vid: int) -> dict[str, Any] | None:
         """Properties of a vertex, or None if not visible."""
         self._check_open()
+        if not self.new_vertices and not self.updated_vertices:
+            # Read-only fast path: no tuple keys, no overlay merging.
+            table = self.store._vertices.get(label)
+            record = table.get(vid) if table is not None else None
+            return record.visible(self.snapshot) \
+                if record is not None else None
         own = self.new_vertices.get((label, vid))
         committed = None
         record = self.store._vertices.get(label, {}).get(vid)
@@ -358,9 +382,31 @@ class Transaction:
 
     def neighbors(self, edge_label: str, vid: int,
                   direction: Direction = Direction.OUT,
-                  ) -> Iterator[tuple[int, dict[str, Any] | None]]:
-        """Yield ``(other id, edge props)`` over visible adjacency."""
+                  ) -> Iterable[tuple[int, dict[str, Any] | None]]:
+        """Visible ``(other id, edge props)`` pairs, as an iterable.
+
+        With an adjacency cache attached and no transaction-local edges,
+        this returns the materialized pair list itself — callers must
+        only iterate it, never mutate it (the cache shares the list and
+        replaces, rather than mutates, it on extension).
+        """
         self._check_open()
+        store = self.store
+        cache = store.adjacency_cache
+        if cache is not None and not self.new_edges:
+            table = (store._out if direction is Direction.OUT
+                     else store._in).get(edge_label)
+            records = table.get(vid) if table is not None else None
+            if records is None:
+                return ()
+            return cache.lookup(
+                (edge_label, vid, direction), records, self.snapshot)
+        return self._neighbors_scan(edge_label, vid, direction)
+
+    def _neighbors_scan(self, edge_label: str, vid: int,
+                        direction: Direction,
+                        ) -> Iterator[tuple[int, dict[str, Any] | None]]:
+        """Generator path: uncached stores and write transactions."""
         snapshot = self.snapshot
         table = (self.store._out if direction is Direction.OUT
                  else self.store._in).get(edge_label)
@@ -369,10 +415,15 @@ class Transaction:
             # commits newer than our snapshot anyway) are not scanned.
             records = table.get(vid)
             if records is not None:
-                for position in range(len(records)):
-                    record = records[position]
-                    if record.ts <= snapshot:
-                        yield record.other, record.props
+                cache = self.store.adjacency_cache
+                if cache is not None:
+                    yield from cache.lookup(
+                        (edge_label, vid, direction), records, snapshot)
+                else:
+                    for position in range(len(records)):
+                        record = records[position]
+                        if record.ts <= snapshot:
+                            yield record.other, record.props
         for label, src, dst, props in self.new_edges:
             if label != edge_label:
                 continue
@@ -384,7 +435,10 @@ class Transaction:
     def degree(self, edge_label: str, vid: int,
                direction: Direction = Direction.OUT) -> int:
         """Number of visible neighbors."""
-        return sum(1 for __ in self.neighbors(edge_label, vid, direction))
+        visible = self.neighbors(edge_label, vid, direction)
+        if isinstance(visible, (list, tuple)):
+            return len(visible)
+        return sum(1 for __ in visible)
 
     def lookup(self, vertex_label: str, prop: str, value: Any) -> list[int]:
         """Equality index lookup."""

@@ -5,11 +5,93 @@ and the Dependencies/Dependents flags schedules identically.  Reads
 depend on nothing and nothing depends on them ("as they contain no
 inter-dependencies, executing the read queries in parallel is trivial" —
 paper §4.2), so both flags are off and the dependency metadata is zero.
+
+This module is also home to the two pieces of operation *identity* shared
+across layers:
+
+* :class:`EntityRef` — the typed reference to a person/message entity
+  that short reads take as input (and the short-read memo uses as key);
+* :func:`op_class_name` — the one mapping from any operation object to
+  its latency/span class label (``Q9``, ``S3``, ``ADD_POST``, ...), used
+  by the driver scheduler, the connector spans and the telemetry metrics
+  bridge so per-class labels agree everywhere.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+PERSON_KIND = "person"
+MESSAGE_KIND = "message"
+
+
+@dataclass(frozen=True, eq=False)
+class EntityRef:
+    """A typed, hashable reference to a workload entity.
+
+    Replaces the raw ``(kind, id)`` tuples historically passed to short
+    reads.  Hashable (so it doubles as the short-read memo key) and
+    tuple-compatible for the transition: it unpacks (``kind, eid = ref``),
+    indexes (``ref[1]``), and compares equal to the tuple it replaces.
+    """
+
+    kind: str
+    id: int
+
+    @classmethod
+    def person(cls, entity_id: int) -> "EntityRef":
+        return cls(PERSON_KIND, entity_id)
+
+    @classmethod
+    def message(cls, entity_id: int) -> "EntityRef":
+        return cls(MESSAGE_KIND, entity_id)
+
+    @classmethod
+    def of(cls, value) -> "EntityRef":
+        """Coerce an EntityRef or legacy ``(kind, id)`` tuple."""
+        if isinstance(value, EntityRef):
+            return value
+        kind, entity_id = value
+        return cls(kind, entity_id)
+
+    @property
+    def is_person(self) -> bool:
+        return self.kind == PERSON_KIND
+
+    def __iter__(self):
+        yield self.kind
+        yield self.id
+
+    def __getitem__(self, index: int):
+        return (self.kind, self.id)[index]
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, EntityRef):
+            return self.kind == other.kind and self.id == other.id
+        if isinstance(other, tuple):
+            return tuple(self) == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        # Same hash as the tuple it replaces, so refs and legacy tuples
+        # address the same dict slots during the deprecation window.
+        return hash((self.kind, self.id))
+
+
+def op_class_name(op) -> str:
+    """The latency/span class of an operation (``Q9``, ``ADD_POST``, ...).
+
+    Works over every operation shape in the system: driver stream
+    operations (``op_class`` property), update operations (``kind``
+    enum), and the typed :mod:`repro.core.operation` union.  The driver
+    scheduler and the connector both label spans and latency records
+    through this one helper, so the per-class names in
+    :func:`repro.telemetry.publish_driver_metrics` gauges always match
+    the scheduler's span names.
+    """
+    op_class = getattr(op, "op_class", None) or getattr(op, "kind", None)
+    return op_class.name if hasattr(op_class, "name") \
+        else str(op_class or type(op).__name__)
 
 
 @dataclass(frozen=True)

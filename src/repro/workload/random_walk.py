@@ -16,6 +16,7 @@ from typing import Callable
 
 from ..errors import WorkloadError
 from ..rng import RandomStream
+from .operations import EntityRef
 
 
 @dataclass(frozen=True)
@@ -38,53 +39,76 @@ class RandomWalkConfig:
 PERSON_SHORTS = (1, 2, 3)
 MESSAGE_SHORTS = (4, 5, 6, 7)
 
+_PERSON_ATTRS = ("person_id", "author_id", "liker_id",
+                 "root_author_id", "moderator_id")
+_MESSAGE_ATTRS = ("message_id", "comment_id", "root_post_id")
 
-def extract_entities(result: object) -> list[tuple[str, int]]:
-    """Pull (kind, id) seeds out of any query result object.
+#: Per row class: which of the seed attributes it actually declares.
+_attr_plans: dict[type, tuple[tuple[str, ...], tuple[str, ...]]] = {}
+
+
+def _attr_plan(cls: type) -> tuple[tuple[str, ...], tuple[str, ...]]:
+    plan = _attr_plans.get(cls)
+    if plan is None:
+        fields = getattr(cls, "__dataclass_fields__", None) \
+            or getattr(cls, "_fields", None)
+        if fields is None:
+            # Unknown row shape: probe every attribute, as before.
+            plan = (_PERSON_ATTRS, _MESSAGE_ATTRS)
+        else:
+            plan = (tuple(a for a in _PERSON_ATTRS if a in fields),
+                    tuple(a for a in _MESSAGE_ATTRS if a in fields))
+        _attr_plans[cls] = plan
+    return plan
+
+
+def extract_entities(result: object) -> list[EntityRef]:
+    """Pull :class:`EntityRef` seeds out of any query result object.
 
     Works structurally over the result dataclasses: any attribute named
     ``person_id``/``author_id``/``liker_id`` seeds a profile lookup, any
     ``message_id``/``comment_id``/``post_id``-like attribute seeds a
     message lookup.
     """
-    entities: list[tuple[str, int]] = []
+    entities: list[EntityRef] = []
     rows = result if isinstance(result, (list, tuple)) else [result]
     for row in rows:
         if row is None:
             continue
-        for attribute in ("person_id", "author_id", "liker_id",
-                          "root_author_id", "moderator_id"):
+        person_attrs, message_attrs = _attr_plan(row.__class__)
+        for attribute in person_attrs:
             value = getattr(row, attribute, None)
             if isinstance(value, int):
-                entities.append(("person", value))
-        for attribute in ("message_id", "comment_id", "root_post_id"):
+                entities.append(EntityRef.person(value))
+        for attribute in message_attrs:
             value = getattr(row, attribute, None)
             if isinstance(value, int):
-                entities.append(("message", value))
+                entities.append(EntityRef.message(value))
     return entities
 
 
-def run_walk(execute_short: Callable[[int, tuple[str, int]], object],
-             seeds: list[tuple[str, int]], config: RandomWalkConfig,
+def run_walk(execute_short: Callable[[int, EntityRef], object],
+             seeds: list, config: RandomWalkConfig,
              stream: RandomStream,
              on_latency: Callable[[int, float], None] | None = None,
              ) -> int:
     """Run one short-read chain; returns the number of short reads.
 
-    ``execute_short(query_id, (kind, entity_id))`` runs one short read
-    and returns its result, whose entities feed the next step.  The chain
+    ``execute_short(query_id, ref)`` runs one short read on an
+    :class:`EntityRef` and returns its result, whose entities feed the
+    next step.  Legacy ``(kind, id)`` tuple seeds are coerced.  The chain
     terminates because P decreases by Δ every iteration.
     """
     probability = config.probability
-    pool = list(seeds)
+    pool = [EntityRef.of(seed) for seed in seeds]
     executed = 0
     while pool and probability > 0:
         if stream.random() >= probability:
             break
-        kind, entity_id = pool[stream.randint(0, len(pool) - 1)]
-        choices = PERSON_SHORTS if kind == "person" else MESSAGE_SHORTS
+        ref = pool[stream.randint(0, len(pool) - 1)]
+        choices = PERSON_SHORTS if ref.is_person else MESSAGE_SHORTS
         query_id = choices[stream.randint(0, len(choices) - 1)]
-        result = execute_short(query_id, (kind, entity_id))
+        result = execute_short(query_id, ref)
         executed += 1
         next_entities = extract_entities(result)
         if next_entities:

@@ -1,0 +1,226 @@
+"""Adjacency cache: MVCC validity ranges, invalidation, equivalence.
+
+The load-bearing property: with the cache attached, every
+``Transaction.neighbors`` call returns exactly what an uncached store
+returns at the same snapshot — across random interleavings of commits
+and reads, including readers holding old snapshots.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cache import AdjacencyCache, PlanCache
+from repro.core import ComplexRead, EngineSUT, StoreSUT, Update
+from repro.engine.catalog import load_catalog
+from repro.store import load_network
+from repro.store.graph import Direction, GraphStore
+
+
+# -- unit: delta extension on raw records ----------------------------------
+
+class _Record:
+    __slots__ = ("other", "props", "ts")
+
+    def __init__(self, other, ts):
+        self.other = other
+        self.props = None
+        self.ts = ts
+
+
+def test_lookup_miss_then_hit():
+    cache = AdjacencyCache()
+    records = [_Record(1, 1), _Record(2, 2)]
+    key = ("knows", 7, Direction.OUT)
+    assert cache.lookup(key, records, 2) == [(1, None), (2, None)]
+    assert cache.lookup(key, records, 2) == [(1, None), (2, None)]
+    assert cache.stats.misses == 1 and cache.stats.hits == 1
+
+
+def test_lookup_extends_with_committed_delta():
+    cache = AdjacencyCache()
+    records = [_Record(1, 1)]
+    key = ("knows", 7, Direction.OUT)
+    cache.lookup(key, records, 1)
+    records.append(_Record(2, 2))
+    records.append(_Record(3, 3))
+    # Snapshot 2 sees one of the two appended records.
+    assert cache.lookup(key, records, 2) == [(1, None), (2, None)]
+    assert cache.stats.extensions == 1
+    # The refreshed entry serves snapshot 3 by extending again.
+    assert cache.lookup(key, records, 3) \
+        == [(1, None), (2, None), (3, None)]
+    assert cache.stats.extensions == 2
+
+
+def test_lookup_newer_records_above_snapshot_is_hit():
+    cache = AdjacencyCache()
+    records = [_Record(1, 1)]
+    key = ("knows", 7, Direction.OUT)
+    cache.lookup(key, records, 1)
+    records.append(_Record(2, 5))  # committed, but after our snapshot
+    assert cache.lookup(key, records, 2) == [(1, None)]
+    assert cache.stats.hits == 1
+
+
+def test_old_snapshot_bypasses_newer_entry():
+    cache = AdjacencyCache()
+    records = [_Record(1, 1), _Record(2, 5)]
+    key = ("knows", 7, Direction.OUT)
+    assert cache.lookup(key, records, 5) == [(1, None), (2, None)]
+    # A reader at snapshot 1 must not see ts-5 data, and must not
+    # clobber the newer entry either.
+    assert cache.lookup(key, records, 1) == [(1, None)]
+    assert cache.stats.misses == 2
+    assert cache.lookup(key, records, 5) == [(1, None), (2, None)]
+    assert cache.stats.hits == 1
+
+
+def test_invalidate_pops_touched_keys():
+    cache = AdjacencyCache()
+    records = [_Record(1, 1)]
+    keys = [("knows", vid, Direction.OUT) for vid in (7, 8)]
+    for key in keys:
+        cache.lookup(key, records, 1)
+    cache.invalidate([keys[0], ("knows", 99, Direction.IN)])
+    assert len(cache) == 1
+    assert cache.stats.invalidations == 1
+
+
+def test_eviction_drops_oldest_half():
+    cache = AdjacencyCache(max_entries=4)
+    records = [_Record(1, 1)]
+    for vid in range(5):
+        cache.lookup(("knows", vid, Direction.OUT), records, 1)
+    assert cache.stats.evictions == 1
+    assert len(cache) <= 3
+
+
+# -- store-level MVCC behaviour -------------------------------------------
+
+def _twin_stores() -> tuple[GraphStore, GraphStore]:
+    cached, plain = GraphStore(), GraphStore()
+    cached.adjacency_cache = AdjacencyCache()
+    return cached, plain
+
+
+def _commit_edges(stores, edges) -> None:
+    for store in stores:
+        with store.transaction() as txn:
+            for src, dst in edges:
+                txn.insert_edge("knows", src, dst)
+
+
+def test_commit_invalidates_touched_adjacency(fresh_store):
+    fresh_store.adjacency_cache = AdjacencyCache()
+    person = fresh_store._out["knows"] and next(
+        iter(fresh_store._out["knows"]))
+    with fresh_store.transaction() as txn:
+        list(txn.neighbors("knows", person))
+    assert len(fresh_store.adjacency_cache) == 1
+    with fresh_store.transaction() as txn:
+        txn.insert_edge("knows", person, 10**9)
+    assert len(fresh_store.adjacency_cache) == 0
+    assert fresh_store.adjacency_cache.stats.invalidations >= 1
+
+
+def test_old_reader_does_not_see_newer_cached_entry():
+    cached, plain = _twin_stores()
+    _commit_edges((cached, plain), [(1, 2)])
+    old_cached = cached.transaction()
+    old_plain = plain.transaction()
+    _commit_edges((cached, plain), [(1, 3)])
+    # A fresh reader builds a cache entry at the newest snapshot...
+    with cached.transaction() as txn:
+        assert list(txn.neighbors("knows", 1)) == [(2, None), (3, None)]
+    # ...which the old-snapshot reader must bypass.
+    assert list(old_cached.neighbors("knows", 1)) \
+        == list(old_plain.neighbors("knows", 1)) == [(2, None)]
+    old_cached.abort()
+    old_plain.abort()
+    # The newer entry survived the bypass and still serves hits.
+    before = cached.adjacency_cache.stats.hits
+    with cached.transaction() as txn:
+        list(txn.neighbors("knows", 1))
+    assert cached.adjacency_cache.stats.hits == before + 1
+
+
+@pytest.mark.parametrize("seed", [3, 11, 29])
+def test_cached_neighbors_equal_uncached_random_interleavings(seed):
+    """Property: cached == uncached across random commit/read orders."""
+    rng = random.Random(seed)
+    cached, plain = _twin_stores()
+    vids = range(12)
+    open_readers: list = []
+    for __ in range(60):
+        action = rng.random()
+        if action < 0.45:
+            edges = [(rng.choice(vids), rng.choice(vids))
+                     for __ in range(rng.randint(1, 3))]
+            _commit_edges((cached, plain), edges)
+        elif action < 0.65 and len(open_readers) < 4:
+            # Hold a pair of same-snapshot readers open across commits.
+            open_readers.append((cached.transaction(),
+                                 plain.transaction()))
+        else:
+            if open_readers and rng.random() < 0.5:
+                pair = rng.choice(open_readers)
+            else:
+                pair = (cached.transaction(), plain.transaction())
+            txn_cached, txn_plain = pair
+            for __ in range(3):
+                vid = rng.choice(vids)
+                direction = rng.choice((Direction.OUT, Direction.IN))
+                assert list(txn_cached.neighbors(
+                    "knows", vid, direction)) == list(
+                        txn_plain.neighbors("knows", vid, direction))
+            if pair not in open_readers:
+                txn_cached.abort()
+                txn_plain.abort()
+    for txn_cached, txn_plain in open_readers:
+        txn_cached.abort()
+        txn_plain.abort()
+    stats = cached.adjacency_cache.stats
+    assert stats.requests > 0  # the cache actually served reads
+
+
+# -- SUT-level staleness: cached results vs an uncached twin ---------------
+
+def _store_suts(split):
+    cached_store = load_network(split.bulk)
+    cached_store.adjacency_cache = AdjacencyCache()
+    return (StoreSUT(cached_store), StoreSUT(load_network(split.bulk)),
+            lambda: cached_store.adjacency_cache.stats)
+
+
+def _engine_suts(split):
+    cached_catalog = load_catalog(split.bulk)
+    cached_catalog.plan_cache = PlanCache()
+    return (EngineSUT(cached_catalog),
+            EngineSUT(load_catalog(split.bulk)),
+            lambda: cached_catalog.plan_cache.stats)
+
+
+@pytest.mark.parametrize("make_suts", [_store_suts, _engine_suts],
+                         ids=["store", "engine"])
+def test_complex_read_not_stale_after_updates(split, curated_params,
+                                              make_suts):
+    """A result cached before an update must not survive its commit."""
+    cached, plain, stats = make_suts(split)
+    bindings = curated_params.by_query[2][:2]
+
+    def check() -> None:
+        for binding in bindings:
+            op = ComplexRead(2, binding)
+            assert cached.execute(op).value == plain.execute(op).value
+
+    check()  # populate the caches pre-update
+    for index, update in enumerate(split.updates[:180]):
+        cached.execute(Update(update))
+        plain.execute(Update(update))
+        if index % 45 == 44:
+            check()
+    check()
+    assert stats().requests > 0  # the cached SUT really used its cache

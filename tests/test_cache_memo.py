@@ -1,0 +1,155 @@
+"""Short-read memo: dependency mapping, invalidation, store races."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import (
+    FRIENDSHIP_SENSITIVE,
+    ShortReadMemo,
+    touched_refs,
+)
+from repro.core import ShortRead, StoreSUT, Update
+from repro.datagen.update_stream import UpdateKind
+from repro.store import load_network
+from repro.workload.operations import EntityRef
+
+
+def _find(updates, kind):
+    for index, update in enumerate(updates):
+        if update.kind is kind:
+            return index, update
+    return None, None
+
+
+def _first_of(updates, kind):
+    index, update = _find(updates, kind)
+    if update is None:
+        pytest.skip(f"stream contains no {kind.name}")
+    return index, update
+
+
+# -- touched_refs dependency mapping ---------------------------------------
+
+def test_touched_refs_per_kind(split):
+    updates = split.updates
+    __, add_person = _first_of(updates, UpdateKind.ADD_PERSON)
+    assert touched_refs(add_person) \
+        == (EntityRef.person(add_person.payload.id),)
+
+    __, add_friend = _first_of(updates, UpdateKind.ADD_FRIENDSHIP)
+    assert touched_refs(add_friend) == (
+        EntityRef.person(add_friend.payload.person1_id),
+        EntityRef.person(add_friend.payload.person2_id))
+
+    __, add_post = _first_of(updates, UpdateKind.ADD_POST)
+    assert touched_refs(add_post) == (
+        EntityRef.person(add_post.payload.author_id),
+        EntityRef.message(add_post.payload.id))
+
+    __, add_comment = _first_of(updates, UpdateKind.ADD_COMMENT)
+    assert touched_refs(add_comment) == (
+        EntityRef.person(add_comment.payload.author_id),
+        EntityRef.message(add_comment.payload.id),
+        EntityRef.message(add_comment.payload.reply_of_id))
+
+    for kind in (UpdateKind.ADD_FORUM, UpdateKind.ADD_FORUM_MEMBERSHIP,
+                 UpdateKind.ADD_LIKE_POST, UpdateKind.ADD_LIKE_COMMENT):
+        __, update = _find(updates, kind)
+        if update is not None:
+            assert touched_refs(update) == ()
+
+
+# -- memoization and per-entity invalidation -------------------------------
+
+def test_begin_put_roundtrip():
+    memo = ShortReadMemo()
+    ref = EntityRef.person(5)
+    value, token = memo.begin(1, ref)
+    assert value is None and token is not None
+    memo.put(1, ref, "profile", token)
+    value, token = memo.begin(1, ref)
+    assert value == "profile" and token is None
+    assert memo.stats.hits == 1 and memo.stats.misses == 1
+
+
+def test_update_invalidates_only_touched_refs(split):
+    __, add_post = _first_of(split.updates, UpdateKind.ADD_POST)
+    author = EntityRef.person(add_post.payload.author_id)
+    other = EntityRef.person(add_post.payload.author_id + 10**9)
+    memo = ShortReadMemo()
+    for ref in (author, other):
+        __, token = memo.begin(2, ref)
+        memo.put(2, ref, f"posts-of-{ref.id}", token)
+    memo.note_update(add_post)
+    assert memo.begin(2, author)[1] is not None  # invalidated
+    assert memo.begin(2, other)[0] == f"posts-of-{other.id}"
+    assert memo.stats.invalidations >= 1
+
+
+def test_friendship_epoch_invalidates_friend_sensitive_queries(split):
+    __, add_friend = _first_of(split.updates, UpdateKind.ADD_FRIENDSHIP)
+    bystander = EntityRef.person(10**9)  # unrelated to the new edge
+    memo = ShortReadMemo()
+    for query_id in (1, 3):
+        __, token = memo.begin(query_id, bystander)
+        memo.put(query_id, bystander, f"s{query_id}", token)
+    memo.note_update(add_friend)
+    # S3 reads the friendship graph → every entry must recompute, even
+    # for persons the new edge does not name ...
+    assert 3 in FRIENDSHIP_SENSITIVE
+    assert memo.begin(3, bystander)[1] is not None
+    # ... while S1 (profile only) keeps serving.
+    assert memo.begin(1, bystander)[0] == "s1"
+
+
+def test_put_refuses_result_from_before_invalidation(split):
+    __, add_person = _first_of(split.updates, UpdateKind.ADD_PERSON)
+    ref = EntityRef.person(add_person.payload.id)
+    memo = ShortReadMemo()
+    __, token = memo.begin(1, ref)
+    memo.note_update(add_person)  # lands between compute and store
+    memo.put(1, ref, "stale negative result", token)
+    value, new_token = memo.begin(1, ref)
+    assert value is None and new_token is not None  # refused
+    memo.put(1, ref, "fresh", new_token)
+    assert memo.begin(1, ref)[0] == "fresh"
+
+
+def test_capacity_eviction_clears():
+    memo = ShortReadMemo(max_entries=3)
+    for pid in range(4):
+        ref = EntityRef.person(pid)
+        __, token = memo.begin(1, ref)
+        memo.put(1, ref, pid, token)
+    assert memo.stats.evictions == 1
+    assert len(memo) <= 3
+
+
+# -- end-to-end staleness against a live SUT -------------------------------
+
+def test_s2_memo_never_serves_stale_rows(split):
+    """S2 memoized before the author's post must recompute after it."""
+    sut = StoreSUT(load_network(split.bulk))
+    memo = ShortReadMemo()
+    index, add_post = next(
+        (i, u) for i, u in enumerate(split.updates)
+        if u.kind is UpdateKind.ADD_POST)
+    for update in split.updates[:index]:
+        sut.execute(Update(update))
+        memo.note_update(update)
+    ref = EntityRef.person(add_post.payload.author_id)
+
+    __, token = memo.begin(2, ref)
+    before = sut.execute(ShortRead(2, ref)).value
+    memo.put(2, ref, before, token)
+    assert memo.begin(2, ref)[0] == before  # memoized
+
+    sut.execute(Update(add_post))
+    memo.note_update(add_post)
+    value, token = memo.begin(2, ref)
+    assert token is not None  # must recompute, not serve `before`
+    after = sut.execute(ShortRead(2, ref)).value
+    assert any(row.message_id == add_post.payload.id for row in after)
+    memo.put(2, ref, after, token)
+    assert memo.begin(2, ref)[0] == after

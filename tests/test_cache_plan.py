@@ -1,0 +1,140 @@
+"""Plan cache: config parsing, counters, and optimizer integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import CacheConfig, CacheStats, PlanCache
+from repro.engine import snb_queries
+from repro.telemetry.metrics import MetricRegistry
+
+
+# -- CacheConfig -----------------------------------------------------------
+
+def test_from_spec_all_and_none():
+    assert CacheConfig.from_spec("all") == CacheConfig.enabled()
+    assert CacheConfig.from_spec("on") == CacheConfig.enabled()
+    for spec in ("none", "off", "", "  "):
+        assert CacheConfig.from_spec(spec) == CacheConfig.none()
+    assert not CacheConfig.none().any_enabled
+    assert CacheConfig.enabled().any_enabled
+
+
+def test_from_spec_component_list():
+    config = CacheConfig.from_spec("plan,adjacency")
+    assert config.plan and config.adjacency and not config.memo
+    assert CacheConfig.from_spec("memo").describe() == "memo"
+    assert CacheConfig.enabled().describe() == "plan+adjacency+memo"
+    assert CacheConfig.none().describe() == "none"
+
+
+def test_from_spec_rejects_unknown():
+    with pytest.raises(ValueError, match="bogus"):
+        CacheConfig.from_spec("plan,bogus")
+
+
+# -- CacheStats ------------------------------------------------------------
+
+def test_stats_hit_rate_and_rows():
+    stats = CacheStats("demo", hits=6, misses=2, extensions=2)
+    assert stats.requests == 10
+    assert stats.hit_rate == pytest.approx(0.8)
+    assert CacheStats("empty").hit_rate == 0.0
+    row = stats.as_row()
+    assert row["cache"] == "demo" and row["hit_rate"] == 0.8
+
+
+def test_stats_publish_is_delta_idempotent():
+    stats = CacheStats("demo", hits=5, misses=1)
+    registry = MetricRegistry()
+    stats.publish(registry)
+    stats.publish(registry)  # no double counting
+    snapshot = registry.snapshot()
+    assert snapshot["cache.demo.hits"] == 5
+    assert snapshot["cache.demo.misses"] == 1
+    stats.hits += 3
+    stats.publish(registry)
+    snapshot = registry.snapshot()
+    assert snapshot["cache.demo.hits"] == 8
+    assert snapshot["cache.demo.hit_rate"] == pytest.approx(8 / 9)
+
+
+def test_stats_publish_fresh_registry_gets_totals():
+    stats = CacheStats("demo", hits=4)
+    first, second = MetricRegistry(), MetricRegistry()
+    stats.publish(first)
+    stats.publish(second)  # swapped registry still sees full totals
+    assert second.snapshot()["cache.demo.hits"] == 4
+
+
+# -- PlanCache unit behaviour ---------------------------------------------
+
+def test_plan_cache_get_put_counts():
+    cache = PlanCache()
+    assert cache.get(9, 1) is None
+    cache.put(9, 1, [("inl",), ("hash",)])
+    assert cache.get(9, 1) == (("inl",), ("hash",))
+    assert cache.get(9, 2) is None  # new stats epoch → re-plan
+    assert cache.stats.hits == 1 and cache.stats.misses == 2
+    assert len(cache) == 1
+
+
+def test_plan_cache_eviction_and_invalidate():
+    cache = PlanCache(max_entries=2)
+    cache.put(1, 1, ["a"])
+    cache.put(2, 1, ["b"])
+    cache.put(3, 1, ["c"])  # over capacity: wholesale reset
+    assert cache.stats.evictions == 1
+    assert len(cache) == 1
+    cache.invalidate()
+    assert len(cache) == 0
+    assert cache.stats.invalidations == 1
+
+
+# -- optimizer integration -------------------------------------------------
+
+@pytest.fixture()
+def q9_binding(curated_params):
+    return curated_params.by_query[9][0]
+
+
+def test_plan_served_from_cache_on_second_run(fresh_catalog, q9_binding):
+    fresh_catalog.plan_cache = PlanCache()
+    first = snb_queries.q9_pipeline(fresh_catalog, q9_binding)
+    assert not first.from_cache
+    second = snb_queries.q9_pipeline(fresh_catalog, q9_binding)
+    assert second.from_cache
+    assert [d.algorithm for d in second.decisions] \
+        == [d.algorithm for d in first.decisions]
+    assert second.execute() == first.execute()
+    assert fresh_catalog.plan_cache.stats.hits == 1
+
+
+def test_refresh_stats_forces_replan(fresh_catalog, q9_binding):
+    fresh_catalog.plan_cache = PlanCache()
+    snb_queries.q9_pipeline(fresh_catalog, q9_binding)
+    assert fresh_catalog.version == 1
+    assert fresh_catalog.refresh_stats() == 2
+    replanned = snb_queries.q9_pipeline(fresh_catalog, q9_binding)
+    assert not replanned.from_cache  # old epoch's plan not served
+    assert snb_queries.q9_pipeline(fresh_catalog, q9_binding).from_cache
+
+
+def test_forced_pipelines_bypass_cache(fresh_catalog, q9_binding):
+    fresh_catalog.plan_cache = PlanCache()
+    snb_queries.q9_pipeline(fresh_catalog, q9_binding)  # seeds the cache
+    forced = snb_queries.q9_pipeline(fresh_catalog, q9_binding,
+                                     force={0: "hash", 1: "hash"})
+    assert not forced.from_cache
+    assert [d.algorithm for d in forced.decisions] == ["hash", "hash"]
+    # ... and the forced run did not poison the cached decisions.
+    cached = snb_queries.q9_pipeline(fresh_catalog, q9_binding)
+    assert cached.from_cache
+    assert len(fresh_catalog.plan_cache) == 1
+
+
+def test_catalog_without_cache_plans_every_time(fresh_catalog, q9_binding):
+    assert fresh_catalog.plan_cache is None
+    first = snb_queries.q9_pipeline(fresh_catalog, q9_binding)
+    second = snb_queries.q9_pipeline(fresh_catalog, q9_binding)
+    assert not first.from_cache and not second.from_cache

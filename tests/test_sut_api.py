@@ -1,0 +1,122 @@
+"""The unified ``execute(op)`` SUT API, EntityRef, and op_class_name."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ComplexRead,
+    EngineSUT,
+    OperationResult,
+    ShortRead,
+    StoreSUT,
+    Update,
+    as_operation,
+)
+from repro.datagen.update_stream import UpdateOperation
+from repro.workload.operations import (
+    EntityRef,
+    ReadOperation,
+    op_class_name,
+)
+
+
+# -- EntityRef -------------------------------------------------------------
+
+def test_entity_ref_tuple_compatibility():
+    ref = EntityRef.person(11)
+    assert ref == ("person", 11)
+    assert ("person", 11) == ref
+    assert ref != ("person", 12)
+    assert hash(ref) == hash(("person", 11))
+    kind, entity_id = ref
+    assert (kind, entity_id) == ("person", 11)
+    assert ref[0] == "person" and ref[1] == 11
+    assert ref in {("person", 11)} and ("person", 11) in {ref}
+
+
+def test_entity_ref_of_and_kinds():
+    assert EntityRef.of(("message", 3)) == EntityRef.message(3)
+    ref = EntityRef.person(1)
+    assert EntityRef.of(ref) is ref
+    assert ref.is_person and not EntityRef.message(1).is_person
+    assert EntityRef.person(1) != EntityRef.message(1)
+
+
+# -- op_class_name ---------------------------------------------------------
+
+def test_op_class_name_across_shapes(split):
+    read = ReadOperation(query_id=9, params=None, due_time=0)
+    assert op_class_name(read) == "Q9"
+    update = split.updates[0]
+    assert isinstance(update, UpdateOperation)
+    assert op_class_name(update) == update.kind.name
+    assert op_class_name(ComplexRead(2, None)) == "Q2"
+    assert op_class_name(ShortRead(4, EntityRef.message(1))) == "S4"
+    assert op_class_name(Update(update)) == update.kind.name
+
+
+def test_driver_and_workload_share_the_helper():
+    from repro.driver import scheduler
+
+    assert scheduler._op_class_name is op_class_name
+
+
+# -- as_operation coercion -------------------------------------------------
+
+def test_as_operation_coerces_legacy_shapes(split):
+    read = ReadOperation(query_id=2, params="binding", due_time=5,
+                         walk_seed=9)
+    op = as_operation(read)
+    assert op == ComplexRead(2, "binding", walk_seed=9)
+    update = as_operation(split.updates[0])
+    assert update == Update(split.updates[0])
+    assert as_operation(op) is op
+    with pytest.raises(TypeError):
+        as_operation("not an operation")
+
+
+# -- execute on both SUTs --------------------------------------------------
+
+@pytest.fixture(params=["store", "engine"])
+def sut(request, loaded_store, loaded_catalog):
+    if request.param == "store":
+        return StoreSUT(loaded_store)
+    return EngineSUT(loaded_catalog)
+
+
+def test_execute_matches_deprecated_shims(sut, curated_params, network):
+    binding = curated_params.by_query[2][0]
+    result = sut.execute(ComplexRead(2, binding))
+    assert isinstance(result, OperationResult)
+    assert result.op_class == "Q2"
+    with pytest.deprecated_call():
+        assert sut.run_complex(2, binding) == result.value
+
+    ref = EntityRef.person(network.persons[0].id)
+    short = sut.execute(ShortRead(3, ref))
+    assert short.op_class == "S3"
+    with pytest.deprecated_call():
+        # The shim still accepts the legacy (kind, id) tuple.
+        assert sut.run_short(3, ("person", ref.id)) == short.value
+
+
+def test_execute_update_and_shim(split):
+    from repro.store import load_network
+
+    update = split.updates[0]
+    direct = StoreSUT(load_network(split.bulk))
+    result = direct.execute(Update(update))
+    assert result.op_class == update.kind.name
+    assert result.value is None
+    shimmed = StoreSUT(load_network(split.bulk))
+    with pytest.deprecated_call():
+        shimmed.run_update(update)
+
+
+def test_execute_accepts_legacy_driver_shapes(sut, curated_params):
+    """Connector-style dispatch: raw stream items coerce transparently."""
+    binding = curated_params.by_query[2][0]
+    legacy = ReadOperation(query_id=2, params=binding, due_time=0)
+    assert sut.execute(legacy).value \
+        == sut.execute(ComplexRead(2, binding)).value
