@@ -4,11 +4,16 @@ Subcommands:
 
 * ``generate`` — run DATAGEN, print Table 3-style statistics, and
   optionally export CSV bulk files;
-* ``validate`` — load a CSV export and run the integrity validator;
+* ``validate`` — load a CSV export and run the integrity validator, or
+  (``--create`` / ``--check``) record and replay golden validation
+  datasets against either SUT;
 * ``benchmark`` — run the full SNB-Interactive benchmark on a SUT and
   print the full-disclosure report;
 * ``explain`` — show the optimizer's plan for the Figure 4 query (Q9);
-* ``curate`` — print curated parameter bindings for one query template.
+* ``curate`` — print curated parameter bindings for one query template;
+* ``crosscheck`` — validate the two SUTs against each other
+  (``--updates`` replays the update stream with interleaved reads and
+  state checkpoints).
 """
 
 from __future__ import annotations
@@ -43,9 +48,36 @@ def build_parser() -> argparse.ArgumentParser:
                      help="disable event-driven post spikes")
     _add_trace_flag(gen)
 
-    val = commands.add_parser("validate",
-                              help="validate a CSV export")
-    val.add_argument("directory")
+    val = commands.add_parser(
+        "validate",
+        help="validate a CSV export, or create/check a golden "
+             "validation dataset")
+    val.add_argument("directory", nargs="?", default=None,
+                     help="CSV export directory (integrity mode)")
+    val.add_argument("--create", metavar="PATH", default=None,
+                     help="record a golden validation dataset "
+                          "(JSONL) from the reference SUT")
+    val.add_argument("--check", metavar="PATH", default=None,
+                     help="replay a golden dataset against a SUT "
+                          "and diff every expectation")
+    val.add_argument("--sut", choices=("store", "engine", "both"),
+                     default="both",
+                     help="which SUT --check replays (default both)")
+    val.add_argument("--persons", type=int, default=80,
+                     help="--create: datagen person count")
+    val.add_argument("--seed", type=int, default=7,
+                     help="--create: datagen seed")
+    val.add_argument("-k", type=int, default=2,
+                     help="--create: bindings per query template")
+    val.add_argument("--batch", type=int, default=100,
+                     help="--create: updates per batch")
+    val.add_argument("--canary", action="store_true",
+                     help="--check: seed a known query bug and "
+                          "require the check to FAIL (exit 0 iff the "
+                          "harness caught it)")
+    val.add_argument("--replay-out", metavar="PATH", default=None,
+                     help="--check: write the (shrunk) replay bundle "
+                          "of the first mismatch here")
 
     bench = commands.add_parser("benchmark",
                                 help="run the interactive benchmark")
@@ -89,6 +121,17 @@ def build_parser() -> argparse.ArgumentParser:
     crosscheck.add_argument("--seed", type=int, default=42)
     crosscheck.add_argument("-k", type=int, default=4,
                             help="bindings per query template")
+    crosscheck.add_argument(
+        "--updates", action="store_true",
+        help="update-aware differential mode: replay the update "
+             "stream on both SUTs with interleaved reads and state "
+             "checkpoints")
+    crosscheck.add_argument("--batch", type=int, default=100,
+                            help="--updates: updates per batch")
+    crosscheck.add_argument(
+        "--replay-out", metavar="PATH", default=None,
+        help="--updates: write the replay bundle of the first "
+             "mismatch here")
     return parser
 
 
@@ -163,6 +206,12 @@ def _cmd_generate(args) -> int:
 
 
 def _cmd_validate(args) -> int:
+    if args.create or args.check:
+        return _cmd_validate_golden(args)
+    if args.directory is None:
+        raise SystemExit(
+            "validate: pass a CSV directory, or --create/--check "
+            "for golden-dataset mode")
     network = read_csv(args.directory)
     report = validate_network(network)
     print(f"entities checked: {report.checked}")
@@ -173,6 +222,64 @@ def _cmd_validate(args) -> int:
     for violation in report.violations[:20]:
         print(f"  {violation}")
     return 1
+
+
+def _cmd_validate_golden(args) -> int:
+    from .validation import check_golden, create_golden, \
+        render_golden_check
+    from .validation.canary import canary_bug
+
+    if args.create:
+        records = create_golden(
+            args.create, persons=args.persons, seed=args.seed,
+            bindings_per_query=args.k, batch_size=args.batch)
+        print(f"golden dataset written: {args.create} "
+              f"({records} records, persons={args.persons}, "
+              f"seed={args.seed})")
+        if not args.check:
+            return 0
+
+    suts = ("store", "engine") if args.sut == "both" else (args.sut,)
+
+    def run_checks() -> tuple[bool, list]:
+        all_ok = True
+        reports = []
+        for sut_name in suts:
+            report = check_golden(args.check, sut_name)
+            reports.append(report)
+            print(render_golden_check(report))
+            all_ok = all_ok and report.ok
+        return all_ok, reports
+
+    if args.canary:
+        target = "engine" if args.sut in ("engine", "both") \
+            else "store"
+        print(f"canary: seeding a Q2/S4 result bug into the "
+              f"{target} SUT — the check below MUST fail")
+        with canary_bug(target):
+            ok, reports = run_checks()
+        if ok:
+            print("CANARY NOT DETECTED — the validation harness "
+                  "failed to catch a seeded query bug")
+            return 1
+        caught = next(r for r in reports if not r.ok)
+        detail = f"{len(caught.mismatches)} mismatches"
+        if caught.shrunk is not None:
+            detail += (f", counterexample shrunk to "
+                       f"{caught.shrunk.shrunk_updates} updates in "
+                       f"{caught.shrunk.probes} probes")
+        print(f"canary detected ({detail}) — harness is live")
+        return 0
+
+    ok, reports = run_checks()
+    if args.replay_out:
+        bundle = next(
+            (r.shrunk.bundle if r.shrunk is not None else r.bundle
+             for r in reports if r.bundle is not None), None)
+        if bundle is not None:
+            bundle.save(args.replay_out)
+            print(f"replay bundle written: {args.replay_out}")
+    return 0 if ok else 1
 
 
 def _cmd_benchmark(args) -> int:
@@ -243,6 +350,22 @@ def _cmd_crosscheck(args) -> int:
 
     network = generate(DatagenConfig(num_persons=args.persons,
                                      seed=args.seed))
+    if args.updates:
+        from .curation import ParameterCurator
+        from .datagen.update_stream import split_network
+        from .validation import render_differential, run_differential
+
+        split = split_network(network)
+        params = ParameterCurator(split.bulk, seed=args.seed) \
+            .curate(args.k)
+        report, bundle = run_differential(
+            split, params, persons=args.persons, seed=args.seed,
+            batch_size=args.batch)
+        print(render_differential(report))
+        if bundle is not None and args.replay_out:
+            bundle.save(args.replay_out)
+            print(f"replay bundle written: {args.replay_out}")
+        return 0 if report.ok else 1
     report = cross_validate(network, bindings_per_query=args.k,
                             seed=args.seed)
     print(render_validation(report))

@@ -20,7 +20,12 @@ from .operation import (
 )
 from .report import render_report
 from .sut import BaseSUT, EngineSUT, StoreSUT, SystemUnderTest
-from .validation import ValidationReport, cross_validate, render_validation
+from .validation import (
+    Mismatch,
+    ValidationReport,
+    cross_validate,
+    render_validation,
+)
 
 __all__ = [
     "BaseSUT",
@@ -30,6 +35,7 @@ __all__ = [
     "EngineSUT",
     "InteractiveBenchmark",
     "InteractiveConnector",
+    "Mismatch",
     "Operation",
     "OperationResult",
     "ShortRead",

@@ -124,6 +124,13 @@ class StoreSUT(BaseSUT):
     def __init__(self, store: GraphStore) -> None:
         self.store = store
 
+    @classmethod
+    def for_network(cls, network) -> "StoreSUT":
+        """A fresh store SUT bulk-loaded with a generated network."""
+        from ..store.loader import load_network
+
+        return cls(load_network(network))
+
     def _complex(self, query_id: int, params: object):
         entry = COMPLEX_QUERIES.get(query_id)
         if entry is None:
@@ -149,6 +156,13 @@ class EngineSUT(BaseSUT):
 
     def __init__(self, catalog: Catalog) -> None:
         self.catalog = catalog
+
+    @classmethod
+    def for_network(cls, network) -> "EngineSUT":
+        """A fresh engine SUT bulk-loaded with a generated network."""
+        from ..engine.catalog import load_catalog
+
+        return cls(load_catalog(network))
 
     def _complex(self, query_id: int, params: object):
         run = engine_queries.ENGINE_COMPLEX.get(query_id)

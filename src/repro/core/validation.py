@@ -1,11 +1,18 @@
-"""Cross-SUT validation mode.
+"""Cross-SUT validation mode (read-only checker).
 
 The official LDBC driver ships a validation mode: run the workload's
 queries against a system and compare every result with a known-good
 reference.  Here the two built-in SUTs validate each other: every
 complex read and short read is executed on both the graph store and the
 relational engine over curated parameters, and any disagreement is
-reported with the binding that produced it.
+reported with the binding that produced it plus a structured per-column
+diff of the first differing rows.
+
+Result canonicalization is shared with the full validation subsystem
+(:mod:`repro.validation.canonical`), so this checker, the update-aware
+differential runner, and golden datasets all agree on what "equal"
+means.  For update-aware validation, state checkpoints, and replayable
+counterexamples, see :mod:`repro.validation`.
 """
 
 from __future__ import annotations
@@ -13,17 +20,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..curation.curator import CuratedWorkloadParams, ParameterCurator
-from ..engine.catalog import load_catalog
 from ..schema.dataset import SocialNetwork
-from ..store.loader import load_network
+from ..validation.canonical import ResultDiff, comparable, diff_results
 from ..workload.operations import EntityRef
 from .operation import ComplexRead, ShortRead
 from .sut import EngineSUT, StoreSUT
 
-#: Q1's engine row lacks the denormalized multi-valued attributes;
-#: compare on the shared columns.
-_Q1_SHARED = ("person_id", "last_name", "distance", "city_name",
-              "universities", "companies")
+#: Mismatches rendered in full before the summary tail line.
+RENDER_LIMIT = 20
 
 
 @dataclass
@@ -35,6 +39,8 @@ class Mismatch:
     store_rows: int
     engine_rows: int
     detail: str
+    #: Structured per-column diff of the first differing rows.
+    diff: ResultDiff | None = field(default=None, repr=False)
 
 
 @dataclass
@@ -50,26 +56,18 @@ class ValidationReport:
         return not self.mismatches
 
 
-def _comparable(query_id: int, rows) -> object:
-    if query_id == 1:
-        return [tuple(getattr(row, name) for name in _Q1_SHARED)
-                for row in rows]
-    return rows
-
-
 def cross_validate(network: SocialNetwork,
                    params: CuratedWorkloadParams | None = None,
                    bindings_per_query: int = 5,
                    seed: int = 0) -> ValidationReport:
     """Validate the two SUTs against each other on one network."""
-    from ..engine import snb_queries
     from ..queries.registry import COMPLEX_QUERIES, SHORT_QUERIES
 
     if params is None:
         params = ParameterCurator(network, seed=seed).curate(
             bindings_per_query)
-    store = StoreSUT(load_network(network))
-    engine = EngineSUT(load_catalog(network))
+    store = StoreSUT.for_network(network)
+    engine = EngineSUT.for_network(network)
     report = ValidationReport()
 
     for query_id in sorted(COMPLEX_QUERIES):
@@ -79,13 +77,15 @@ def cross_validate(network: SocialNetwork,
             op = ComplexRead(query_id, binding)
             store_rows = store.execute(op).value
             engine_rows = engine.execute(op).value
-            if _comparable(query_id, store_rows) \
-                    != _comparable(query_id, engine_rows):
+            left = comparable(query_id, store_rows)
+            right = comparable(query_id, engine_rows)
+            if left != right:
                 report.mismatches.append(Mismatch(
                     query=f"Q{query_id}", params=binding,
                     store_rows=len(store_rows),
                     engine_rows=len(engine_rows),
-                    detail="complex read results differ"))
+                    detail="complex read results differ",
+                    diff=diff_results(left, right)))
 
     person_inputs = [EntityRef.person(p.id)
                      for p in network.persons[:10]]
@@ -101,24 +101,38 @@ def cross_validate(network: SocialNetwork,
             op = ShortRead(query_id, entity)
             store_rows = store.execute(op).value
             engine_rows = engine.execute(op).value
-            if store_rows != engine_rows:
+            left = comparable(query_id, store_rows)
+            right = comparable(query_id, engine_rows)
+            if left != right:
                 report.mismatches.append(Mismatch(
                     query=f"S{query_id}", params=entity,
                     store_rows=1, engine_rows=1,
-                    detail="short read results differ"))
+                    detail="short read results differ",
+                    diff=diff_results(left, right)))
     return report
 
 
 def render_validation(report: ValidationReport) -> str:
-    """Human-readable validation summary."""
+    """Human-readable validation summary.
+
+    Every rendered mismatch includes the first differing row's columns;
+    mismatches beyond :data:`RENDER_LIMIT` are counted explicitly rather
+    than silently dropped.
+    """
     lines = [
         f"cross-SUT validation: {report.queries_checked} query "
         f"templates, {report.executions} executions",
         f"result: {'OK — systems agree' if report.ok else 'MISMATCHES'}",
     ]
-    for mismatch in report.mismatches[:20]:
+    for mismatch in report.mismatches[:RENDER_LIMIT]:
         lines.append(f"  {mismatch.query} {mismatch.detail}: "
                      f"store={mismatch.store_rows} rows, "
                      f"engine={mismatch.engine_rows} rows, "
                      f"params={mismatch.params}")
+        if mismatch.diff is not None:
+            lines.append("    " + mismatch.diff.describe(
+                "store", "engine").replace("\n", "\n    "))
+    hidden = len(report.mismatches) - RENDER_LIMIT
+    if hidden > 0:
+        lines.append(f"  (+{hidden} more mismatches)")
     return "\n".join(lines)

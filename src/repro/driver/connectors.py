@@ -9,7 +9,9 @@ to a connector.  Three implementations:
   a configured duration" (Table 5 driver-scalability experiments);
 * :class:`StoreConnector` — executes updates against the MVCC graph store;
 * :class:`RecordingConnector` — records the execution order and T_GC at
-  execution time, used by the dependency-correctness tests.
+  execution time, used by the dependency-correctness tests;
+* :class:`DifferentialConnector` — drives two SUTs in lockstep, applying
+  every update to both and diffing every read (validation harness).
 """
 
 from __future__ import annotations
@@ -60,6 +62,63 @@ class StoreConnector:
 
     def execute(self, operation: UpdateOperation) -> None:
         execute_update(self.store, operation, self.isolation)
+
+
+class ReadDisagreement:
+    """One read whose results differed between the paired SUTs."""
+
+    def __init__(self, label: str, params: object, diff: object) -> None:
+        self.label = label
+        self.params = params
+        self.diff = diff
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ReadDisagreement({self.label}, {self.params})"
+
+
+class DifferentialConnector:
+    """Drives two SUTs in lockstep and diffs every read result.
+
+    Updates are applied to both systems under one lock, so each read
+    (also under the lock) observes both systems after the *same* update
+    prefix.  That makes the oracle strict only when the driver executes
+    sequentially (one partition, sequential mode): with concurrent
+    workers, reads racing updates can legitimately observe different
+    prefixes and a disagreement is advisory, not a verdict.  The
+    dependency-correctness tests run it sequentially.
+    """
+
+    def __init__(self, primary, secondary) -> None:
+        self.primary = primary
+        self.secondary = secondary
+        self.disagreements: list[ReadDisagreement] = []
+        self._lock = threading.Lock()
+
+    def execute(self, operation) -> None:
+        # Late imports: repro.core/validation import the driver package
+        # indirectly; resolving the operation types at call time keeps
+        # this module import-cycle free.
+        from ..core.operation import ComplexRead, ShortRead, as_operation
+        from ..validation.canonical import comparable, diff_results
+
+        op = as_operation(operation)
+        with self._lock:
+            left = self.primary.execute(op).value
+            right = self.secondary.execute(op).value
+            if isinstance(op, (ComplexRead, ShortRead)):
+                tag = "Q" if isinstance(op, ComplexRead) else "S"
+                left_c = comparable(op.query_id, left)
+                right_c = comparable(op.query_id, right)
+                if left_c != right_c:
+                    self.disagreements.append(ReadDisagreement(
+                        f"{tag}{op.query_id}",
+                        op.params if isinstance(op, ComplexRead)
+                        else op.entity,
+                        diff_results(left_c, right_c)))
+
+    @property
+    def agreed(self) -> bool:
+        return not self.disagreements
 
 
 class RecordingConnector:

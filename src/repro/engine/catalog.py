@@ -23,6 +23,11 @@ PERSON = Schema(("id", "first_name", "last_name", "gender", "birthday",
                  "creation_date", "city_id", "country_id",
                  "browser_used", "location_ip"))
 KNOWS = Schema(("person1_id", "person2_id", "creation_date"))
+# The multi-valued person attributes, normalized the way a relational
+# schema stores them; ``seq`` preserves the original value order so the
+# denormalized tuples rebuild exactly (Q1's emails/languages columns).
+PERSON_EMAIL = Schema(("person_id", "seq", "email"))
+PERSON_LANGUAGE = Schema(("person_id", "seq", "language"))
 PERSON_TAG = Schema(("person_id", "tag_id"))
 STUDY_AT = Schema(("person_id", "organisation_id", "class_year"))
 WORK_AT = Schema(("person_id", "organisation_id", "work_from"))
@@ -79,6 +84,9 @@ class Catalog:
             return table
 
         add("person", PERSON, pk="id").create_hash_index("first_name")
+        add("person_email", PERSON_EMAIL).create_hash_index("person_id")
+        add("person_language",
+            PERSON_LANGUAGE).create_hash_index("person_id")
         knows = add("knows", KNOWS)
         knows.create_hash_index("person1_id")
         add("person_tag", PERSON_TAG).create_hash_index("person_id")
@@ -144,6 +152,12 @@ class Catalog:
     def insert_person(self, person: Person) -> None:
         with self.write_lock:
             self.table("person").insert(self.person_row(person))
+            for seq, email in enumerate(person.emails):
+                self.table("person_email").insert(
+                    (person.id, seq, email))
+            for seq, language in enumerate(person.languages):
+                self.table("person_language").insert(
+                    (person.id, seq, language))
             for tag_id in person.interests:
                 self.table("person_tag").insert((person.id, tag_id))
             for study in person.study_at:
@@ -199,6 +213,12 @@ def load_catalog(network: SocialNetwork) -> Catalog:
     catalog = Catalog()
     catalog.table("person").bulk_load(
         Catalog.person_row(p) for p in network.persons)
+    catalog.table("person_email").bulk_load(
+        (p.id, seq, email) for p in network.persons
+        for seq, email in enumerate(p.emails))
+    catalog.table("person_language").bulk_load(
+        (p.id, seq, language) for p in network.persons
+        for seq, language in enumerate(p.languages))
     catalog.table("person_tag").bulk_load(
         (p.id, tag_id) for p in network.persons for tag_id in p.interests)
     catalog.table("study_at").bulk_load(

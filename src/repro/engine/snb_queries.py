@@ -105,11 +105,18 @@ def q1(catalog: Catalog, params: g1.Q1Params) -> list[g1.Q1Result]:
                  catalog.table("organisation").by_pk(w[1])[3])[1])
             for w in catalog.table("work_at").probe("person_id",
                                                     person_id)))
+        emails = tuple(row[2] for row in sorted(
+            catalog.table("person_email").probe("person_id", person_id),
+            key=lambda row: row[1]))
+        languages = tuple(row[2] for row in sorted(
+            catalog.table("person_language").probe("person_id",
+                                                   person_id),
+            key=lambda row: row[1]))
         results.append(g1.Q1Result(
             person_id=person_id, last_name=last_name, distance=distance,
             birthday=person[4], creation_date=person[5],
             gender=person[3], browser_used=person[8],
-            location_ip=person[9], emails=(), languages=(),
+            location_ip=person[9], emails=emails, languages=languages,
             city_name=city[1], universities=universities,
             companies=companies))
     return results

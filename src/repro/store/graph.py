@@ -479,6 +479,42 @@ class Transaction:
         yield from index.range(low, high, snapshot=self.snapshot,
                                reverse=reverse)
 
+    def vertices(self, label: str,
+                 ) -> Iterator[tuple[int, dict[str, Any]]]:
+        """All visible ``(vertex id, props)`` pairs of one label.
+
+        A full-label scan at the transaction's snapshot (plus its own
+        uncommitted inserts); the validation harness uses it to build
+        canonical whole-graph state snapshots.
+        """
+        self._check_open()
+        snapshot = self.snapshot
+        for vid, record in self.store._vertices.get(label, {}).items():
+            props = record.visible(snapshot)
+            if props is not None:
+                yield vid, props
+        for (lbl, vid), props in self.new_vertices.items():
+            if lbl == label:
+                yield vid, props
+
+    def edges(self, edge_label: str,
+              ) -> Iterator[tuple[int, int, dict[str, Any] | None]]:
+        """All visible ``(src, dst, props)`` triples of one edge label.
+
+        Scans the OUT adjacency tables at the snapshot; undirected edges
+        (stored as two directed records) yield both directions.
+        """
+        self._check_open()
+        snapshot = self.snapshot
+        for src, records in self.store._out.get(edge_label, {}).items():
+            for position in range(len(records)):
+                record = records[position]
+                if record.ts <= snapshot:
+                    yield src, record.other, record.props
+        for label, src, dst, props in self.new_edges:
+            if label == edge_label:
+                yield src, dst, props
+
     def count_vertices(self, label: str) -> int:
         """Number of visible vertices with the label (scan)."""
         self._check_open()

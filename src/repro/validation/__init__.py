@@ -1,0 +1,78 @@
+"""Full-workload differential validation (the driver's validation mode).
+
+This package turns the read-only cross-SUT checker into a real
+validation subsystem:
+
+* :mod:`~repro.validation.canonical` — shared result canonicalization,
+  digests, and structured per-column diffs;
+* :mod:`~repro.validation.snapshot` — canonical full-graph state
+  snapshots derivable from both SUTs (the state oracle);
+* :mod:`~repro.validation.differential` — update-aware differential
+  execution: both SUTs replay the update stream in lockstep with
+  interleaved reads and state checkpoints;
+* :mod:`~repro.validation.golden` — recorded golden datasets
+  (``repro validate --create`` / ``--check``);
+* :mod:`~repro.validation.replay` — deterministic replay bundles and
+  the greedy counterexample shrinker;
+* :mod:`~repro.validation.canary` — the mutation canary proving the
+  harness detects seeded bugs.
+"""
+
+from .canary import canary_bug
+from .canonical import (
+    ColumnDiff,
+    ResultDiff,
+    canonical_json,
+    canonicalize,
+    comparable,
+    diff_results,
+    digest,
+)
+from .differential import (
+    DifferentialMismatch,
+    DifferentialReport,
+    PlanStep,
+    build_plan,
+    render_differential,
+    run_differential,
+)
+from .golden import (
+    GOLDEN_FORMAT,
+    GoldenCheckReport,
+    GoldenMismatch,
+    check_golden,
+    create_golden,
+    render_golden_check,
+)
+from .replay import (
+    REPLAY_FORMAT,
+    FailingCheck,
+    ReplayBundle,
+    ShrinkResult,
+    reproduce,
+    run_check,
+    shrink,
+)
+from .snapshot import (
+    SECTIONS,
+    SectionDiff,
+    diff_snapshots,
+    snapshot_catalog,
+    snapshot_digest,
+    snapshot_store,
+)
+
+__all__ = [
+    "ColumnDiff",
+    "ResultDiff", "canonical_json", "canonicalize", "comparable",
+    "diff_results", "digest",
+    "DifferentialMismatch", "DifferentialReport", "PlanStep",
+    "build_plan", "render_differential", "run_differential",
+    "GOLDEN_FORMAT", "GoldenCheckReport", "GoldenMismatch",
+    "check_golden", "create_golden", "render_golden_check",
+    "REPLAY_FORMAT", "FailingCheck", "ReplayBundle", "ShrinkResult",
+    "reproduce", "run_check", "shrink",
+    "SECTIONS", "SectionDiff", "diff_snapshots", "snapshot_catalog",
+    "snapshot_digest", "snapshot_store",
+    "canary_bug",
+]

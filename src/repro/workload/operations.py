@@ -58,6 +58,10 @@ class EntityRef:
     def is_person(self) -> bool:
         return self.kind == PERSON_KIND
 
+    def as_json(self) -> list:
+        """JSON-able ``[kind, id]`` form (round-trips through :meth:`of`)."""
+        return [self.kind, self.id]
+
     def __iter__(self):
         yield self.kind
         yield self.id

@@ -68,3 +68,25 @@ def fresh_store(split):
 @pytest.fixture()
 def fresh_catalog(split):
     return load_catalog(split.bulk)
+
+
+#: A second, smaller network for the differential-validation tests —
+#: chosen so its update stream still contains all 8 update kinds.
+SMALL_SEED = 11
+SMALL_PERSONS = 60
+
+
+@pytest.fixture(scope="session")
+def small_network():
+    return generate(DatagenConfig(num_persons=SMALL_PERSONS,
+                                  seed=SMALL_SEED))
+
+
+@pytest.fixture(scope="session")
+def small_split(small_network):
+    return split_network(small_network)
+
+
+@pytest.fixture(scope="session")
+def small_params(small_split):
+    return ParameterCurator(small_split.bulk, seed=3).curate(2)

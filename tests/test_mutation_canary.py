@@ -1,0 +1,108 @@
+"""The mutation canary: a seeded query bug must be caught by every
+validation surface, shrunk, and replayable."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.operation import ComplexRead, ShortRead
+from repro.core.sut import EngineSUT, StoreSUT
+from repro.validation import (
+    canary_bug,
+    render_differential,
+    reproduce,
+    run_differential,
+    shrink,
+)
+from repro.workload.operations import EntityRef
+
+
+class TestCanaryBug:
+    def test_patches_and_restores_engine(self, small_split):
+        from repro.queries.complex_reads import q2
+
+        engine = EngineSUT.for_network(small_split.bulk)
+        horizon = max(m.creation_date
+                      for m in small_split.bulk.messages()) + 1
+        binding = clean = None
+        for edge in small_split.bulk.knows[:50]:
+            candidate = q2.Q2Params(edge.person1_id, horizon)
+            clean = engine.execute(ComplexRead(2, candidate)).value
+            if clean:
+                binding = candidate
+                break
+        assert binding is not None, \
+            "no person with friend messages in the bulk part"
+        with canary_bug("engine"):
+            buggy = engine.execute(ComplexRead(2, binding)).value
+            assert buggy == clean[1:]
+        assert engine.execute(ComplexRead(2, binding)).value == clean
+
+    def test_patches_and_restores_store(self, small_split,
+                                        small_network):
+        store = StoreSUT.for_network(small_split.bulk)
+        ref = EntityRef.message(small_split.bulk.posts[0].id)
+        clean = store.execute(ShortRead(4, ref)).value
+        with canary_bug("store"):
+            buggy = store.execute(ShortRead(4, ref)).value
+            assert buggy.content.endswith(" [canary]")
+        assert store.execute(ShortRead(4, ref)).value == clean
+
+    def test_restores_on_error(self):
+        from repro.engine import snb_queries
+
+        original = snb_queries.ENGINE_COMPLEX[2]
+        with pytest.raises(RuntimeError):
+            with canary_bug("engine"):
+                raise RuntimeError("boom")
+        assert snb_queries.ENGINE_COMPLEX[2] is original
+
+
+class TestCanaryDetection:
+    def test_differential_catches_shrinks_and_replays(self, small_split,
+                                                      small_params):
+        """The full loop the harness promises: a seeded bug is caught
+        by the differential runner, the counterexample shrinks to a
+        near-minimal update prefix, the bundle reproduces the failure
+        under the bug and passes without it."""
+        with canary_bug("engine"):
+            report, bundle = run_differential(
+                small_split, small_params, persons=60, seed=11,
+                batch_size=300, max_mismatches=3)
+            assert not report.ok
+            assert bundle is not None
+            labels = {m.label for m in report.mismatches}
+            assert labels & {"Q2", "S4"}, labels
+            assert "MISMATCHES" in render_differential(report)
+
+            result = shrink(bundle, split=small_split)
+            # The bug corrupts query results, not update handling: the
+            # counterexample must shrink to (nearly) no updates — zero
+            # when the failing read hits bulk-loaded data, a handful
+            # when it hits an entity the update stream created.
+            assert result.shrunk_updates <= 2
+            assert result.shrunk_updates < result.original_updates
+            assert reproduce(result.bundle, split=small_split) \
+                is not None
+        # Without the bug the shrunk bundle must NOT reproduce.
+        assert reproduce(result.bundle, split=small_split) is None
+
+    def test_bundle_round_trips_through_json(self, small_split,
+                                             small_params, tmp_path):
+        with canary_bug("engine"):
+            __, bundle = run_differential(
+                small_split, small_params, persons=60, seed=11,
+                batch_size=300, max_mismatches=1)
+        assert bundle is not None
+        path = tmp_path / "replay.json"
+        bundle.save(str(path))
+
+        from repro.validation import ReplayBundle
+
+        loaded = ReplayBundle.load(str(path))
+        assert loaded.persons == 60 and loaded.seed == 11
+        assert loaded.update_indices == bundle.update_indices
+        assert loaded.failing == bundle.failing
+        with canary_bug("engine"):
+            assert reproduce(loaded, split=small_split) is not None
+        assert reproduce(loaded, split=small_split) is None

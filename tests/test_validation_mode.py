@@ -29,6 +29,29 @@ class TestCrossValidate:
         assert "Q9" in text
         assert not report.ok
 
+    def test_render_includes_first_differing_row(self):
+        from repro.validation.canonical import diff_results
+
+        left = [{"person_id": 1, "name": "Ada"}]
+        right = [{"person_id": 1, "name": "Bob"}]
+        report = ValidationReport(queries_checked=1, executions=1)
+        report.mismatches.append(Mismatch(
+            query="Q1", params="p", store_rows=1, engine_rows=1,
+            detail="complex read results differ",
+            diff=diff_results(left, right)))
+        text = render_validation(report)
+        assert "Ada" in text and "Bob" in text
+        assert "row 0" in text
+
+    def test_render_counts_hidden_mismatches(self):
+        report = ValidationReport(queries_checked=1, executions=30)
+        for i in range(25):
+            report.mismatches.append(Mismatch(
+                query=f"Q{1 + i % 14}", params=i, store_rows=1,
+                engine_rows=2, detail="complex read results differ"))
+        text = render_validation(report)
+        assert "(+5 more mismatches)" in text
+
     def test_cli_crosscheck(self, capsys):
         from repro.cli import main
 
