@@ -13,7 +13,10 @@ Subcommands:
 * ``curate`` — print curated parameter bindings for one query template;
 * ``crosscheck`` — validate the two SUTs against each other
   (``--updates`` replays the update stream with interleaved reads and
-  state checkpoints).
+  state checkpoints);
+* ``chaos`` — run the update workload under a seeded fault plan
+  (transient aborts, latency spikes, hangs, MVCC write conflicts) and
+  assert the perturbed run converges to the fault-free state digest.
 """
 
 from __future__ import annotations
@@ -75,6 +78,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="--check: seed a known query bug and "
                           "require the check to FAIL (exit 0 iff the "
                           "harness caught it)")
+    val.add_argument("--canary-faults", action="store_true",
+                     help="--check: run the chaos soak with retry "
+                          "classification disabled and require it to "
+                          "FAIL (exit 0 iff the fault injector fired "
+                          "and the soak caught the broken run)")
     val.add_argument("--replay-out", metavar="PATH", default=None,
                      help="--check: write the (shrunk) replay bundle "
                           "of the first mismatch here")
@@ -132,6 +140,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--replay-out", metavar="PATH", default=None,
         help="--updates: write the replay bundle of the first "
              "mismatch here")
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="run the update workload under injected faults and "
+             "assert convergence to the fault-free state digest")
+    chaos.add_argument("--persons", type=int, default=60)
+    chaos.add_argument("--seed", type=int, default=11,
+                       help="datagen seed")
+    chaos.add_argument("--plan-seed", type=int, default=0,
+                       help="fault-plan seed (same (seed, plan) → "
+                            "identical injections and retry counts)")
+    chaos.add_argument("--sut", choices=("store", "engine", "both"),
+                       default="both")
+    chaos.add_argument("--partitions", type=int, default=4)
+    chaos.add_argument("--abort-rate", type=float, default=0.05,
+                       help="fraction of ops hit by a transient abort")
+    chaos.add_argument("--abort-attempts", type=int, default=1,
+                       help="failing attempts per injected abort")
+    chaos.add_argument("--latency-rate", type=float, default=0.02,
+                       help="fraction of ops hit by a latency spike")
+    chaos.add_argument("--latency-ms", type=float, default=2.0,
+                       help="injected latency spike duration")
+    chaos.add_argument("--hang-rate", type=float, default=0.0,
+                       help="fraction of ops that stall then abort")
+    chaos.add_argument("--hang-ms", type=float, default=100.0,
+                       help="injected hang duration")
+    chaos.add_argument("--fatal-rate", type=float, default=0.0,
+                       help="fraction of ops raising a fatal SUT error "
+                            "(digest will diverge unless 0)")
+    chaos.add_argument("--store-conflicts", type=float, default=0.0,
+                       help="store SUT only: fraction of commits "
+                            "raising a genuine WriteConflictError")
+    chaos.add_argument("--max-retries", type=int, default=8)
+    chaos.add_argument("--degrade", action="store_true",
+                       help="skip ops that exhaust retries instead of "
+                            "failing the run (graceful degradation)")
+    chaos.add_argument("--attempt-timeout", type=float, default=None,
+                       help="per-attempt watchdog budget in seconds")
+    _add_trace_flag(chaos)
     return parser
 
 
@@ -206,6 +253,8 @@ def _cmd_generate(args) -> int:
 
 
 def _cmd_validate(args) -> int:
+    if args.canary_faults:
+        return _cmd_canary_faults(args)
     if args.create or args.check:
         return _cmd_validate_golden(args)
     if args.directory is None:
@@ -280,6 +329,49 @@ def _cmd_validate_golden(args) -> int:
             bundle.save(args.replay_out)
             print(f"replay bundle written: {args.replay_out}")
     return 0 if ok else 1
+
+
+def _cmd_canary_faults(args) -> int:
+    """``validate --check FILE --canary-faults``: the chaos canary.
+
+    Anchors the network on the golden header's (persons, seed) so the
+    canary exercises the same configuration CI validates, then runs the
+    chaos soak with retry classification disabled — which MUST fail.
+    """
+    import json
+
+    from .datagen.update_stream import split_network
+    from .faults import FaultPlan
+    from .validation import GOLDEN_FORMAT, chaos_canary, render_chaos
+
+    if not args.check:
+        print("--canary-faults requires --check PATH "
+              "(the golden header pins the configuration)",
+              file=sys.stderr)
+        return 2
+    with open(args.check, encoding="utf-8") as handle:
+        header = json.loads(handle.readline())
+    if header.get("format") != GOLDEN_FORMAT:
+        raise SystemExit(
+            f"{args.check}: not a {GOLDEN_FORMAT} golden dataset")
+    sut = "store" if args.sut == "both" else args.sut
+    print(f"chaos canary: injecting transient aborts into the {sut} "
+          f"SUT with retry classification DISABLED — the soak below "
+          f"MUST fail")
+    network = generate(DatagenConfig(num_persons=header["persons"],
+                                     seed=header["seed"]))
+    split = split_network(network)
+    plan = FaultPlan.uniform(abort=0.10)
+    caught, report = chaos_canary(split, sut, plan)
+    print(render_chaos(report))
+    if not caught:
+        print("CHAOS CANARY NOT DETECTED — either the fault injector "
+              "no longer fires or the soak no longer notices a driver "
+              "that cannot retry")
+        return 1
+    print(f"chaos canary detected ({report.injected_total} faults "
+          f"injected, unprotected run failed) — chaos harness is live")
+    return 0
 
 
 def _cmd_benchmark(args) -> int:
@@ -372,6 +464,45 @@ def _cmd_crosscheck(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_chaos(args) -> int:
+    from .datagen.update_stream import split_network
+    from .driver.resilience import DegradePolicy, RetryPolicy
+    from .faults import FaultPlan
+    from .validation import render_chaos, run_chaos
+
+    plan = FaultPlan.uniform(
+        abort=args.abort_rate, latency=args.latency_rate,
+        hang=args.hang_rate, fatal=args.fatal_rate,
+        abort_attempts=args.abort_attempts,
+        latency_seconds=args.latency_ms / 1000.0,
+        hang_seconds=args.hang_ms / 1000.0)
+    policy = RetryPolicy(
+        max_retries=args.max_retries, base_backoff=0.0005,
+        max_backoff=0.05, attempt_timeout=args.attempt_timeout,
+        on_exhaustion=(DegradePolicy.DEGRADE if args.degrade
+                       else DegradePolicy.FAIL_FAST))
+    print(f"chaos soak: {args.persons} persons (seed {args.seed}), "
+          f"plan seed {args.plan_seed}, abort={args.abort_rate} "
+          f"latency={args.latency_rate} hang={args.hang_rate} "
+          f"fatal={args.fatal_rate} conflicts={args.store_conflicts}")
+    network = generate(DatagenConfig(num_persons=args.persons,
+                                     seed=args.seed))
+    split = split_network(network)
+    trace = _TraceSession(args.trace)
+    suts = ("store", "engine") if args.sut == "both" else (args.sut,)
+    all_ok = True
+    for sut_name in suts:
+        report = run_chaos(
+            split, sut_name, plan, seed=args.plan_seed, policy=policy,
+            num_partitions=args.partitions,
+            conflict_rate=(args.store_conflicts
+                           if sut_name == "store" else 0.0))
+        print(render_chaos(report))
+        all_ok = all_ok and report.ok
+    trace.finish()
+    return 0 if all_ok else 1
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "validate": _cmd_validate,
@@ -379,6 +510,7 @@ _COMMANDS = {
     "explain": _cmd_explain,
     "curate": _cmd_curate,
     "crosscheck": _cmd_crosscheck,
+    "chaos": _cmd_chaos,
 }
 
 

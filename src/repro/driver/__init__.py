@@ -29,16 +29,27 @@ from .connectors import (
     RecordingConnector,
     SleepingConnector,
     StoreConnector,
+    SUTConnector,
 )
 from .dependency import GlobalDependencyService, LocalDependencyService
 from .metrics import DriverMetrics, LatencyRecorder
 from .modes import ExecutionMode
+from .resilience import (
+    CircuitBreaker,
+    CircuitOpenError,
+    DegradePolicy,
+    RetryPolicy,
+    default_is_transient,
+)
 from .scheduler import DriverConfig, DriverReport, WorkloadDriver
 
 __all__ = [
     "AS_FAST_AS_POSSIBLE",
     "AccelerationClock",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "Connector",
+    "DegradePolicy",
     "DriverConfig",
     "DriverMetrics",
     "DriverReport",
@@ -47,7 +58,10 @@ __all__ = [
     "LatencyRecorder",
     "LocalDependencyService",
     "RecordingConnector",
+    "RetryPolicy",
+    "SUTConnector",
     "SleepingConnector",
     "StoreConnector",
     "WorkloadDriver",
+    "default_is_transient",
 ]

@@ -64,6 +64,31 @@ class StoreConnector:
         execute_update(self.store, operation, self.isolation)
 
 
+class SUTConnector:
+    """Adapts any unified-API SUT (``execute(op) -> OperationResult``)
+    to the driver's connector protocol.
+
+    ``serialize=True`` funnels all calls through one lock — required
+    for SUTs without internal concurrency control (the relational
+    engine's catalog mutates bare lists), harmless for one-partition
+    runs.
+    """
+
+    def __init__(self, sut, serialize: bool = False) -> None:
+        self.sut = sut
+        self._lock = threading.Lock() if serialize else None
+
+    def execute(self, operation) -> None:
+        from ..core.operation import as_operation  # import-cycle free
+
+        op = as_operation(operation)
+        if self._lock is not None:
+            with self._lock:
+                self.sut.execute(op)
+        else:
+            self.sut.execute(op)
+
+
 class ReadDisagreement:
     """One read whose results differed between the paired SUTs."""
 

@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 
 from .. import telemetry
 from ..datagen.update_stream import partition_updates
-from ..errors import DriverError
+from ..errors import DriverError, OperationTimeoutError
 from ..rng import RandomStream
 from ..workload.operations import op_class_name as _op_class_name
 from .clock import AS_FAST_AS_POSSIBLE, AccelerationClock
@@ -36,6 +36,13 @@ from .connectors import Connector
 from .dependency import GlobalDependencyService, LocalDependencyService
 from .metrics import DriverMetrics, LatencyRecorder
 from .modes import ExecutionMode
+from .resilience import (
+    CircuitBreaker,
+    CircuitOpenError,
+    DegradePolicy,
+    RetryPolicy,
+    call_with_watchdog,
+)
 
 
 @dataclass
@@ -61,10 +68,25 @@ class DriverConfig:
     lateness_tolerance: float = 1.0
     #: Transient connector failures (e.g. a deadlock-victim abort in a
     #: real SUT) are retried this many times before the run fails.
+    #: Shorthand for the same field of :class:`RetryPolicy`; ignored
+    #: when ``resilience`` is supplied.
     max_retries: int = 0
-    #: Seconds between retries of a failed operation.
+    #: Base backoff seconds between retries (shorthand for
+    #: ``RetryPolicy.base_backoff``; ignored when ``resilience`` set).
     retry_backoff: float = 0.01
+    #: Full resilience policy (retry classification, decorrelated-jitter
+    #: backoff, watchdog timeouts, degradation, failure budget).  None
+    #: derives a fail-fast policy from the two shorthand fields above.
+    resilience: RetryPolicy | None = None
     seed: int = 0
+
+    def effective_policy(self) -> RetryPolicy:
+        """The resilience policy this run executes under."""
+        if self.resilience is not None:
+            return self.resilience
+        return RetryPolicy(max_retries=self.max_retries,
+                           base_backoff=self.retry_backoff,
+                           max_backoff=max(self.retry_backoff, 1.0))
 
 
 @dataclass
@@ -76,6 +98,15 @@ class DriverReport:
     per_partition_counts: list[int] = field(default_factory=list)
     #: Transient connector failures absorbed by the retry policy.
     retries: int = 0
+    #: Retries broken down by operation class.
+    retries_by_class: dict[str, int] = field(default_factory=dict)
+    #: Operations abandoned after retry exhaustion under DEGRADE.
+    skipped: int = 0
+    skipped_by_class: dict[str, int] = field(default_factory=dict)
+    #: Partitions whose failure budget was exceeded.
+    breaker_trips: int = 0
+    #: Watchdog attempt timeouts plus expired per-op budgets.
+    op_timeouts: int = 0
 
     @property
     def ops_per_second(self) -> float:
@@ -90,12 +121,25 @@ class WorkloadDriver:
         self.config = config
         self.gds = GlobalDependencyService()
         self.recorder = LatencyRecorder()
+        self._policy = config.effective_policy()
         self._timeouts = 0
+        #: Guards the dependency-timeout counter only.
         self._timeout_lock = threading.Lock()
+        #: Guards every other run-statistics field below — retry/skip
+        #: accounting must not contend with (or hide behind) the
+        #: timeout counter's lock.
+        self._stats_lock = threading.Lock()
         self._late_count = 0
         self._max_lateness = 0.0
         self._op_count = 0
         self._retries = 0
+        self._retries_by_class: dict[str, int] = {}
+        self._skipped = 0
+        self._skipped_by_class: dict[str, int] = {}
+        self._breaker_trips = 0
+        self._op_timeouts = 0
+        self._breakers: list[CircuitBreaker] = []
+        self._backoff_streams: list[RandomStream] = []
 
     def run(self, operations: list) -> DriverReport:
         """Partition the stream, execute all partitions, report metrics."""
@@ -107,12 +151,18 @@ class WorkloadDriver:
         services = [LocalDependencyService() for __ in partitions]
         for lds in services:
             self.gds.register(lds)
+        policy = self._policy
+        self._breakers = [CircuitBreaker(i, policy.failure_budget)
+                          for i in range(len(partitions))]
+        self._backoff_streams = [
+            RandomStream.for_key(config.seed, "retry-backoff", i)
+            for i in range(len(partitions))]
         simulation_start = min((op.due_time for op in operations),
                                default=0)
         clock = AccelerationClock(simulation_start, config.acceleration)
         run_start = time.monotonic()
 
-        errors: list[BaseException] = []
+        errors: list[tuple[int, BaseException]] = []
         threads = []
         for index, (ops, lds) in enumerate(zip(partitions, services)):
             thread = threading.Thread(
@@ -125,7 +175,7 @@ class WorkloadDriver:
         for thread in threads:
             thread.join()
         if errors:
-            raise errors[0]
+            raise self._aggregate_failures(errors)
 
         wall = time.monotonic() - run_start
         metrics = DriverMetrics(
@@ -136,15 +186,49 @@ class WorkloadDriver:
                            if self._op_count else 0.0),
             max_lateness=self._max_lateness,
         )
-        if telemetry.active:
-            telemetry.publish_driver_metrics(metrics,
-                                             telemetry.get_registry())
-        return DriverReport(
+        report = DriverReport(
             metrics=metrics,
             dependency_timeouts=self._timeouts,
             per_partition_counts=[len(p) for p in partitions],
             retries=self._retries,
+            retries_by_class=dict(self._retries_by_class),
+            skipped=self._skipped,
+            skipped_by_class=dict(self._skipped_by_class),
+            breaker_trips=self._breaker_trips,
+            op_timeouts=self._op_timeouts,
         )
+        if telemetry.active:
+            registry = telemetry.get_registry()
+            telemetry.publish_driver_metrics(metrics, registry)
+            telemetry.publish_resilience_report(report, registry)
+        return report
+
+    @staticmethod
+    def _aggregate_failures(
+            errors: list[tuple[int, BaseException]]) -> BaseException:
+        """First partition failure, annotated with every other one.
+
+        The original exception (type intact, so callers can still catch
+        what the connector raised) carries all failures on a
+        ``partition_failures`` attribute; when several partitions died,
+        a summary of the others is appended to its message so nothing
+        is silently discarded.
+        """
+        first_index, first_exc = errors[0]
+        first_exc.partition_failures = [(index, exc)
+                                        for index, exc in errors]
+        if len(errors) > 1:
+            others = "; ".join(
+                f"partition {index}: {type(exc).__name__}: {exc}"
+                for index, exc in errors[1:])
+            note = (f"[driver: partition {first_index} failed first; "
+                    f"+{len(errors) - 1} more partition failure(s): "
+                    f"{others}]")
+            if hasattr(first_exc, "add_note"):  # Python >= 3.11
+                first_exc.add_note(note)
+            else:  # pragma: no cover - 3.10 fallback
+                first_exc.args = first_exc.args + (note,)
+        return first_exc
 
     # ------------------------------------------------------------------
     # partition execution
@@ -161,7 +245,7 @@ class WorkloadDriver:
             else:
                 self._run_partition(index, ops, lds, clock, run_start)
         except BaseException as exc:  # surfaced by run()
-            errors.append(exc)
+            errors.append((index, exc))
         finally:
             lds.finish()
 
@@ -198,9 +282,13 @@ class WorkloadDriver:
                 lds.initiate(op.due_time)
             self._wait_for_dependency(op, index)
             lateness = clock.wait_until_due(op.due_time)
-            self._execute(op, run_start, lateness)
-            if tracked:
-                lds.complete(op.due_time)
+            try:
+                self._execute(op, run_start, lateness, index)
+            finally:
+                # A skipped (degraded) dependency still advances IT/CT:
+                # downstream partitions must not wedge on a dead op.
+                if tracked:
+                    lds.complete(op.due_time)
 
     def _run_windowed(self, index, ops, lds, clock, run_start) -> None:
         """WINDOWED: batch Dependents into T_SAFE-bounded windows."""
@@ -221,10 +309,17 @@ class WorkloadDriver:
                 self._wait_for_window(max_dep, index)
             lateness = clock.wait_until_due(window_start)
             stream.shuffle(window)
-            for op in window:
-                self._execute(op, run_start, lateness)
-            window = []
-            window_start = None
+            # Consume the window as we go: if an op fails the partition
+            # (fail-fast), the already-executed prefix stays counted and
+            # a re-entrant flush cannot double-execute it.
+            try:
+                while window:
+                    op = window.pop()
+                    self._execute(op, run_start, lateness, index)
+            finally:
+                if not window:
+                    window = []
+                    window_start = None
 
         for op in ops:
             lds.advance_watermark(op.due_time)
@@ -234,8 +329,11 @@ class WorkloadDriver:
                 lds.initiate(op.due_time)
                 self._wait_for_dependency(op, index)
                 lateness = clock.wait_until_due(op.due_time)
-                self._execute(op, run_start, lateness)
-                lds.complete(op.due_time)
+                try:
+                    self._execute(op, run_start, lateness, index)
+                finally:
+                    # Degraded-skip or failure: T_GC must still advance.
+                    lds.complete(op.due_time)
                 continue
             if window_start is None:
                 window_start = op.due_time
@@ -284,38 +382,99 @@ class WorkloadDriver:
                 f"partition {index}: windowed dependency wait timed out "
                 f"at {max_dep}")
 
-    def _execute(self, op, run_start, lateness: float) -> None:
+    def _execute(self, op, run_start, lateness: float,
+                 partition: int) -> None:
         started = time.monotonic()
         if telemetry.active:
             with telemetry.span("op." + _op_class_name(op),
                                 due_time=op.due_time,
-                                lateness_seconds=lateness):
-                self._execute_with_retries(op)
+                                lateness_seconds=lateness) as sp:
+                executed = self._execute_with_retries(op, partition)
+                sp.set("skipped", not executed)
         else:
-            self._execute_with_retries(op)
+            executed = self._execute_with_retries(op, partition)
+        if not executed:
+            return
         latency = time.monotonic() - started
         self.recorder.record(_op_class_name(op), latency,
                              started - run_start)
-        with self._timeout_lock:
+        with self._stats_lock:
             self._op_count += 1
             if lateness > self.config.lateness_tolerance:
                 self._late_count += 1
             if lateness > self._max_lateness:
                 self._max_lateness = lateness
 
-    def _execute_with_retries(self, op) -> None:
+    def _execute_with_retries(self, op, partition: int) -> bool:
+        """Run one op under the resilience policy.
+
+        Returns True when the operation executed, False when it was
+        abandoned under :attr:`DegradePolicy.DEGRADE` (the caller still
+        advances dependency tracking so downstream never wedges).
+        Transient failures retry with decorrelated-jitter backoff up to
+        ``max_retries`` within the per-op wall-clock budget; fatal
+        (non-transient) failures never retry.
+        """
+        policy = self._policy
+        stream = self._backoff_streams[partition]
+        op_deadline = (time.monotonic() + policy.op_timeout
+                       if policy.op_timeout is not None else None)
         attempt = 0
+        backoff = policy.base_backoff
         while True:
             try:
-                self.connector.execute(op)
-                return
-            except Exception:
+                if policy.attempt_timeout is not None:
+                    budget = policy.attempt_timeout
+                    if op_deadline is not None:
+                        budget = min(budget,
+                                     op_deadline - time.monotonic())
+                        if budget <= 0:
+                            raise OperationTimeoutError(
+                                f"per-op budget {policy.op_timeout:.3f}s "
+                                f"exhausted before attempt {attempt + 1}")
+                    call_with_watchdog(
+                        lambda: self.connector.execute(op), budget)
+                else:
+                    self.connector.execute(op)
+                return True
+            except Exception as exc:
+                if isinstance(exc, OperationTimeoutError):
+                    with self._stats_lock:
+                        self._op_timeouts += 1
+                if not policy.is_transient(exc):
+                    return self._exhausted(op, partition, exc)
                 attempt += 1
-                if attempt > self.config.max_retries:
-                    raise
-                with self._timeout_lock:
+                budget_expired = (op_deadline is not None
+                                  and time.monotonic() >= op_deadline)
+                if attempt > policy.max_retries or budget_expired:
+                    return self._exhausted(op, partition, exc)
+                op_class = _op_class_name(op)
+                with self._stats_lock:
                     self._retries += 1
-                time.sleep(self.config.retry_backoff)
+                    self._retries_by_class[op_class] = \
+                        self._retries_by_class.get(op_class, 0) + 1
+                backoff = policy.next_backoff(backoff, stream)
+                if backoff > 0:
+                    time.sleep(backoff)
+
+    def _exhausted(self, op, partition: int, exc: Exception) -> bool:
+        """Out of retries (or non-transient): degrade or fail fast."""
+        if self._policy.on_exhaustion is not DegradePolicy.DEGRADE:
+            raise exc
+        op_class = _op_class_name(op)
+        with self._stats_lock:
+            self._skipped += 1
+            self._skipped_by_class[op_class] = \
+                self._skipped_by_class.get(op_class, 0) + 1
+        if self._breakers[partition].record_skip():
+            with self._stats_lock:
+                self._breaker_trips += 1
+            raise CircuitOpenError(
+                f"partition {partition}: failure budget "
+                f"{self._policy.failure_budget} exceeded "
+                f"({self._breakers[partition].skips} ops skipped); "
+                f"last failure: {type(exc).__name__}: {exc}") from exc
+        return False
 
 
 # _op_class_name is the shared repro.workload.operations.op_class_name

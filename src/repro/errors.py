@@ -13,6 +13,25 @@ class ReproError(Exception):
     """Base class for all errors raised by the ``repro`` package."""
 
 
+class TransientError(ReproError):
+    """Marker: a failure that is expected to clear on retry.
+
+    Deadlock-victim aborts, snapshot write-write conflicts and injected
+    chaos aborts are transient: the LDBC driver treats them as normal
+    events and replays the operation.  The scheduler's retry policy
+    retries *only* exceptions classified transient (this marker, plus
+    the conventional OS-level ``ConnectionError`` / ``TimeoutError``).
+    """
+
+
+class FatalSUTError(ReproError):
+    """Marker: the system under test failed unrecoverably.
+
+    Never retried, regardless of the retry budget: retrying a fatal
+    error only delays surfacing it (and can mask data loss).
+    """
+
+
 class SchemaError(ReproError):
     """An entity or relation violates the SNB schema."""
 
@@ -29,8 +48,13 @@ class TransactionError(StoreError):
     """A transaction could not proceed (conflict, aborted, misuse)."""
 
 
-class WriteConflictError(TransactionError):
-    """First-committer-wins conflict under snapshot isolation."""
+class WriteConflictError(TransactionError, TransientError):
+    """First-committer-wins conflict under snapshot isolation.
+
+    Also a :class:`TransientError`: the losing transaction can simply
+    run again against the newer snapshot, which is exactly what the
+    driver's retry policy does.
+    """
 
 
 class TransactionStateError(TransactionError):
@@ -63,6 +87,15 @@ class DriverError(ReproError):
 
 class DependencyViolationError(DriverError):
     """An operation executed before one of its dependencies completed."""
+
+
+class OperationTimeoutError(DriverError, TransientError):
+    """An operation attempt exceeded its wall-clock budget.
+
+    Raised by the resilience policy's watchdog.  Transient: the attempt
+    is abandoned and the operation may be retried within its remaining
+    per-operation budget.
+    """
 
 
 class WorkloadError(ReproError):

@@ -1,0 +1,55 @@
+"""Store-level conflict injection: genuine MVCC aborts at a seeded rate.
+
+Connector-level aborts prove the retry loop works; they do not prove
+the *store's* abort path composes with it.  :class:`ConflictInjector`
+hooks :meth:`GraphStore._apply_commit_locked` so a seeded fraction of
+commits raise a real :class:`~repro.errors.WriteConflictError` before
+validation — the transaction aborts exactly as a losing first-committer
+would (abort counters, discarded write set), and the retry replays the
+whole update in a fresh transaction against the newer snapshot.
+
+Decisions draw from one stream in commit order, so single-partition
+(sequential) runs are exactly reproducible; under concurrent partitions
+the commit order — and therefore which commit aborts — depends on
+scheduling, but the injected *rate* still holds.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..errors import WriteConflictError
+from ..rng import RandomStream
+
+
+class ConflictInjector:
+    """Raises ``WriteConflictError`` on a seeded fraction of commits."""
+
+    def __init__(self, seed: int, rate: float) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"conflict rate must be in [0, 1], got {rate}")
+        self.rate = rate
+        self._stream = RandomStream.for_key(seed, "store-conflict")
+        self._lock = threading.Lock()
+        self.commits_seen = 0
+        self.injected = 0
+
+    def before_commit(self, txn) -> None:
+        """Called by the store under the commit lock; may raise."""
+        with self._lock:
+            self.commits_seen += 1
+            fire = self._stream.random() < self.rate
+            if fire:
+                self.injected += 1
+        if fire:
+            raise WriteConflictError(
+                f"injected write-write conflict "
+                f"(commit #{self.commits_seen})")
+
+
+def install_conflict_injector(store, seed: int,
+                              rate: float) -> ConflictInjector:
+    """Attach a fresh :class:`ConflictInjector` to a store; returns it."""
+    injector = ConflictInjector(seed, rate)
+    store.fault_injector = injector
+    return injector

@@ -103,6 +103,11 @@ class GraphStore:
         #: and commits invalidate the keys they touch (under the commit
         #: lock, before the commit timestamp is published).
         self.adjacency_cache = None
+        #: Optional :class:`repro.faults.ConflictInjector`.  When
+        #: attached, a seeded fraction of commits raise a genuine
+        #: :class:`~repro.errors.WriteConflictError` before validation,
+        #: exercising the MVCC abort path end-to-end (chaos testing).
+        self.fault_injector = None
 
     # -- schema ----------------------------------------------------------
 
@@ -158,6 +163,8 @@ class GraphStore:
 
     def _apply_commit_locked(self, txn: "Transaction") -> int:
         with self._commit_lock:
+            if self.fault_injector is not None:
+                self.fault_injector.before_commit(txn)
             snapshot = txn.snapshot
             for (label, vid), props in txn.new_vertices.items():
                 record = self._vertex_table(label).get(vid)

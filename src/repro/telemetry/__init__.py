@@ -46,6 +46,7 @@ from .bridge import (
     GC_TIMEOUT_COUNTER,
     GC_WAIT_HISTOGRAM,
     publish_driver_metrics,
+    publish_resilience_report,
 )
 from .context import Span, Tracer
 from .exporters import (
@@ -89,6 +90,7 @@ __all__ = [
     "histogram",
     "percentile",
     "publish_driver_metrics",
+    "publish_resilience_report",
     "render_metrics",
     "render_span_summary",
     "render_wait_breakdown",

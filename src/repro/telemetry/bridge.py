@@ -16,6 +16,11 @@ from .metrics import MetricRegistry
 GC_WAIT_HISTOGRAM = "driver.gc_wait_seconds"
 #: Counter of dependency-wait timeouts (wedged-run detector trips).
 GC_TIMEOUT_COUNTER = "driver.gc_wait_timeouts"
+#: Gauge prefixes of the resilience accounting published per run.
+RETRIES_GAUGE = "driver.retries"
+SKIPPED_GAUGE = "driver.skipped_ops"
+BREAKER_TRIPS_GAUGE = "driver.breaker_trips"
+OP_TIMEOUTS_GAUGE = "driver.op_timeouts"
 
 
 def publish_driver_metrics(metrics, registry: MetricRegistry) -> None:
@@ -39,3 +44,20 @@ def publish_driver_metrics(metrics, registry: MetricRegistry) -> None:
         registry.gauge(f"{prefix}.p95").set(stats.p95_ms)
         registry.gauge(f"{prefix}.p99").set(stats.p99_ms)
         registry.gauge(f"{prefix}.max").set(stats.max_ms)
+
+
+def publish_resilience_report(report, registry: MetricRegistry) -> None:
+    """Publish a run's resilience accounting as telemetry metrics.
+
+    ``report`` is duck-typed (``retries``, ``retries_by_class``,
+    ``skipped``, ``skipped_by_class``, ``breaker_trips``,
+    ``op_timeouts``) so this module stays driver-import-free.
+    """
+    registry.gauge(f"{RETRIES_GAUGE}.total").set(report.retries)
+    for name, count in report.retries_by_class.items():
+        registry.gauge(f"{RETRIES_GAUGE}.{name}").set(count)
+    registry.gauge(SKIPPED_GAUGE).set(report.skipped)
+    for name, count in report.skipped_by_class.items():
+        registry.gauge(f"{SKIPPED_GAUGE}.{name}").set(count)
+    registry.gauge(BREAKER_TRIPS_GAUGE).set(report.breaker_trips)
+    registry.gauge(OP_TIMEOUTS_GAUGE).set(report.op_timeouts)

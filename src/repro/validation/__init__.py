@@ -15,10 +15,20 @@ validation subsystem:
 * :mod:`~repro.validation.replay` — deterministic replay bundles and
   the greedy counterexample shrinker;
 * :mod:`~repro.validation.canary` — the mutation canary proving the
-  harness detects seeded bugs.
+  harness detects seeded bugs;
+* :mod:`~repro.validation.chaos` — the chaos soak: a fault-perturbed
+  driver run must converge to the fault-free final state digest
+  (``repro chaos``), with its own fault canary (``--canary-faults``).
 """
 
 from .canary import canary_bug
+from .chaos import (
+    ChaosReport,
+    chaos_canary,
+    clean_run_digest,
+    render_chaos,
+    run_chaos,
+)
 from .canonical import (
     ColumnDiff,
     ResultDiff,
@@ -75,4 +85,6 @@ __all__ = [
     "SECTIONS", "SectionDiff", "diff_snapshots", "snapshot_catalog",
     "snapshot_digest", "snapshot_store",
     "canary_bug",
+    "ChaosReport", "chaos_canary", "clean_run_digest", "render_chaos",
+    "run_chaos",
 ]

@@ -1,0 +1,211 @@
+"""Chaos soak: the strongest robustness property the harness can check.
+
+A run perturbed by injected faults — transient aborts, latency spikes,
+hangs, genuine MVCC write conflicts — must converge to the **exact same
+final state digest** as a fault-free run, with zero dependency
+timeouts.  The canonical snapshots of :mod:`repro.validation.snapshot`
+carry no commit timestamps, so the digest is insensitive to the retry
+reordering chaos introduces; any divergence means an update was lost,
+double-applied, or executed against the wrong dependency state.
+
+Two entry points:
+
+* :func:`run_chaos` — the soak proper (``repro chaos``): clean
+  reference digest, then a driver run through a
+  :class:`~repro.faults.FaultInjectingConnector` under a real
+  resilience policy, then the verdict;
+* :func:`chaos_canary` — the harness-of-the-harness
+  (``repro validate --check … --canary-faults``): the same soak with
+  retry *classification disabled* (every fault treated fatal) must
+  FAIL, proving the injector actually fires and the soak can detect a
+  broken run — a chaos harness that cannot fail proves nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..datagen.update_stream import SplitDataset
+from ..driver import (
+    DegradePolicy,
+    DriverConfig,
+    DriverReport,
+    ExecutionMode,
+    RetryPolicy,
+    SUTConnector,
+    WorkloadDriver,
+)
+from ..errors import BenchmarkError
+from ..faults import FaultInjectingConnector, FaultPlan, \
+    install_conflict_injector
+from .snapshot import snapshot_catalog, snapshot_digest, snapshot_store
+
+#: The default soak policy: generous transient retries, fail fast on
+#: anything fatal (a fatal fault must surface, not degrade silently).
+DEFAULT_POLICY = RetryPolicy(max_retries=8, base_backoff=0.0005,
+                             max_backoff=0.05)
+
+
+def _make_sut(split: SplitDataset, sut_name: str):
+    from ..core.sut import EngineSUT, StoreSUT
+
+    if sut_name == "store":
+        return StoreSUT.for_network(split.bulk)
+    if sut_name == "engine":
+        return EngineSUT.for_network(split.bulk)
+    raise BenchmarkError(f"unknown SUT {sut_name!r}")
+
+
+def _digest_of(sut, sut_name: str) -> str:
+    snap = snapshot_store(sut.store) if sut_name == "store" \
+        else snapshot_catalog(sut.catalog)
+    return snapshot_digest(snap)
+
+
+def clean_run_digest(split: SplitDataset, sut_name: str) -> str:
+    """Final-state digest of a fault-free in-order replay (the oracle)."""
+    from ..core.operation import Update
+
+    sut = _make_sut(split, sut_name)
+    for operation in split.updates:
+        sut.execute(Update(operation))
+    return _digest_of(sut, sut_name)
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos soak against one SUT."""
+
+    sut: str
+    clean_digest: str
+    chaos_digest: str
+    #: fault-kind name → injections that actually fired.
+    injected: dict[str, int] = field(default_factory=dict)
+    #: Store-level write conflicts injected (store SUT only).
+    injected_conflicts: int = 0
+    driver: DriverReport | None = None
+    #: Set when the perturbed run raised instead of completing.
+    failure: str | None = None
+
+    @property
+    def injected_total(self) -> int:
+        return sum(self.injected.values()) + self.injected_conflicts
+
+    @property
+    def digests_match(self) -> bool:
+        return self.clean_digest == self.chaos_digest
+
+    @property
+    def ok(self) -> bool:
+        """Converged, nothing wedged, and the injector provably fired."""
+        return (self.failure is None
+                and self.digests_match
+                and self.injected_total > 0
+                and self.driver is not None
+                and self.driver.dependency_timeouts == 0)
+
+
+def run_chaos(split: SplitDataset, sut_name: str, plan: FaultPlan,
+              seed: int = 0, policy: RetryPolicy | None = None,
+              num_partitions: int = 4,
+              mode: ExecutionMode = ExecutionMode.PARALLEL,
+              window_millis: int | None = None,
+              conflict_rate: float = 0.0,
+              dependency_wait_timeout: float = 60.0) -> ChaosReport:
+    """Drive the update stream under faults; compare final digests.
+
+    The fault-injecting connector wraps a unified-API adapter over the
+    chosen SUT (serialized for the engine, whose catalog has no
+    internal concurrency control).  ``conflict_rate`` additionally
+    installs the store-level :class:`ConflictInjector` so real MVCC
+    aborts join the mix (store SUT only).
+    """
+    clean = clean_run_digest(split, sut_name)
+
+    sut = _make_sut(split, sut_name)
+    inner = SUTConnector(sut, serialize=(sut_name == "engine"))
+    connector = FaultInjectingConnector(inner, plan, seed=seed,
+                                        operations=split.updates)
+    conflicts = None
+    if conflict_rate > 0.0:
+        if sut_name != "store":
+            raise BenchmarkError(
+                "store-level conflict injection requires the store SUT")
+        conflicts = install_conflict_injector(sut.store, seed,
+                                              conflict_rate)
+    config = DriverConfig(
+        num_partitions=num_partitions, mode=mode,
+        window_millis=window_millis,
+        dependency_wait_timeout=dependency_wait_timeout,
+        resilience=policy or DEFAULT_POLICY, seed=seed)
+    driver = WorkloadDriver(connector, config)
+
+    report = ChaosReport(sut=sut_name, clean_digest=clean,
+                         chaos_digest="",
+                         injected=connector.injected_counts())
+    try:
+        report.driver = driver.run(split.updates)
+    except Exception as exc:
+        report.failure = f"{type(exc).__name__}: {exc}"
+    report.injected = connector.injected_counts()
+    if conflicts is not None:
+        report.injected_conflicts = conflicts.injected
+        sut.store.fault_injector = None  # quiesce for the snapshot read
+    if report.failure is None:
+        report.chaos_digest = _digest_of(sut, sut_name)
+    return report
+
+
+def chaos_canary(split: SplitDataset, sut_name: str, plan: FaultPlan,
+                 seed: int = 0, num_partitions: int = 2,
+                 ) -> tuple[bool, ChaosReport]:
+    """Soak with retry classification disabled — it must FAIL.
+
+    Returns ``(caught, report)`` where ``caught`` is True when the
+    unprotected run failed (raised, diverged, or saw no injections at
+    all counts as NOT caught).  Guards the chaos harness against
+    rotting into a no-op: if faults stop firing, or the soak stops
+    noticing a driver that cannot retry, the canary goes green-blind
+    and CI fails.
+    """
+    no_retry = RetryPolicy(max_retries=8, base_backoff=0.0,
+                           max_backoff=0.0,
+                           classify=lambda exc: False)
+    report = run_chaos(split, sut_name, plan, seed=seed,
+                       policy=no_retry, num_partitions=num_partitions,
+                       dependency_wait_timeout=10.0)
+    caught = report.injected_total > 0 and (
+        report.failure is not None or not report.digests_match)
+    return caught, report
+
+
+def render_chaos(report: ChaosReport) -> str:
+    """Human-readable chaos soak summary."""
+    lines = [f"chaos soak [{report.sut}]:"]
+    injected = ", ".join(f"{kind}={count}"
+                         for kind, count in sorted(report.injected.items())
+                         if count) or "none"
+    lines.append(f"  injected faults: {injected}"
+                 + (f", store conflicts={report.injected_conflicts}"
+                    if report.injected_conflicts else ""))
+    if report.failure is not None:
+        lines.append(f"  run FAILED: {report.failure}")
+    elif report.driver is not None:
+        d = report.driver
+        retries = ", ".join(
+            f"{name}={count}"
+            for name, count in sorted(d.retries_by_class.items())) \
+            or "none"
+        lines.append(f"  driver: {d.metrics.operations} ops, "
+                     f"{d.retries} retries ({retries}), "
+                     f"{d.skipped} skipped, {d.breaker_trips} breaker "
+                     f"trips, {d.op_timeouts} op timeouts, "
+                     f"{d.dependency_timeouts} dependency timeouts")
+    lines.append(
+        f"  state digest: {'MATCH' if report.digests_match else 'MISMATCH'}"
+        f" (clean {report.clean_digest[:12]}…, "
+        f"chaos {report.chaos_digest[:12] if report.chaos_digest else '—'}…)"
+        if report.failure is None else
+        f"  state digest: not compared (run failed)")
+    lines.append(f"  verdict: {'OK — chaos run converged' if report.ok else 'FAILED'}")
+    return "\n".join(lines)

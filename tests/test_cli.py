@@ -104,3 +104,41 @@ class TestExplainAndCurate:
         out = capsys.readouterr().out
         assert code == 0
         assert "uniform bindings" in out
+
+
+class TestChaos:
+    def test_chaos_store_converges(self, capsys):
+        code = main(["chaos", "--persons", "60", "--seed", "11",
+                     "--sut", "store", "--abort-rate", "0.06",
+                     "--latency-rate", "0.02", "--latency-ms", "0",
+                     "--store-conflicts", "0.02"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "chaos soak [store]" in out
+        assert "state digest: MATCH" in out
+        assert "OK — chaos run converged" in out
+
+    def test_chaos_fails_without_injections(self, capsys):
+        # All rates zero: the soak must refuse to claim success.
+        code = main(["chaos", "--persons", "60", "--seed", "11",
+                     "--sut", "store", "--abort-rate", "0",
+                     "--latency-rate", "0"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAILED" in out
+
+    def test_canary_faults_requires_check(self, capsys):
+        code = main(["validate", ".", "--canary-faults"])
+        assert code == 2
+
+    def test_canary_faults_detects(self, capsys, tmp_path):
+        golden = tmp_path / "g.jsonl"
+        code = main(["validate", "--create", str(golden),
+                     "--persons", "60", "--seed", "11"])
+        assert code == 0
+        capsys.readouterr()
+        code = main(["validate", "--check", str(golden),
+                     "--canary-faults"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "chaos canary detected" in out

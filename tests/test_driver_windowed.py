@@ -2,12 +2,16 @@
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro.driver import (
+    DegradePolicy,
     DriverConfig,
     ExecutionMode,
     RecordingConnector,
+    RetryPolicy,
     WorkloadDriver,
 )
 
@@ -73,3 +77,96 @@ class TestWindowSizing:
         small = displacement(datagen_config.t_safe_millis // 10)
         large = displacement(datagen_config.t_safe_millis)
         assert small <= large
+
+
+class FailingRecorder:
+    """Records successful executions; fails targeted ops N times."""
+
+    def __init__(self, operations, bad_indices, fail_times=1,
+                 exc_factory=lambda: ConnectionError("down")):
+        self._budget = {id(operations[i]): fail_times
+                        for i in bad_indices}
+        self._exc_factory = exc_factory
+        self._lock = threading.Lock()
+        self.executed: list = []
+
+    def execute(self, operation) -> None:
+        with self._lock:
+            remaining = self._budget.get(id(operation), 0)
+            if remaining > 0:
+                self._budget[id(operation)] = remaining - 1
+                raise self._exc_factory()
+            self.executed.append(operation)
+
+
+class TestWindowedFailures:
+    """WINDOWED-mode edge cases under failure (regression coverage)."""
+
+    def _config(self, datagen_config, **kwargs):
+        return DriverConfig(
+            num_partitions=2, mode=ExecutionMode.WINDOWED,
+            window_millis=datagen_config.t_safe_millis, seed=5,
+            dependency_wait_timeout=15, **kwargs)
+
+    def test_fault_inside_flush_leaves_no_half_window(
+            self, small_split, datagen_config):
+        """A transient fault mid-flush must not drop or double-execute
+        the rest of that window once the retried op succeeds."""
+        ops = small_split.updates
+        bad = [len(ops) // 3, len(ops) // 2]
+        connector = FailingRecorder(ops, bad, fail_times=2)
+        driver = WorkloadDriver(connector, self._config(
+            datagen_config,
+            resilience=RetryPolicy(max_retries=4, base_backoff=0.0,
+                                   max_backoff=0.0)))
+        report = driver.run(ops)
+        assert report.retries == 2 * len(bad)
+        executed = [id(op) for op in connector.executed]
+        assert len(executed) == len(ops)          # nothing dropped
+        assert len(set(executed)) == len(ops)     # nothing re-executed
+        assert report.metrics.operations == len(ops)
+
+    def test_degraded_op_inside_flush_window_still_counted(
+            self, small_split, datagen_config):
+        """Skipping one op of a window must not orphan its siblings."""
+        ops = small_split.updates
+        bad = [len(ops) // 3]
+        connector = FailingRecorder(ops, bad, fail_times=10 ** 6)
+        driver = WorkloadDriver(connector, self._config(
+            datagen_config,
+            resilience=RetryPolicy(
+                max_retries=1, base_backoff=0.0, max_backoff=0.0,
+                on_exhaustion=DegradePolicy.DEGRADE)))
+        report = driver.run(ops)
+        assert report.skipped == 1
+        assert len(connector.executed) == len(ops) - 1
+        assert report.metrics.operations == len(ops) - 1
+
+    def test_skipped_dependency_still_advances_tgc(
+            self, small_split, datagen_config):
+        """A skipped globally-tracked dependency op must still
+        lds.complete(), or dependents in other partitions wedge."""
+        ops = small_split.updates
+        dep = next(i for i, op in enumerate(ops)
+                   if op.is_dependency and op.partition_key is None)
+        connector = FailingRecorder(ops, [dep], fail_times=10 ** 6)
+        driver = WorkloadDriver(connector, self._config(
+            datagen_config,
+            resilience=RetryPolicy(
+                max_retries=1, base_backoff=0.0, max_backoff=0.0,
+                on_exhaustion=DegradePolicy.DEGRADE)))
+        report = driver.run(ops)
+        assert report.skipped == 1
+        assert report.dependency_timeouts == 0
+        assert len(connector.executed) == len(ops) - 1
+
+    def test_fail_fast_mid_window_surfaces_original_error(
+            self, small_split, datagen_config):
+        ops = small_split.updates
+        connector = FailingRecorder(
+            ops, [len(ops) // 2], fail_times=10 ** 6,
+            exc_factory=lambda: ValueError("hard bug"))
+        driver = WorkloadDriver(connector,
+                                self._config(datagen_config))
+        with pytest.raises(ValueError):
+            driver.run(ops)
