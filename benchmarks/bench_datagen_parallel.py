@@ -1,0 +1,143 @@
+"""A/B harness for process-parallel DATAGEN (``--jobs``).
+
+Runs the same generation twice — serial vs a worker pool — and reports
+per-stage wall time, per-stage and end-to-end speedup, and whether the
+two networks have the same state digest (``repro.validation.snapshot``
+sha256 over the loaded store).  Digest equality is the hard gate: a
+parallel run that is fast but different is a correctness bug, and this
+harness exits 1 on mismatch regardless of hardware.
+
+The speedup gate is hardware-conditional: on runners with fewer usable
+cores than ``--jobs`` a process pool cannot beat the serial path (the
+workers time-slice one core and pay serialization on top), so the gate
+only applies when ``len(os.sched_getaffinity(0)) >= jobs``.  The
+measured numbers print either way.
+
+Standalone (the CI smoke gate)::
+
+    PYTHONPATH=src python benchmarks/bench_datagen_parallel.py --quick --jobs 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from repro.bench import emit_artifact, format_table
+from repro.datagen import DatagenConfig, ParallelConfig
+from repro.datagen.pipeline import DatagenPipeline
+from repro.store import load_network
+from repro.validation import snapshot_digest, snapshot_store
+
+#: End-to-end speedup required at ``--jobs 4`` (acceptance criterion);
+#: scaled down pro rata for smaller job counts (1.2x at 2 jobs).
+MIN_SPEEDUP_AT_4 = 1.8
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def min_speedup(jobs: int) -> float:
+    """The gate for a given job count (linear in the 1→4 range)."""
+    return 1.0 + (MIN_SPEEDUP_AT_4 - 1.0) * (jobs - 1) / 3.0
+
+
+def _measure(persons: int, seed: int, jobs: int):
+    """One full generation; returns (wall seconds, stage timings, digest)."""
+    parallel = ParallelConfig(jobs=jobs, fallback_serial=False)
+    pipeline = DatagenPipeline(DatagenConfig(num_persons=persons, seed=seed,
+                                             parallel=parallel))
+    started = time.perf_counter()
+    network = pipeline.run()
+    wall = time.perf_counter() - started
+    digest = snapshot_digest(snapshot_store(load_network(network)))
+    return wall, pipeline.timings, digest
+
+
+def run_ab(persons: int, jobs: int, seed: int = 42):
+    """Serial vs ``jobs``-worker generation; returns (rows, report)."""
+    serial_wall, serial_timings, serial_digest = _measure(persons, seed, 1)
+    parallel_wall, parallel_timings, parallel_digest = _measure(
+        persons, seed, jobs)
+
+    rows = []
+    parallel_by_name = {s.name: s.seconds for s in parallel_timings.stages}
+    for stage in serial_timings.stages:
+        par = parallel_by_name.get(stage.name, 0.0)
+        ratio = stage.seconds / par if par > 0 else float("inf")
+        rows.append([stage.name, f"{stage.seconds:.3f}", f"{par:.3f}",
+                     f"{ratio:.2f}x"])
+    total_speedup = serial_wall / parallel_wall if parallel_wall > 0 \
+        else float("inf")
+    rows.append(["TOTAL", f"{serial_wall:.3f}", f"{parallel_wall:.3f}",
+                 f"{total_speedup:.2f}x"])
+
+    cores = _usable_cores()
+    report = {
+        "digest_ok": serial_digest == parallel_digest,
+        "digest": serial_digest,
+        "speedup": total_speedup,
+        "cores": cores,
+        "speedup_gated": cores >= jobs,
+        "speedup_ok": total_speedup >= min_speedup(jobs),
+    }
+    return rows, report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="A/B serial vs process-parallel DATAGEN")
+    parser.add_argument("--quick", action="store_true",
+                        help="small network (CI smoke)")
+    parser.add_argument("--persons", type=int, default=None)
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args(argv)
+    persons = args.persons or (150 if args.quick else 800)
+
+    rows, report = run_ab(persons, args.jobs, seed=args.seed)
+    print(format_table(
+        ["stage", "serial (s)", f"--jobs {args.jobs} (s)", "speedup"],
+        rows,
+        title=f"datagen parallel A/B — {persons} persons, "
+              f"jobs={args.jobs}, {report['cores']} usable core(s)"))
+    print()
+    print(f"state digest: {report['digest'][:16]}… "
+          f"{'IDENTICAL' if report['digest_ok'] else 'MISMATCH'}")
+
+    if not report["digest_ok"]:
+        print(f"\nFAIL: --jobs {args.jobs} produced a different network "
+              f"than the serial run", file=sys.stderr)
+        return 1
+    if not report["speedup_gated"]:
+        print(f"speedup gate skipped: {report['cores']} usable core(s) "
+              f"< {args.jobs} jobs (measured {report['speedup']:.2f}x)")
+        return 0
+    if not report["speedup_ok"]:
+        print(f"\nFAIL: end-to-end speedup {report['speedup']:.2f}x "
+              f"below the {min_speedup(args.jobs):.2f}x gate at "
+              f"--jobs {args.jobs}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def test_datagen_parallel_ab(benchmark):
+    """Pytest entry: digests must match; speedup gated by core count."""
+    rows, report = benchmark.pedantic(run_ab, args=(120, 2),
+                                      rounds=1, iterations=1)
+    emit_artifact("datagen_parallel_ab", format_table(
+        ["stage", "serial (s)", "--jobs 2 (s)", "speedup"], rows,
+        title="datagen parallel A/B (quick)"))
+    assert report["digest_ok"]
+    if report["speedup_gated"]:
+        assert report["speedup"] >= min_speedup(2)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

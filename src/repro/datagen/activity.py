@@ -117,15 +117,23 @@ class _Membership:
 
 
 class ActivityGenerator:
-    """Generates all forums/messages/likes for a set of persons."""
+    """Generates all forums/messages/likes for a set of persons.
+
+    ``person_resolver`` maps a person id to its :class:`Person`.  The
+    serial path builds it from the full person list; datagen workers pass
+    :meth:`repro.datagen.parallel.WorkerContext.person_by_id`, which
+    regenerates non-local persons on demand — persons are pure functions
+    of ``(config, serial)``, so both views are identical.
+    """
 
     def __init__(self, config: DatagenConfig, dictionaries: Dictionaries,
-                 universe: Universe, calendar: EventCalendar) -> None:
+                 universe: Universe, calendar: EventCalendar,
+                 person_resolver=None) -> None:
         self.config = config
         self.dictionaries = dictionaries
         self.universe = universe
         self.calendar = calendar
-        self._persons_by_id: dict[int, Person] = {}
+        self._resolve = person_resolver
 
     @staticmethod
     def _forum_id(owner: Person, slot: int) -> int:
@@ -141,26 +149,42 @@ class ActivityGenerator:
         ``adjacency`` maps a person id to ``(friend id, friendship date)``
         pairs.
         """
-        persons_by_id = {p.id: p for p in persons}
-        self._persons_by_id = persons_by_id
+        if self._resolve is None:
+            self._resolve = {p.id: p for p in persons}.__getitem__
+        forums, memberships, drafts = self.generate_range(persons, adjacency)
+        return finalize_activity(forums, memberships, drafts)
+
+    def generate_range(self, owners: list[Person],
+                       adjacency: dict[int, list[tuple[int, int]]],
+                       ) -> tuple[list[Forum], list[ForumMembership],
+                                  list[_DraftMessage]]:
+        """Generate raw activity for a contiguous owner range.
+
+        Activity is keyed per owner, so disjoint ranges concatenated in
+        serial order reproduce the serial run exactly; the id-assigning
+        stitch is :func:`finalize_activity`, run once over the merged
+        drafts.
+        """
+        if self._resolve is None:
+            raise ValueError("generate_range needs a person_resolver")
         forums: list[Forum] = []
         memberships: list[ForumMembership] = []
         drafts: list[_DraftMessage] = []
-        for person in persons:
-            self._generate_for_owner(person, persons_by_id,
+        for person in owners:
+            self._generate_for_owner(person, self._resolve,
                                      adjacency.get(person.id, []),
                                      forums, memberships, drafts)
-        return self._finalize(forums, memberships, drafts)
+        return forums, memberships, drafts
 
     # ------------------------------------------------------------------
     # per-owner generation
     # ------------------------------------------------------------------
 
-    def _generate_for_owner(self, owner: Person, persons_by_id, friends,
+    def _generate_for_owner(self, owner: Person, resolve, friends,
                             forums, memberships, drafts) -> None:
         stream = RandomStream.for_key(self.config.seed, "activity",
                                       serial_of(owner.id))
-        wall, wall_members = self._make_wall(stream, owner, persons_by_id,
+        wall, wall_members = self._make_wall(stream, owner, resolve,
                                              friends, memberships)
         forums.append(wall)
         self._fill_forum(stream, wall, wall_members, owner, drafts,
@@ -171,7 +195,7 @@ class ActivityGenerator:
             _MAX_GROUPS_PER_OWNER)
         for group_index in range(group_count):
             group, group_members = self._make_group(
-                stream, owner, persons_by_id, friends, memberships,
+                stream, owner, resolve, friends, memberships,
                 slot=2 + group_index)
             if group is None:
                 continue
@@ -181,11 +205,11 @@ class ActivityGenerator:
 
         if stream.random() < _ALBUM_PROBABILITY:
             album, album_members = self._make_album(
-                stream, owner, persons_by_id, friends, memberships)
+                stream, owner, resolve, friends, memberships)
             forums.append(album)
             self._fill_album(stream, album, album_members, owner, drafts)
 
-    def _make_wall(self, stream, owner, persons_by_id, friends,
+    def _make_wall(self, stream, owner, resolve, friends,
                    memberships):
         creation = owner.creation_date + stream.randint(
             MILLIS_PER_HOUR, MILLIS_PER_DAY)
@@ -204,12 +228,12 @@ class ActivityGenerator:
                 MILLIS_PER_HOUR, 3 * MILLIS_PER_DAY)
             if join >= self.config.window.end:
                 continue
-            friend = persons_by_id[friend_id]
+            friend = resolve(friend_id)
             members.append(_Membership(friend, join))
             memberships.append(ForumMembership(wall.id, friend_id, join))
         return wall, members
 
-    def _make_group(self, stream, owner, persons_by_id, friends,
+    def _make_group(self, stream, owner, resolve, friends,
                     memberships, slot: int):
         """A topical group: members drawn from friends and their friends."""
         if not owner.interests:
@@ -226,7 +250,7 @@ class ActivityGenerator:
         owner_join = creation + MILLIS_PER_MINUTE
         members = [_Membership(owner, owner_join)]
         memberships.append(ForumMembership(group.id, owner.id, owner_join))
-        pool = [persons_by_id[friend_id] for friend_id, __ in friends]
+        pool = [resolve(friend_id) for friend_id, __ in friends]
         if pool:
             size = min(len(pool), 1 + stream.geometric(0.15))
             for member in stream.sample(pool, size):
@@ -239,7 +263,7 @@ class ActivityGenerator:
                     ForumMembership(group.id, member.id, join))
         return group, members
 
-    def _make_album(self, stream, owner, persons_by_id, friends,
+    def _make_album(self, stream, owner, resolve, friends,
                     memberships):
         creation = owner.creation_date + stream.randint(
             MILLIS_PER_DAY, 200 * MILLIS_PER_DAY)
@@ -254,7 +278,7 @@ class ActivityGenerator:
             join = max(creation, friendship_date) + MILLIS_PER_HOUR
             if join >= self.config.window.end:
                 continue
-            members.append(_Membership(persons_by_id[friend_id], join))
+            members.append(_Membership(resolve(friend_id), join))
             memberships.append(ForumMembership(album.id, friend_id, join))
         return album, members
 
@@ -439,8 +463,8 @@ class ActivityGenerator:
                 continue
             when = draft.creation_date + 1 + int(
                 stream.exponential(_LIKE_LAG_MEAN))
-            stranger = self._persons_by_id.get(candidate)
-            if stranger is None or stranger.creation_date > draft.creation_date:
+            stranger = self._resolve(candidate)
+            if stranger.creation_date > draft.creation_date:
                 continue  # the stranger had not joined the network yet
             if when < self.config.window.end:
                 draft.likes.append((candidate, when))
@@ -480,52 +504,53 @@ class ActivityGenerator:
             drafts.append(photo)
             self._add_likes(stream, photo, members)
 
-    # ------------------------------------------------------------------
-    # finalization: time-ordered id assignment
-    # ------------------------------------------------------------------
+def finalize_activity(forums, memberships, drafts) -> ActivityResult:
+    """Assign ids in creation-time order and materialize entities.
 
-    def _finalize(self, forums, memberships, drafts) -> ActivityResult:
-        """Assign ids in creation-time order and materialize entities.
+    The paper (footnote 3) ensures message identifiers increase with
+    creation time, which §3 notes gives high locality to date-range
+    selections — we reproduce that property here, which is nontrivial
+    because generation happens in owner order, not time order.
 
-        The paper (footnote 3) ensures message identifiers increase with
-        creation time, which §3 notes gives high locality to date-range
-        selections — we reproduce that property here, which is nontrivial
-        because generation happens in owner order, not time order.
-        """
-        posts_drafts = sorted((d for d in drafts if d.is_post),
-                              key=lambda d: (d.creation_date, d.author_id))
-        comment_drafts = sorted((d for d in drafts if not d.is_post),
-                                key=lambda d: (d.creation_date, d.author_id))
-        post_ids = IdAllocator(EntityKind.POST)
-        comment_ids = IdAllocator(EntityKind.COMMENT)
-        for draft in posts_drafts:
-            draft.final_id = post_ids.allocate()
-        for draft in comment_drafts:
-            draft.final_id = comment_ids.allocate()
+    This is also the sequential stitch of the parallel activity stage:
+    the sorts below are stable and generation order only breaks their
+    ties, so worker outputs concatenated in owner-serial order finalize
+    into exactly the serial run's entities.
+    """
+    posts_drafts = sorted((d for d in drafts if d.is_post),
+                          key=lambda d: (d.creation_date, d.author_id))
+    comment_drafts = sorted((d for d in drafts if not d.is_post),
+                            key=lambda d: (d.creation_date, d.author_id))
+    post_ids = IdAllocator(EntityKind.POST)
+    comment_ids = IdAllocator(EntityKind.COMMENT)
+    for draft in posts_drafts:
+        draft.final_id = post_ids.allocate()
+    for draft in comment_drafts:
+        draft.final_id = comment_ids.allocate()
 
-        posts = [Post(
-            id=d.final_id, creation_date=d.creation_date,
-            author_id=d.author_id, forum_id=d.forum.id, content=d.content,
-            length=len(d.content), language=d.language,
-            country_id=d.country_id, tag_ids=d.tags,
-            image_file=d.image_file, location_ip=d.location_ip,
-            browser_used=d.browser_used, latitude=d.latitude,
-            longitude=d.longitude,
-        ) for d in posts_drafts]
-        comments = [Comment(
-            id=d.final_id, creation_date=d.creation_date,
-            author_id=d.author_id, content=d.content,
-            length=len(d.content), country_id=d.country_id,
-            root_post_id=d.root.final_id, reply_of_id=d.parent.final_id,
-            tag_ids=d.tags, location_ip=d.location_ip,
-            browser_used=d.browser_used,
-        ) for d in comment_drafts]
-        likes = [Like(person_id, d.final_id, when, d.is_post)
-                 for d in drafts for person_id, when in d.likes]
-        likes.sort(key=lambda like: (like.creation_date, like.person_id,
-                                     like.message_id))
-        memberships = sorted(memberships,
-                             key=lambda m: (m.joined_date, m.forum_id,
-                                            m.person_id))
-        forums = sorted(forums, key=lambda f: f.id)
-        return ActivityResult(forums, memberships, posts, comments, likes)
+    posts = [Post(
+        id=d.final_id, creation_date=d.creation_date,
+        author_id=d.author_id, forum_id=d.forum.id, content=d.content,
+        length=len(d.content), language=d.language,
+        country_id=d.country_id, tag_ids=d.tags,
+        image_file=d.image_file, location_ip=d.location_ip,
+        browser_used=d.browser_used, latitude=d.latitude,
+        longitude=d.longitude,
+    ) for d in posts_drafts]
+    comments = [Comment(
+        id=d.final_id, creation_date=d.creation_date,
+        author_id=d.author_id, content=d.content,
+        length=len(d.content), country_id=d.country_id,
+        root_post_id=d.root.final_id, reply_of_id=d.parent.final_id,
+        tag_ids=d.tags, location_ip=d.location_ip,
+        browser_used=d.browser_used,
+    ) for d in comment_drafts]
+    likes = [Like(person_id, d.final_id, when, d.is_post)
+             for d in drafts for person_id, when in d.likes]
+    likes.sort(key=lambda like: (like.creation_date, like.person_id,
+                                 like.message_id))
+    memberships = sorted(memberships,
+                         key=lambda m: (m.joined_date, m.forum_id,
+                                        m.person_id))
+    forums = sorted(forums, key=lambda f: f.id)
+    return ActivityResult(forums, memberships, posts, comments, likes)

@@ -1,0 +1,275 @@
+"""Process-parallel execution layer for DATAGEN (DESIGN.md §4f).
+
+The paper's generator runs as MapReduce jobs over a Hadoop cluster; this
+module is the in-process equivalent: a :class:`DatagenExecutor` wrapping a
+``ProcessPoolExecutor`` that the pipeline hands to each parallelizable
+stage.  Design constraints:
+
+* **ship the context once per pool, not once per task** — workers receive
+  only the (small, picklable) :class:`~repro.datagen.config.DatagenConfig`
+  through the pool initializer and rebuild dictionaries, universe and
+  event calendar from it.  Persons are pure functions of
+  ``(config, serial)``, so workers regenerate any person they need on
+  demand and cache it for the rest of the pool's life;
+* **spawn-safe** — task functions and the initializer are module-level,
+  and nothing relies on inherited process state, so the default ``spawn``
+  start method works everywhere ``fork`` does;
+* **deterministic** — the executor only runs tasks and returns their
+  results *in submission order*; all partitioning and merging policy
+  lives with the stages (see :mod:`repro.datagen.friendships` and the
+  pipeline), which are responsible for byte-identical output;
+* **observable** — workers buffer wall-clock spans alongside their
+  results and :meth:`DatagenExecutor.run_tasks` stitches them into the
+  parent trace on the worker's own pid track, so ``--trace`` yields one
+  coherent Chrome trace across processes;
+* **graceful degradation** — when the platform cannot start a pool (or a
+  probe task never completes), :meth:`DatagenExecutor.create` logs a
+  warning, bumps ``datagen.parallel.fallback_serial`` and returns None,
+  and the pipeline takes the in-process path.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+
+from .. import telemetry
+from ..errors import DatagenError
+from ..ids import serial_of
+from .config import DatagenConfig
+
+_logger = logging.getLogger(__name__)
+
+#: Name of the counter bumped when pool creation fails and the pipeline
+#: silently (well, loudly) degrades to the serial path.
+FALLBACK_COUNTER = "datagen.parallel.fallback_serial"
+
+
+class WorkerContext:
+    """Per-process datagen state, rebuilt once from the config.
+
+    Everything here is a deterministic function of the configuration, so
+    a worker's view of the world is identical to the parent's without
+    shipping any of it through the task queue.
+    """
+
+    def __init__(self, config: DatagenConfig) -> None:
+        from .dictionaries import Dictionaries
+        from .universe import build_universe
+
+        self.config = config
+        self.dictionaries = Dictionaries(config.seed)
+        self.universe = build_universe(self.dictionaries)
+        self._calendar = None
+        self._persons: dict[int, object] = {}
+
+    @property
+    def calendar(self):
+        """The event calendar, built on first use (activity tasks only)."""
+        if self._calendar is None:
+            from .events import EventCalendar
+            self._calendar = EventCalendar.generate(self.config,
+                                                    self.universe)
+        return self._calendar
+
+    def person(self, serial: int):
+        """The person with this serial, regenerated and cached on miss."""
+        person = self._persons.get(serial)
+        if person is None:
+            from .persons import generate_person
+            person = generate_person(serial, self.config, self.dictionaries,
+                                     self.universe)
+            self._persons[serial] = person
+        return person
+
+    def person_by_id(self, person_id: int):
+        return self.person(serial_of(person_id))
+
+    def add_persons(self, persons) -> None:
+        """Pre-seed the cache with persons the parent already shipped."""
+        for person in persons:
+            self._persons[serial_of(person.id)] = person
+
+
+# ----------------------------------------------------------------------
+# worker side: initializer, span buffer, stage task dispatch
+# ----------------------------------------------------------------------
+
+_context: WorkerContext | None = None
+_record_spans: bool = False
+#: Wall-clock spans not yet shipped back: (name, start, end, attributes).
+_pending_spans: list[tuple[str, float, float, dict]] = []
+
+
+def _init_worker(config: DatagenConfig, record_spans: bool) -> None:
+    """Pool initializer: build the per-process context once."""
+    global _context, _record_spans
+    wall_start = time.time()
+    _context = WorkerContext(config)
+    _record_spans = record_spans
+    if record_spans:
+        _pending_spans.append(("datagen.worker.init", wall_start,
+                               time.time(), {}))
+
+
+def _probe() -> int:
+    """Verifies a worker came up with a usable context."""
+    if _context is None:  # pragma: no cover - defensive
+        raise DatagenError("datagen worker context missing")
+    return os.getpid()
+
+
+def _task_persons(context: WorkerContext, payload) -> list:
+    start, end = payload
+    return [context.person(serial) for serial in range(start, end)]
+
+
+def _task_friendship_block(context: WorkerContext, payload):
+    from .friendships import speculate_block
+    return speculate_block(context.config, payload)
+
+
+def _task_activity(context: WorkerContext, payload):
+    from .activity import ActivityGenerator
+    context.add_persons(payload["owners"])
+    generator = ActivityGenerator(context.config, context.dictionaries,
+                                  context.universe, context.calendar,
+                                  person_resolver=context.person_by_id)
+    return generator.generate_range(payload["owners"], payload["adjacency"])
+
+
+_TASKS = {
+    "persons": _task_persons,
+    "friendship_block": _task_friendship_block,
+    "activity": _task_activity,
+}
+
+
+def _execute(stage: str, span_name: str, payload):
+    """Run one stage task; returns (result, pid, buffered spans)."""
+    global _pending_spans
+    if _context is None:  # pragma: no cover - defensive
+        raise DatagenError("datagen worker context missing")
+    wall_start = time.time()
+    result = _TASKS[stage](_context, payload)
+    spans: list[tuple[str, float, float, dict]] = []
+    if _record_spans:
+        spans, _pending_spans = _pending_spans, []
+        spans.append((span_name, wall_start, time.time(), {"stage": stage}))
+    return result, os.getpid(), spans
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+
+class DatagenExecutor:
+    """Stage-task runner over a process pool (None when serial)."""
+
+    def __init__(self, config: DatagenConfig,
+                 pool: ProcessPoolExecutor) -> None:
+        self.config = config
+        self.jobs = config.parallel.jobs
+        self._pool = pool
+
+    @classmethod
+    def create(cls, config: DatagenConfig) -> "DatagenExecutor | None":
+        """Build the pool, or None for ``jobs=1`` / unusable platforms.
+
+        A probe task round-trips through a worker before any stage runs:
+        platforms where the start method constructs a pool that can never
+        execute anything fail here, inside the timeout, instead of
+        deadlocking mid-stage.
+        """
+        parallel = config.parallel
+        if parallel.jobs <= 1:
+            return None
+        pool = None
+        try:
+            mp_context = multiprocessing.get_context(parallel.start_method)
+            pool = ProcessPoolExecutor(
+                max_workers=parallel.jobs,
+                mp_context=mp_context,
+                initializer=_init_worker,
+                initargs=(config, telemetry.active),
+            )
+            pool.submit(_probe).result(timeout=parallel.task_timeout)
+        except Exception as exc:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+            if not parallel.fallback_serial:
+                raise DatagenError(
+                    f"cannot start datagen worker pool "
+                    f"({parallel.start_method}, jobs={parallel.jobs}): "
+                    f"{exc}") from exc
+            _logger.warning(
+                "datagen worker pool unavailable (%s: %s); "
+                "falling back to serial generation", type(exc).__name__, exc)
+            telemetry.counter(FALLBACK_COUNTER).inc()
+            return None
+        return cls(config, pool)
+
+    def partition(self, n: int) -> list[tuple[int, int]]:
+        """Split ``n`` items into contiguous ``(start, end)`` ranges.
+
+        Aims for ``jobs * tasks_per_worker`` tasks (over-decomposition
+        smooths skewed task costs) but never ships fewer than
+        ``min_chunk`` items per task.
+        """
+        if n <= 0:
+            return []
+        parallel = self.config.parallel
+        tasks = min(parallel.jobs * parallel.tasks_per_worker,
+                    max(1, n // parallel.min_chunk))
+        chunk = -(-n // tasks)
+        return [(start, min(start + chunk, n))
+                for start in range(0, n, chunk)]
+
+    def run_tasks(self, stage: str, payloads: list,
+                  span_name: str | None = None) -> list:
+        """Run one payload per task; results come back in payload order.
+
+        Worker span buffers ride along with each result and are stitched
+        into the parent trace on a per-pid track (wall-clock timestamps
+        are shifted onto the tracer's ``perf_counter`` timeline).
+        """
+        name = span_name or f"datagen.{stage}"
+        futures = [self._pool.submit(_execute, stage, name, payload)
+                   for payload in payloads]
+        timeout = self.config.parallel.task_timeout
+        clock_offset = time.perf_counter() - time.time()
+        results = []
+        for index, future in enumerate(futures):
+            try:
+                result, pid, spans = future.result(timeout=timeout)
+            except FutureTimeoutError:
+                self._terminate()
+                raise DatagenError(
+                    f"datagen {stage} task {index}/{len(futures)} did not "
+                    f"finish within {timeout:.0f}s; worker pool "
+                    f"terminated") from None
+            if telemetry.active:
+                for span_label, wall_start, wall_end, attrs in spans:
+                    telemetry.add_span(
+                        span_label, wall_start + clock_offset,
+                        wall_end + clock_offset, thread_id=pid,
+                        thread_name=f"datagen-worker-{pid}", **attrs)
+            results.append(result)
+        return results
+
+    def _terminate(self) -> None:
+        """Hard-stop the pool after a hang (kill workers, drop queue)."""
+        processes = getattr(self._pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.kill()
+            except Exception:  # pragma: no cover - best effort
+                pass
+        self._pool.shutdown(wait=False, cancel_futures=True)
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True, cancel_futures=True)

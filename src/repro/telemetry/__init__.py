@@ -161,12 +161,20 @@ def span(name: str, **attributes: Any):
 
 
 def add_span(name: str, start: float, end: float,
+             thread_id: int | None = None,
+             thread_name: str | None = None,
              **attributes: Any) -> Span | None:
-    """Record a pre-timed span on the active tracer (None when off)."""
+    """Record a pre-timed span on the active tracer (None when off).
+
+    ``thread_id``/``thread_name`` give the span its own track — used
+    when stitching spans recorded inside datagen worker processes into
+    the parent trace.
+    """
     tracer = _tracer
     if tracer is None:
         return None
-    return tracer.add_span(name, start, end, **attributes)
+    return tracer.add_span(name, start, end, thread_id=thread_id,
+                           thread_name=thread_name, **attributes)
 
 
 def current_span() -> Span | None:

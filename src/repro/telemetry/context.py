@@ -133,11 +133,18 @@ class Tracer:
             self.end_span(span)
 
     def add_span(self, name: str, start: float, end: float,
+                 thread_id: int | None = None,
+                 thread_name: str | None = None,
                  **attributes: Any) -> Span:
         """Record an already-timed region (clock timestamps).
 
         Used by code that measured itself (e.g. datagen stage timings);
         the span is parented to the thread's current open span.
+
+        ``thread_id``/``thread_name`` override the recorded track:
+        spans stitched in from datagen worker *processes* carry the
+        worker's pid so each worker renders as its own timeline in the
+        Chrome trace instead of piling onto the parent thread.
         """
         stack = self._stack()
         thread = threading.current_thread()
@@ -145,8 +152,10 @@ class Tracer:
             name=name,
             span_id=self._allocate_id(),
             parent_id=stack[-1].span_id if stack else None,
-            thread_id=thread.ident or 0,
-            thread_name=thread.name,
+            thread_id=thread_id if thread_id is not None
+            else (thread.ident or 0),
+            thread_name=thread_name if thread_name is not None
+            else thread.name,
             start=start,
         )
         span.end = end

@@ -66,15 +66,23 @@ def write_spans_jsonl(source: Tracer | Iterable[Span],
 
 
 def chrome_trace_events(source: Tracer | Iterable[Span]) -> list[dict]:
-    """Spans as Chrome ``trace_event`` complete events."""
+    """Spans as Chrome ``trace_event`` complete events.
+
+    Each distinct ``(tid, thread_name)`` also gets a ``thread_name``
+    metadata event, so datagen worker tracks (whose tid is the worker
+    pid) render with their names in about:tracing/Perfetto instead of
+    as bare numbers.
+    """
     spans = _spans_of(source)
     epoch = _epoch_of(source, spans)
     pid = os.getpid()
     events = []
+    track_names: dict[int, str] = {}
     for span in spans:
         end = span.end if span.end is not None else span.start
         args = {"span_id": span.span_id, "parent_id": span.parent_id}
         args.update(span.attributes)
+        track_names.setdefault(span.thread_id, span.thread_name)
         events.append({
             "name": span.name,
             "cat": span.name.split(".", 1)[0],
@@ -86,7 +94,14 @@ def chrome_trace_events(source: Tracer | Iterable[Span]) -> list[dict]:
             "args": args,
         })
     events.sort(key=lambda event: (event["tid"], event["ts"]))
-    return events
+    metadata = [{
+        "name": "thread_name",
+        "ph": "M",
+        "pid": pid,
+        "tid": tid,
+        "args": {"name": name},
+    } for tid, name in sorted(track_names.items()) if name]
+    return metadata + events
 
 
 def write_chrome_trace(source: Tracer | Iterable[Span],

@@ -50,9 +50,11 @@ def _golden_plan(split: SplitDataset, header: dict):
                       snapshot_every=header["snapshot_every"])
 
 
-def _regenerate(header: dict) -> SplitDataset:
+def _regenerate(header: dict, jobs: int = 1) -> SplitDataset:
+    from ..datagen.config import ParallelConfig
     network = generate(DatagenConfig(num_persons=header["persons"],
-                                     seed=header["seed"]))
+                                     seed=header["seed"],
+                                     parallel=ParallelConfig(jobs=jobs)))
     return split_network(network)
 
 
@@ -155,7 +157,8 @@ class GoldenCheckReport:
 
 def check_golden(path: str, sut_name: str = "store",
                  shrink_on_mismatch: bool = True,
-                 max_mismatches: int = 5) -> GoldenCheckReport:
+                 max_mismatches: int = 5,
+                 jobs: int = 1) -> GoldenCheckReport:
     """Replay a golden dataset against one SUT and diff expectations.
 
     The shrink pass replays candidates against the *recorded*
@@ -164,6 +167,10 @@ def check_golden(path: str, sut_name: str = "store",
     shrunk prefix is a strong hint, since dropping updates can change
     the expected result legitimately.  Checkpoint failures are never
     shrunk for the same reason.
+
+    ``jobs`` regenerates the network process-parallel; goldens were
+    recorded from serial runs, so a passing check doubles as a
+    determinism proof for the parallel path.
     """
     from ..core.operation import ComplexRead, ShortRead, Update
     from ..core.sut import EngineSUT, StoreSUT
@@ -176,7 +183,7 @@ def check_golden(path: str, sut_name: str = "store",
             f"{path}: not a {GOLDEN_FORMAT} golden dataset")
     header, records = lines[0], lines[1:]
 
-    split = _regenerate(header)
+    split = _regenerate(header, jobs=jobs)
     if sut_name == "store":
         sut = StoreSUT.for_network(split.bulk)
     elif sut_name == "engine":

@@ -1,0 +1,190 @@
+"""Worker-count invariance and resilience of process-parallel DATAGEN.
+
+The contract under test (ISSUE 5 / DESIGN.md §4f): the generated network
+is byte-identical for any ``parallel.jobs`` value, the pipeline degrades
+to the serial path when no pool can be created, and worker spans are
+stitched into the parent trace.
+"""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro import telemetry
+from repro.datagen import DatagenConfig, ParallelConfig, generate
+from repro.datagen import parallel as parallel_module
+from repro.datagen.dictionaries import Dictionaries
+from repro.datagen.friendships import FriendshipGenerator, speculate_block
+from repro.datagen.parallel import FALLBACK_COUNTER, DatagenExecutor
+from repro.datagen.persons import generate_persons
+from repro.datagen.universe import build_universe
+from repro.errors import DatagenError
+from repro.store import load_network
+from repro.validation import snapshot_digest, snapshot_store
+
+#: Seed scale — matches the committed golden dataset (p80, s7).
+PERSONS = 80
+SEED = 7
+
+
+def _digest(network) -> str:
+    return snapshot_digest(snapshot_store(load_network(network)))
+
+
+def _config(jobs: int, **overrides) -> DatagenConfig:
+    parallel = ParallelConfig(jobs=jobs, fallback_serial=False) \
+        if jobs > 1 else ParallelConfig()
+    return DatagenConfig(num_persons=PERSONS, seed=SEED,
+                         parallel=parallel, **overrides)
+
+
+@pytest.fixture(scope="module")
+def serial_network():
+    return generate(_config(1))
+
+
+@pytest.fixture(scope="module")
+def serial_digest(serial_network):
+    return _digest(serial_network)
+
+
+@pytest.mark.parametrize("jobs", [2, 4])
+def test_state_digest_invariant_across_jobs(jobs, serial_digest):
+    """PR 3's sha256 state digest is identical for jobs in {1, 2, 4}."""
+    network = generate(_config(jobs))
+    assert _digest(network) == serial_digest
+
+
+def test_parallel_network_equals_serial_entity_by_entity(serial_network):
+    """Beyond the digest: every entity list matches the serial run."""
+    network = generate(_config(2))
+    for attribute in ("persons", "knows", "forums", "memberships",
+                      "posts", "comments", "likes"):
+        assert getattr(network, attribute) \
+            == getattr(serial_network, attribute), attribute
+
+
+def test_golden_check_with_parallel_regeneration():
+    """``repro validate --check --jobs 2``: a parallel-regenerated
+    network must replay the serially-recorded golden dataset clean."""
+    from repro.validation import check_golden
+    report = check_golden("tests/golden/snb-p80-s7.jsonl", "store", jobs=2)
+    assert report.ok, report.mismatches
+
+
+def test_fallback_serial_on_pool_failure(monkeypatch, caplog):
+    """Pool creation failure → warning + counter + identical output."""
+
+    def broken_pool(*args, **kwargs):
+        raise OSError("no processes on this platform")
+
+    monkeypatch.setattr(parallel_module, "ProcessPoolExecutor",
+                        broken_pool)
+    before = telemetry.counter(FALLBACK_COUNTER).value
+    config = DatagenConfig(num_persons=40, seed=3,
+                           parallel=ParallelConfig(jobs=2))
+    with caplog.at_level(logging.WARNING,
+                         logger="repro.datagen.parallel"):
+        network = generate(config)
+    assert telemetry.counter(FALLBACK_COUNTER).value == before + 1
+    assert any("falling back to serial" in record.message
+               for record in caplog.records)
+    serial = generate(DatagenConfig(num_persons=40, seed=3))
+    assert network.knows == serial.knows
+    assert network.posts == serial.posts
+
+
+def test_pool_failure_raises_when_fallback_disabled(monkeypatch):
+    def broken_pool(*args, **kwargs):
+        raise OSError("no processes on this platform")
+
+    monkeypatch.setattr(parallel_module, "ProcessPoolExecutor",
+                        broken_pool)
+    config = DatagenConfig(
+        num_persons=40, seed=3,
+        parallel=ParallelConfig(jobs=2, fallback_serial=False))
+    with pytest.raises(DatagenError, match="cannot start datagen"):
+        generate(config)
+
+
+def test_worker_spans_stitched_into_parent_trace():
+    """--trace with --jobs: worker spans land on per-pid tracks."""
+    tracer = telemetry.enable()
+    try:
+        generate(DatagenConfig(
+            num_persons=40, seed=3,
+            parallel=ParallelConfig(jobs=2, fallback_serial=False)))
+    finally:
+        telemetry.disable()
+    worker_spans = [span for span in tracer.finished_spans()
+                    if span.thread_name.startswith("datagen-worker-")]
+    assert worker_spans
+    names = {span.name for span in worker_spans}
+    assert "datagen.worker.init" in names
+    assert "datagen.activity.block" in names
+    assert "datagen.persons.block" in names
+    # Stage spans from the parent are still present alongside.
+    all_names = {span.name for span in tracer.finished_spans()}
+    assert {"datagen.persons", "datagen.friendships",
+            "datagen.activity"} <= all_names
+
+
+def test_partition_shapes():
+    executor = DatagenExecutor(DatagenConfig(
+        num_persons=100,
+        parallel=ParallelConfig(jobs=2, tasks_per_worker=2,
+                                min_chunk=16)), pool=None)
+    assert executor.partition(0) == []
+    # Fewer items than min_chunk: a single block.
+    assert executor.partition(10) == [(0, 10)]
+    blocks = executor.partition(100)
+    # jobs * tasks_per_worker = 4 tasks of ceil(100/4) = 25.
+    assert blocks == [(0, 25), (25, 50), (50, 75), (75, 100)]
+    # Contiguous full coverage for awkward sizes.
+    blocks = executor.partition(97)
+    assert blocks[0][0] == 0 and blocks[-1][1] == 97
+    assert all(a[1] == b[0] for a, b in zip(blocks, blocks[1:]))
+
+
+class _InlineExecutor:
+    """Runs friendship blocks in-process with a forced tiny block size,
+    so speculation conflicts (and the re-sweep path) actually occur."""
+
+    def __init__(self, config: DatagenConfig, block: int) -> None:
+        self.config = config
+        self.jobs = 2
+        self._block = block
+
+    def partition(self, n: int):
+        return [(start, min(start + self._block, n))
+                for start in range(0, n, self._block)]
+
+    def run_tasks(self, stage, payloads, span_name=None):
+        assert stage == "friendship_block"
+        return [speculate_block(self.config, payload)
+                for payload in payloads]
+
+
+def test_speculative_friendship_pass_is_exact():
+    """Tiny blocks force cross-block conflicts; commit + re-sweep must
+    still reproduce the serial edge list exactly."""
+    config = DatagenConfig(num_persons=PERSONS, seed=SEED)
+    dictionaries = Dictionaries(config.seed)
+    universe = build_universe(dictionaries)
+    persons = generate_persons(config, dictionaries, universe)
+
+    serial = FriendshipGenerator(config, universe).generate(persons)
+    generator = FriendshipGenerator(config, universe)
+    speculative = generator.generate(persons,
+                                     _InlineExecutor(config, block=8))
+    assert speculative == serial
+    # Every person in every pass either committed or was re-swept.
+    assert generator.committed_speculations \
+        + generator.reswept_speculations == 3 * len(persons)
+    assert generator.committed_speculations > 0
+    # With 8-person blocks inside a 200-person window, conflicts are
+    # effectively certain at this scale; if this ever flakes the block
+    # size should shrink, not the assertion.
+    assert generator.reswept_speculations > 0

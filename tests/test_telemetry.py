@@ -242,8 +242,14 @@ class TestExporters:
         path = tmp_path / "trace.json"
         written = write_chrome_trace(tracer, path)
         document = json.loads(path.read_text())
-        events = document["traceEvents"]
-        assert written == len(events) == 4
+        metadata = [event for event in document["traceEvents"]
+                    if event["ph"] == "M"]
+        events = [event for event in document["traceEvents"]
+                  if event["ph"] != "M"]
+        assert written == len(events) + len(metadata)
+        assert len(events) == 4
+        # One thread_name metadata event labels the single track.
+        assert [m["args"]["name"] for m in metadata] == ["MainThread"]
         for event in events:
             assert event["ph"] == "X"
             assert event["ts"] >= 0
@@ -256,7 +262,9 @@ class TestExporters:
         assert by_name["engine.hashjoin"]["cat"] == "engine"
 
     def test_chrome_events_sorted_by_time(self):
-        events = chrome_trace_events(self._tracer_with_spans())
+        events = [event for event
+                  in chrome_trace_events(self._tracer_with_spans())
+                  if event["ph"] != "M"]
         times = [event["ts"] for event in events]
         assert times == sorted(times)
 
