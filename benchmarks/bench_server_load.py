@@ -1,0 +1,154 @@
+"""Server load A/B — the wire SUT vs the in-process SUT, same stream.
+
+Runs the full interactive workload twice — once in process, once over
+the loopback wire against a ``ReproServer`` — with the driver applying
+concurrent load (parallel mode, several partitions).  Digest equality
+is the hard gate: the remote run must leave the server's store in the
+byte-identical final state the in-process run leaves its local store
+in, or this harness exits 1.  On top of the gate it reports the
+latency cost of the wire per operation class (mean/p99, both sides)
+and the server's own admission/queue counters.
+
+Standalone (the CI smoke gate)::
+
+    PYTHONPATH=src python benchmarks/bench_server_load.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import emit_artifact, format_table
+from repro.core.benchmark import BenchmarkConfig, InteractiveBenchmark
+from repro.core.sut import StoreSUT
+from repro.datagen import DatagenConfig, generate
+from repro.datagen.update_stream import split_network
+from repro.driver.modes import ExecutionMode
+from repro.net import ReproServer, ServerConfig
+from repro.store import load_network
+from repro.validation import snapshot_digest, snapshot_store
+
+
+def _config(persons: int, seed: int, partitions: int,
+            remote: str | None = None) -> BenchmarkConfig:
+    return BenchmarkConfig(num_persons=persons, seed=seed, sut="store",
+                           num_partitions=partitions,
+                           mode=ExecutionMode.PARALLEL,
+                           bindings_per_query=4, remote=remote)
+
+
+def _run(config: BenchmarkConfig):
+    bench = InteractiveBenchmark(config)
+    report = bench.run()
+    digest = bench.final_state_digest()
+    if config.remote is not None:
+        bench.sut.close()
+    return report, digest
+
+
+def _latency_rows(local, remote) -> list[list]:
+    """Per-class mean/p99 side by side; classes ordered Q, S, updates."""
+    rows = []
+    local_all = {**local.complex_stats, **local.short_stats,
+                 **local.update_stats}
+    remote_all = {**remote.complex_stats, **remote.short_stats,
+                  **remote.update_stats}
+
+    def key(name: str) -> tuple:
+        order = {"Q": 0, "S": 1}.get(name[0], 2)
+        digits = "".join(c for c in name if c.isdigit())
+        return (order, int(digits) if order < 2 else 0, name)
+
+    for name in sorted(set(local_all) | set(remote_all), key=key):
+        here, there = local_all.get(name), remote_all.get(name)
+        rows.append([
+            name,
+            here.count if here else 0,
+            f"{here.mean_ms:.3f}" if here else "-",
+            f"{here.p99_ms:.3f}" if here else "-",
+            f"{there.mean_ms:.3f}" if there else "-",
+            f"{there.p99_ms:.3f}" if there else "-",
+        ])
+    return rows
+
+
+def run_ab(persons: int, seed: int, partitions: int, workers: int):
+    """In-process vs loopback-remote run; returns (rows, gate report)."""
+    local_report, local_digest = _run(_config(persons, seed, partitions))
+
+    # The server owns its own bulk-loaded store, built from the same
+    # deterministic generation the in-process run bulk-loads locally.
+    split = split_network(generate(DatagenConfig(num_persons=persons,
+                                                 seed=seed)))
+    store = load_network(split.bulk)
+    server = ReproServer(
+        StoreSUT(store),
+        ServerConfig(workers=workers, queue_size=256),
+        digest_fn=lambda: snapshot_digest(snapshot_store(store)))
+    host, port = server.start()
+    try:
+        remote_report, remote_digest = _run(
+            _config(persons, seed, partitions, remote=f"{host}:{port}"))
+        stats = server.stats()
+    finally:
+        server.shutdown()
+
+    rows = _latency_rows(local_report, remote_report)
+    rows.append(["TOTAL ops", local_report.operations, "", "",
+                 "", ""])
+    summary = [
+        f"in-process: {local_report.operations} ops in "
+        f"{local_report.wall_seconds:.2f}s "
+        f"({local_report.throughput:.0f} op/s)",
+        f"remote:     {remote_report.operations} ops in "
+        f"{remote_report.wall_seconds:.2f}s "
+        f"({remote_report.throughput:.0f} op/s) via "
+        f"{remote_report.sut_name}",
+        f"server:     requests={stats['requests']} "
+        f"executed={stats['executed']} busy={stats['rejected_busy']} "
+        f"deduped={stats['deduped']}",
+        f"digest in-process: {local_digest}",
+        f"digest remote:     {remote_digest}",
+    ]
+    checks = {
+        "digests equal": local_digest == remote_digest,
+        "same operation count":
+            local_report.operations == remote_report.operations,
+        "remote latencies measured": all(
+            s.count > 0 and s.p99_ms > 0.0
+            for s in remote_report.complex_stats.values()),
+        "short walk ran over the wire": remote_report.short_reads > 0,
+    }
+    return rows, summary, checks
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="in-process vs loopback-remote workload A/B")
+    parser.add_argument("--persons", type=int, default=300)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--partitions", type=int, default=4)
+    parser.add_argument("--workers", type=int, default=8)
+    parser.add_argument("--quick", action="store_true",
+                        help="small network (the CI smoke size)")
+    args = parser.parse_args(argv)
+    persons = 120 if args.quick else args.persons
+
+    rows, summary, checks = run_ab(persons, args.seed,
+                                   args.partitions, args.workers)
+
+    headers = ["class", "count", "local mean ms", "local p99 ms",
+               "remote mean ms", "remote p99 ms"]
+    verdicts = [f"{'PASS' if ok else 'FAIL'}  {name}"
+                for name, ok in checks.items()]
+    emit_artifact("server_load", format_table(
+        headers, rows,
+        title=f"Server load A/B — {persons} persons, seed {args.seed}, "
+              f"{args.partitions} partitions, {args.workers} workers")
+        + "\n" + "\n".join(summary) + "\n" + "\n".join(verdicts))
+    return 0 if all(checks.values()) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

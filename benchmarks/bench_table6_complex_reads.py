@@ -14,6 +14,7 @@ import time
 import pytest
 
 from repro.bench import emit_artifact, format_table
+from repro.core.operation import ComplexRead
 from repro.core.sut import EngineSUT, StoreSUT
 from repro.queries import COMPLEX_QUERIES
 
@@ -29,7 +30,7 @@ def _mean_ms(sut, query_id, bindings, repetitions=3):
     for params in bindings:
         for __ in range(repetitions):
             started = time.perf_counter()
-            sut.run_complex(query_id, params)
+            sut.execute(ComplexRead(query_id, params))
             samples.append(time.perf_counter() - started)
     return sum(samples) / len(samples) * 1000
 

@@ -12,7 +12,9 @@ import time
 import pytest
 
 from repro.bench import emit_artifact, format_table
+from repro.core.operation import ComplexRead, ShortRead
 from repro.core.sut import EngineSUT, StoreSUT
+from repro.workload.operations import EntityRef
 from repro.queries import COMPLEX_QUERIES
 from repro.queries.registry import SHORT_QUERIES
 
@@ -33,7 +35,8 @@ def _mean_ms(sut, query_id, entities, repetitions=4):
         kind = SHORT_QUERIES[query_id].input_kind
         for __ in range(repetitions):
             started = time.perf_counter()
-            sut.run_short(query_id, (kind, entity_id))
+            sut.execute(ShortRead(query_id,
+                                  EntityRef(kind, entity_id)))
             samples.append(time.perf_counter() - started)
     return sum(samples) / len(samples) * 1000
 
@@ -77,6 +80,6 @@ def test_table7_mean_short_latencies(benchmark, measured, bench_network,
 
     store_sut = __StoreSUT(bench_store)
     started = __time.perf_counter()
-    store_sut.run_complex(9, bench_params.by_query[9][0])
+    store_sut.execute(ComplexRead(9, bench_params.by_query[9][0]))
     q9_ms = (__time.perf_counter() - started) * 1000
     assert max(store_row) < q9_ms

@@ -13,6 +13,7 @@ import time
 import pytest
 
 from repro.bench import emit_artifact, format_table
+from repro.core.operation import Update
 from repro.core.sut import EngineSUT, StoreSUT
 from repro.datagen.update_stream import UpdateKind
 from repro.engine.catalog import load_catalog
@@ -34,10 +35,10 @@ def measured(bench_split):
         {kind: [] for kind in UpdateKind}
     for op in bench_split.updates:
         started = time.perf_counter()
-        store_sut.run_update(op)
+        store_sut.execute(Update(op))
         samples_store[op.kind].append(time.perf_counter() - started)
         started = time.perf_counter()
-        engine_sut.run_update(op)
+        engine_sut.execute(Update(op))
         samples_engine[op.kind].append(time.perf_counter() - started)
     mean_store = {k: sum(v) / len(v) * 1000 if v else 0.0
                   for k, v in samples_store.items()}
@@ -52,7 +53,7 @@ def test_table9_mean_update_latencies(benchmark, measured, bench_split):
     def replay_some():
         sut = StoreSUT(load_network(bench_split.bulk))
         for op in bench_split.updates[:300]:
-            sut.run_update(op)
+            sut.execute(Update(op))
 
     benchmark.pedantic(replay_some, rounds=1, iterations=1)
     headers = ["system"] + [kind.name for kind in KIND_ORDER]

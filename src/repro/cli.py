@@ -16,7 +16,10 @@ Subcommands:
   state checkpoints);
 * ``chaos`` — run the update workload under a seeded fault plan
   (transient aborts, latency spikes, hangs, MVCC write conflicts) and
-  assert the perturbed run converges to the fault-free state digest.
+  assert the perturbed run converges to the fault-free state digest;
+* ``serve`` — bulk-load a SUT and front it with the wire-protocol
+  server, so ``benchmark --remote`` / ``chaos --remote`` drive it from
+  another process over TCP.
 """
 
 from __future__ import annotations
@@ -111,6 +114,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache", metavar="SPEC", default="none",
         help="hot-path caches to enable: 'all', 'none' (default), or a "
              "comma list of plan,adjacency,memo")
+    bench.add_argument(
+        "--remote", metavar="HOST:PORT", default=None,
+        help="drive a 'repro serve' instance over the wire instead of "
+             "loading a SUT in-process (start the server with the same "
+             "--persons/--seed)")
+    bench.add_argument(
+        "--digest", action="store_true",
+        help="print the SUT's final-state digest after the run (the "
+             "remote/in-process equivalence oracle)")
     _add_trace_flag(bench)
 
     explain = commands.add_parser(
@@ -185,7 +197,39 @@ def build_parser() -> argparse.ArgumentParser:
                             "failing the run (graceful degradation)")
     chaos.add_argument("--attempt-timeout", type=float, default=None,
                        help="per-attempt watchdog budget in seconds")
+    chaos.add_argument(
+        "--remote", metavar="HOST:PORT", default=None,
+        help="soak a 'repro serve' instance over the wire: faults "
+             "perturb the client side, the clean digest is computed "
+             "locally, the final digest is fetched from the server "
+             "(requires --sut store or engine matching the server, "
+             "and --store-conflicts 0)")
     _add_trace_flag(chaos)
+
+    serve = commands.add_parser(
+        "serve",
+        help="bulk-load a SUT and serve it over the wire protocol")
+    serve.add_argument("--persons", type=int, default=200)
+    serve.add_argument("--seed", type=int, default=42)
+    serve.add_argument("--sut", choices=("store", "engine"),
+                       default="store")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="0 picks an ephemeral port (printed on "
+                            "startup)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="worker threads executing operations")
+    serve.add_argument("--queue-size", type=int, default=64,
+                       help="bounded request queue; overflow triggers "
+                            "busy rejections with a retry hint")
+    serve.add_argument("--retry-after", type=float, default=0.05,
+                       help="retry hint (seconds) sent with busy "
+                            "rejections")
+    serve.add_argument(
+        "--max-estimated-rows", type=float, default=None,
+        help="admission-control ceiling on a complex read's estimated "
+             "traversal cardinality (default: no ceiling)")
+    _add_trace_flag(serve)
     return parser
 
 
@@ -395,6 +439,10 @@ def _cmd_benchmark(args) -> int:
         cache = CacheConfig.from_spec(args.cache)
     except ValueError as exc:
         raise SystemExit(f"--cache: {exc}")
+    if args.remote and args.cache != "none":
+        raise SystemExit(
+            "--remote: client-side SUT caches do not apply; the server "
+            "owns the state (drop --cache)")
     config = BenchmarkConfig(
         num_persons=args.persons,
         seed=args.seed,
@@ -404,6 +452,7 @@ def _cmd_benchmark(args) -> int:
         acceleration=(args.acceleration if args.acceleration is not None
                       else AS_FAST_AS_POSSIBLE),
         cache=cache,
+        remote=args.remote,
     )
     benchmark = InteractiveBenchmark(config)
     # Preparation (datagen, bulk load, curation) happens untraced so the
@@ -412,6 +461,10 @@ def _cmd_benchmark(args) -> int:
     trace = _TraceSession(args.trace)
     report = benchmark.run()
     print(render_report(report))
+    if args.digest:
+        print(f"final-state digest: {benchmark.final_state_digest()}")
+    if args.remote:
+        benchmark.sut.close()
     trace.finish()
     return 0
 
@@ -495,6 +548,15 @@ def _cmd_chaos(args) -> int:
           f"plan seed {args.plan_seed}, abort={args.abort_rate} "
           f"latency={args.latency_rate} hang={args.hang_rate} "
           f"fatal={args.fatal_rate} conflicts={args.store_conflicts}")
+    if args.remote:
+        if args.sut == "both":
+            raise SystemExit(
+                "--remote: pass --sut store or --sut engine matching "
+                "the server (the clean digest is computed locally)")
+        if args.store_conflicts:
+            raise SystemExit(
+                "--remote: store-level conflict injection is "
+                "in-process only")
     network = generate(DatagenConfig(num_persons=args.persons,
                                      seed=args.seed))
     split = split_network(network)
@@ -506,11 +568,68 @@ def _cmd_chaos(args) -> int:
             split, sut_name, plan, seed=args.plan_seed, policy=policy,
             num_partitions=args.partitions,
             conflict_rate=(args.store_conflicts
-                           if sut_name == "store" else 0.0))
+                           if sut_name == "store" else 0.0),
+            remote=args.remote)
         print(render_chaos(report))
         all_ok = all_ok and report.ok
     trace.finish()
     return 0 if all_ok else 1
+
+
+def _cmd_serve(args) -> int:
+    from .datagen.update_stream import split_network
+    from .net import ReproServer, ServerConfig
+    from .validation.snapshot import snapshot_catalog, snapshot_digest, \
+        snapshot_store
+
+    print(f"loading {args.sut} SUT: {args.persons} persons "
+          f"(seed {args.seed}) ...")
+    network = generate(DatagenConfig(num_persons=args.persons,
+                                     seed=args.seed))
+    split = split_network(network)
+    if args.sut == "store":
+        from .core.sut import StoreSUT
+
+        sut = StoreSUT.for_network(split.bulk)
+
+        def digest_fn() -> str:
+            return snapshot_digest(snapshot_store(sut.store))
+    else:
+        from .core.sut import EngineSUT
+
+        sut = EngineSUT.for_network(split.bulk)
+
+        def digest_fn() -> str:
+            return snapshot_digest(snapshot_catalog(sut.catalog))
+
+    config = ServerConfig(
+        host=args.host, port=args.port, workers=args.workers,
+        queue_size=args.queue_size, retry_after=args.retry_after,
+        # The engine's catalog has no internal concurrency control.
+        serialize=(args.sut == "engine"),
+        max_estimated_rows=args.max_estimated_rows)
+    trace = _TraceSession(args.trace)
+    server = ReproServer(sut, config, digest_fn=digest_fn)
+    host, port = server.start()
+    admission = "off" if args.max_estimated_rows is None else \
+        f"max {args.max_estimated_rows:.0f} estimated rows " \
+        f"(avg degree {server.admission.average_degree:.1f})"
+    print(f"serving {sut.name} on {host}:{port} "
+          f"({args.workers} workers, queue {args.queue_size}, "
+          f"admission {admission})")
+    print("drive it with: repro benchmark "
+          f"--persons {args.persons} --seed {args.seed} "
+          f"--remote {host}:{port}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+        server.shutdown()
+    stats = server.stats()
+    print("served: " + ", ".join(f"{k}={v}"
+                                 for k, v in sorted(stats.items()) if v))
+    trace.finish()
+    return 0
 
 
 _COMMANDS = {
@@ -521,6 +640,7 @@ _COMMANDS = {
     "curate": _cmd_curate,
     "crosscheck": _cmd_crosscheck,
     "chaos": _cmd_chaos,
+    "serve": _cmd_serve,
 }
 
 

@@ -57,6 +57,11 @@ class BenchmarkConfig:
     uniform_parameters: bool = False
     #: Hot-path caching layer; off by default (the seed behaviour).
     cache: CacheConfig = field(default_factory=CacheConfig.none)
+    #: ``host:port`` of a ``repro serve`` instance; when set, the
+    #: driver executes over the wire instead of loading a local SUT
+    #: (the server must be loaded with the same persons/seed for
+    #: digests to agree).
+    remote: str | None = None
 
 
 @dataclass
@@ -125,6 +130,13 @@ class InteractiveBenchmark:
                                               seed=config.seed, memo=memo)
 
     def _load_sut(self, bulk: SocialNetwork) -> SystemUnderTest:
+        if self.config.remote is not None:
+            # The wire client is a SUT: execute(op) -> OperationResult.
+            # The server owns the bulk-loaded state; nothing is loaded
+            # locally.
+            from ..net.client import RemoteConnector
+
+            return RemoteConnector.parse(self.config.remote)
         cache = self.config.cache
         if self.config.sut == "store":
             store = load_network(bulk)
@@ -153,6 +165,32 @@ class InteractiveBenchmark:
                 and self.connector.memo is not None:
             stats.append(self.connector.memo.stats)
         return stats
+
+    def final_state_digest(self) -> str:
+        """Canonical digest of the SUT's state after the run.
+
+        The remote/in-process equivalence oracle: a loopback ``--remote``
+        run against a server loaded with the same (persons, seed) must
+        report the byte-identical digest an in-process run reports.
+        """
+        from ..validation.snapshot import (
+            snapshot_catalog,
+            snapshot_digest,
+            snapshot_store,
+        )
+
+        sut = self.sut
+        if sut is None:
+            raise BenchmarkError("run the benchmark before digesting")
+        digest = getattr(sut, "digest", None)
+        if callable(digest):  # the remote client's admin round-trip
+            return digest()
+        if isinstance(sut, StoreSUT):
+            return snapshot_digest(snapshot_store(sut.store))
+        if isinstance(sut, EngineSUT):
+            return snapshot_digest(snapshot_catalog(sut.catalog))
+        raise BenchmarkError(
+            f"no digest strategy for SUT {type(sut).__name__}")
 
     # -- the measured run ---------------------------------------------------
 

@@ -1,6 +1,19 @@
-"""Driver connector executing the full interactive workload on a SUT.
+"""The connector contract, and the interactive-workload connector.
 
-Updates pass straight through; complex reads additionally trigger the
+:class:`ConnectorProtocol` is the formal, runtime-checkable statement
+of what every layer between the driver and a SUT implements: the
+scheduler's retry loop, the fault injector, the differential oracle,
+the remote wire client — all are connectors, all compose.  The
+contract is ``execute`` plus ``close`` plus two capability flags:
+
+* ``supports_reads`` — whether ``execute`` meaningfully runs read
+  operations (the sleeping dummy and the raw store connector are
+  update-only);
+* ``is_remote`` — whether calls leave the process (so failures may be
+  wire failures and timed-out attempts may still execute server-side).
+
+:class:`InteractiveConnector` is the full-workload implementation:
+updates pass straight through; complex reads additionally trigger the
 short-read random walk seeded from their results, with each short read
 timed into a dedicated recorder (the driver times the update/complex-read
 operation itself).
@@ -15,6 +28,7 @@ consult it first and updates invalidate the entities they touch.
 from __future__ import annotations
 
 import time
+from typing import Protocol, runtime_checkable
 
 from .. import telemetry
 from ..driver.metrics import LatencyRecorder
@@ -29,14 +43,41 @@ from .operation import ComplexRead, ShortRead, Update, as_operation
 from .sut import SystemUnderTest
 
 
+@runtime_checkable
+class ConnectorProtocol(Protocol):
+    """What the driver (and every wrapping layer) requires of a connector.
+
+    ``isinstance`` checks member *presence* only; the capability flags
+    are class attributes on every conforming implementation.
+    """
+
+    #: Whether ``execute`` meaningfully runs read operations.
+    supports_reads: bool
+    #: Whether calls leave the process (wire failures become possible).
+    is_remote: bool
+
+    def execute(self, operation) -> object:
+        """Run one operation to completion (raising on failure)."""
+        ...
+
+    def close(self) -> None:
+        """Release held resources (sockets, delegates); idempotent."""
+        ...
+
+
 class InteractiveConnector:
     """Dispatches driver operations to a system under test."""
+
+    supports_reads = True
+    is_remote = False
 
     def __init__(self, sut: SystemUnderTest,
                  walk: RandomWalkConfig | None = None,
                  seed: int = 0,
                  memo=None) -> None:
         self.sut = sut
+        # Wrapping a RemoteConnector-as-SUT makes this connector remote.
+        self.is_remote = bool(getattr(sut, "is_remote", False))
         self.walk = walk or RandomWalkConfig()
         self.seed = seed
         #: Optional ShortReadMemo consulted by the walk's short reads.
@@ -89,3 +130,8 @@ class InteractiveConnector:
         self.short_recorder.record(f"S{query_id}",
                                    time.perf_counter() - started)
         return value
+
+    def close(self) -> None:
+        close = getattr(self.sut, "close", None)
+        if callable(close):
+            close()

@@ -9,13 +9,13 @@ built-in SUTs mirror the paper's evaluation: the native-API graph store
 Both extend :class:`BaseSUT`, which owns the dispatch over the typed
 operation union and the telemetry span bracketing; subclasses implement
 the three private hooks.  The historical ``run_complex`` /
-``run_short`` / ``run_update`` methods survive as deprecation shims
-that forward into ``execute``.
+``run_short`` / ``run_update`` deprecation shims are gone: ``execute``
+over the typed operation union is the only entry point, and — via
+:mod:`repro.net.codec` — its canonical serialized form on the wire.
 """
 
 from __future__ import annotations
 
-import warnings
 from typing import Protocol
 
 from .. import telemetry
@@ -48,9 +48,16 @@ class SystemUnderTest(Protocol):
 
 
 class BaseSUT:
-    """Dispatch, span bracketing, and the deprecated ``run_*`` shims."""
+    """Dispatch over the typed operation union, with span bracketing.
+
+    In-process SUTs satisfy the connector contract directly (that is
+    what lets :class:`repro.net.client.RemoteConnector` stand in for
+    one): full read support, local, nothing to release on ``close``.
+    """
 
     name = "base"
+    supports_reads = True
+    is_remote = False
 
     def execute(self, op: Operation) -> OperationResult:
         op = as_operation(op)
@@ -88,32 +95,8 @@ class BaseSUT:
     def _update(self, operation: UpdateOperation) -> None:
         raise NotImplementedError
 
-    # -- deprecated three-method protocol ----------------------------------
-
-    def run_complex(self, query_id: int, params: object) -> object:
-        """Deprecated: use ``execute(ComplexRead(...))``."""
-        warnings.warn(
-            "SystemUnderTest.run_complex() is deprecated; use "
-            "execute(ComplexRead(query_id, params))",
-            DeprecationWarning, stacklevel=2)
-        return self.execute(ComplexRead(query_id, params)).value
-
-    def run_short(self, query_id: int, entity) -> object:
-        """Deprecated: use ``execute(ShortRead(...))``."""
-        warnings.warn(
-            "SystemUnderTest.run_short() is deprecated; use "
-            "execute(ShortRead(query_id, EntityRef.of(entity)))",
-            DeprecationWarning, stacklevel=2)
-        return self.execute(
-            ShortRead(query_id, EntityRef.of(entity))).value
-
-    def run_update(self, operation: UpdateOperation) -> None:
-        """Deprecated: use ``execute(Update(operation))``."""
-        warnings.warn(
-            "SystemUnderTest.run_update() is deprecated; use "
-            "execute(Update(operation))",
-            DeprecationWarning, stacklevel=2)
-        self.execute(Update(operation))
+    def close(self) -> None:
+        """In-process SUTs hold no external resources."""
 
 
 class StoreSUT(BaseSUT):

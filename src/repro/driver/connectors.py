@@ -18,23 +18,29 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Protocol
 
+from ..core.connector import ConnectorProtocol
 from ..datagen.update_stream import UpdateOperation
 from ..queries.updates import execute_update
 from ..store.graph import GraphStore, IsolationLevel
 
+#: Back-compat alias for the historical driver-local protocol; the
+#: canonical contract now lives in :mod:`repro.core.connector`.
+Connector = ConnectorProtocol
 
-class Connector(Protocol):
-    """What the driver requires of a system under test."""
 
-    def execute(self, operation: UpdateOperation) -> None:
-        """Run one operation to completion (raising on failure)."""
-        ...
+def _close_quietly(target) -> None:
+    """Close a wrapped SUT/connector if it knows how to."""
+    close = getattr(target, "close", None)
+    if callable(close):
+        close()
 
 
 class SleepingConnector:
     """Sleeps a fixed duration per operation (the Table 5 dummy SUT)."""
+
+    supports_reads = False
+    is_remote = False
 
     def __init__(self, sleep_seconds: float) -> None:
         self.sleep_seconds = sleep_seconds
@@ -50,9 +56,15 @@ class SleepingConnector:
     def executed(self) -> int:
         return self._count
 
+    def close(self) -> None:
+        pass
+
 
 class StoreConnector:
     """Applies update operations to the graph store transactionally."""
+
+    supports_reads = False
+    is_remote = False
 
     def __init__(self, store: GraphStore,
                  isolation: IsolationLevel = IsolationLevel.SNAPSHOT,
@@ -62,6 +74,9 @@ class StoreConnector:
 
     def execute(self, operation: UpdateOperation) -> None:
         execute_update(self.store, operation, self.isolation)
+
+    def close(self) -> None:
+        pass
 
 
 class SUTConnector:
@@ -74,8 +89,11 @@ class SUTConnector:
     runs.
     """
 
+    supports_reads = True
+
     def __init__(self, sut, serialize: bool = False) -> None:
         self.sut = sut
+        self.is_remote = bool(getattr(sut, "is_remote", False))
         self._lock = threading.Lock() if serialize else None
 
     def execute(self, operation) -> None:
@@ -87,6 +105,9 @@ class SUTConnector:
                 self.sut.execute(op)
         else:
             self.sut.execute(op)
+
+    def close(self) -> None:
+        _close_quietly(self.sut)
 
 
 class ReadDisagreement:
@@ -113,9 +134,13 @@ class DifferentialConnector:
     dependency-correctness tests run it sequentially.
     """
 
+    supports_reads = True
+
     def __init__(self, primary, secondary) -> None:
         self.primary = primary
         self.secondary = secondary
+        self.is_remote = bool(getattr(primary, "is_remote", False)
+                              or getattr(secondary, "is_remote", False))
         self.disagreements: list[ReadDisagreement] = []
         self._lock = threading.Lock()
 
@@ -145,13 +170,20 @@ class DifferentialConnector:
     def agreed(self) -> bool:
         return not self.disagreements
 
+    def close(self) -> None:
+        _close_quietly(self.primary)
+        _close_quietly(self.secondary)
+
 
 class RecordingConnector:
     """Records (operation, T_GC at execution) for dependency tests."""
 
-    def __init__(self, gds=None, delegate: Connector | None = None) -> None:
+    supports_reads = False
+
+    def __init__(self, gds=None, delegate=None) -> None:
         self.gds = gds
         self.delegate = delegate
+        self.is_remote = bool(getattr(delegate, "is_remote", False))
         self.records: list[tuple[UpdateOperation, int]] = []
         self._lock = threading.Lock()
 
@@ -161,3 +193,6 @@ class RecordingConnector:
             self.records.append((operation, gct))
         if self.delegate is not None:
             self.delegate.execute(operation)
+
+    def close(self) -> None:
+        _close_quietly(self.delegate)

@@ -25,6 +25,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from .. import telemetry
 from ..datagen.update_stream import partition_updates
@@ -32,7 +33,6 @@ from ..errors import DriverError, OperationTimeoutError
 from ..rng import RandomStream
 from ..workload.operations import op_class_name as _op_class_name
 from .clock import AS_FAST_AS_POSSIBLE, AccelerationClock
-from .connectors import Connector
 from .dependency import GlobalDependencyService, LocalDependencyService
 from .metrics import DriverMetrics, LatencyRecorder
 from .modes import ExecutionMode
@@ -43,6 +43,11 @@ from .resilience import (
     RetryPolicy,
     call_with_watchdog,
 )
+
+if TYPE_CHECKING:
+    # Import-cycle free: the canonical contract lives in repro.core,
+    # which (transitively) imports this module at runtime.
+    from ..core.connector import ConnectorProtocol
 
 
 @dataclass
@@ -116,7 +121,8 @@ class DriverReport:
 class WorkloadDriver:
     """Executes a due-time-ordered operation stream against a connector."""
 
-    def __init__(self, connector: Connector, config: DriverConfig) -> None:
+    def __init__(self, connector: ConnectorProtocol,
+                 config: DriverConfig) -> None:
         self.connector = connector
         self.config = config
         self.gds = GlobalDependencyService()

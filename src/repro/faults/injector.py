@@ -20,6 +20,7 @@ from __future__ import annotations
 import threading
 import time
 
+from ..driver.resilience import raise_if_abandoned
 from ..errors import FatalSUTError, TransientError
 from ..workload.operations import op_class_name
 from .plan import FaultKind, FaultPlan, FaultSpec
@@ -46,6 +47,10 @@ class FaultInjectingConnector:
     def __init__(self, inner, plan: FaultPlan, seed: int = 0,
                  operations=None) -> None:
         self.inner = inner
+        # Capability flags mirror the wrapped connector: injecting
+        # faults changes failure behavior, not what executes where.
+        self.supports_reads = bool(getattr(inner, "supports_reads", True))
+        self.is_remote = bool(getattr(inner, "is_remote", False))
         self.plan = plan
         self.seed = seed
         self._index_of = ({id(op): i for i, op in enumerate(operations)}
@@ -108,6 +113,12 @@ class FaultInjectingConnector:
             self._count(spec.kind, op_class)
             if spec.delay_seconds > 0:
                 time.sleep(spec.delay_seconds)
+                # If the watchdog abandoned this attempt during the
+                # injected delay, the retry it already triggered owns
+                # the operation now — delegating here would apply the
+                # update twice.  (Hangs never delegate; delays must
+                # re-check before they do.)
+                raise_if_abandoned()
             return self.inner.execute(operation)
         if spec.kind is FaultKind.HANG:
             if attempt == 1:
@@ -125,3 +136,8 @@ class FaultInjectingConnector:
         self._count(spec.kind, op_class)
         raise InjectedFatalError(
             f"injected fatal SUT error for {op_class} (key {key})")
+
+    def close(self) -> None:
+        close = getattr(self.inner, "close", None)
+        if callable(close):
+            close()

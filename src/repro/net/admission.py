@@ -1,0 +1,127 @@
+"""Pre-flight admission control over the cardinality estimator.
+
+The server refuses runaway traversals *before* execution, the way
+ROADMAP item 1 prescribes: a complex read's expected intermediate
+cardinality is estimated from the query's friendship-hop count (the
+``O(D^hops · log n)`` complexity classes of the query registry) and the
+graph's measured average degree, using exactly the arithmetic of
+:class:`repro.engine.cardinality.CardinalityEstimator` — repeated
+``knows`` expansions with the dedup damping factor.  An estimate above
+the configured ceiling is rejected with a ``rejected`` wire error; the
+client surfaces it as a non-retryable
+:class:`~repro.net.client.AdmissionRejectedError` (retrying an over-cost
+query cannot make it cheaper).
+
+Short reads and updates are always admitted: they are point operations
+whose cost does not depend on traversal fanout.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from ..engine.cardinality import DEDUP_DAMPING
+
+
+@dataclass(frozen=True)
+class Admission:
+    """The verdict on one operation."""
+
+    admitted: bool
+    estimated_rows: float
+    #: The estimator's reasoning chain (returned to the client on
+    #: rejection, mirrored from ``Estimate.derivation``).
+    derivation: str
+
+
+class AdmissionController:
+    """Admit or refuse operations from a per-query cost estimate."""
+
+    def __init__(self, average_degree: float,
+                 max_estimated_rows: float | None) -> None:
+        self.average_degree = max(1.0, float(average_degree))
+        self.max_estimated_rows = max_estimated_rows
+        self._lock = threading.Lock()
+        self.admitted = 0
+        self.rejected = 0
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def for_sut(cls, sut,
+                max_estimated_rows: float | None) -> "AdmissionController":
+        """Build a controller from whatever SUT the server fronts."""
+        catalog = getattr(sut, "catalog", None)
+        if catalog is not None:
+            return cls.from_catalog(catalog, max_estimated_rows)
+        store = getattr(sut, "store", None)
+        if store is not None:
+            return cls.from_store(store, max_estimated_rows)
+        # An opaque SUT (e.g. a test double): admit on a neutral degree.
+        return cls(1.0, max_estimated_rows)
+
+    @classmethod
+    def from_catalog(cls, catalog,
+                     max_estimated_rows: float | None,
+                     ) -> "AdmissionController":
+        """Reuse the engine's estimator statistics directly."""
+        from ..engine.cardinality import CardinalityEstimator
+
+        estimator = CardinalityEstimator(catalog)
+        return cls(estimator.average_degree(), max_estimated_rows)
+
+    @classmethod
+    def from_store(cls, store,
+                   max_estimated_rows: float | None,
+                   ) -> "AdmissionController":
+        """Measure the average friendship degree off the graph store."""
+        with store.transaction() as txn:
+            persons = txn.count_vertices("person")
+            if persons == 0:
+                return cls(1.0, max_estimated_rows)
+            total = sum(txn.degree("knows", vid)
+                        for vid, _ in txn.vertices("person"))
+        return cls(total / persons, max_estimated_rows)
+
+    # -- estimation --------------------------------------------------------
+
+    def estimate_rows(self, hops: int) -> tuple[float, str]:
+        """Expected traversal cardinality of an ``hops``-hop query.
+
+        The same chain the engine's estimator derives for a friendship
+        pipeline: one row in, ``degree`` matches per expansion, with
+        :data:`~repro.engine.cardinality.DEDUP_DAMPING` applied to every
+        repeated expansion of the ``knows`` table.
+        """
+        rows = 1.0
+        steps = []
+        for hop in range(max(1, hops)):
+            rows *= self.average_degree
+            if hop > 0:
+                rows *= DEDUP_DAMPING
+            steps.append(f"hop{hop + 1}={rows:.0f}")
+        return rows, (f"degree={self.average_degree:.1f}; "
+                      + "; ".join(steps))
+
+    def review(self, op) -> Admission:
+        """Admit or refuse one decoded operation."""
+        from ..core.operation import ComplexRead
+
+        if self.max_estimated_rows is None \
+                or not isinstance(op, ComplexRead):
+            with self._lock:
+                self.admitted += 1
+            return Admission(True, 0.0, "always admitted")
+        from ..queries.registry import COMPLEX_QUERIES
+
+        entry = COMPLEX_QUERIES.get(op.query_id)
+        hops = entry.hops if entry is not None else 3
+        rows, derivation = self.estimate_rows(hops)
+        admitted = rows <= self.max_estimated_rows
+        with self._lock:
+            if admitted:
+                self.admitted += 1
+            else:
+                self.rejected += 1
+        return Admission(admitted, rows, derivation)

@@ -1,0 +1,351 @@
+"""The versioned, length-prefixed JSON wire codec.
+
+One frame = a 4-byte big-endian length prefix followed by that many
+bytes of UTF-8 JSON.  Every message embeds the protocol version
+(``"v": 1``); a reader that sees any other version rejects the message
+without guessing at its shape.
+
+Values inside a message (operation parameters, update payloads, query
+results) are encoded over an explicit **type registry**: every
+dataclass and enum that may legally cross the wire — the typed
+operation union, the 14 complex-read parameter/result classes, the 7
+short-read results, the schema entities carried by update payloads —
+is registered by class name at import time.  Decoding reconstructs the
+*exact* dataclass, so structural consumers (the short-read random
+walk's attribute probing, the validation canonicalizer, the state
+snapshotters) behave identically on both sides of the wire.  Types
+outside the registry are refused at encode time, and unknown tags are
+refused at decode time: the registry is an allowlist, never an
+``eval``.
+
+Encoded value forms::
+
+    null / bool / number / string      as themselves
+    list                               as a JSON array
+    tuple                              {"__k": "tuple", "v": [...]}
+    dict                               {"__k": "map",   "v": [[k, v], ...]}
+    EntityRef                          {"__k": "ref",   "v": [kind, id]}
+    Enum member                        {"__k": "enum",  "t": name, "v": member}
+    dataclass                          {"__k": "dc",    "t": name, "v": {...}}
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+import struct
+
+from ..errors import ReproError
+from ..workload.operations import EntityRef
+
+#: Version stamped into (and required of) every message envelope.
+PROTOCOL_VERSION = 1
+
+#: Hard upper bound on one frame; a length prefix beyond this is treated
+#: as a corrupt or hostile stream, not a large message.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+class CodecError(ReproError):
+    """The wire codec could not encode or decode a message."""
+
+
+class UnsupportedVersionError(CodecError):
+    """The message's protocol version is not one this codec speaks."""
+
+
+class TruncatedFrameError(CodecError):
+    """The byte stream ended in the middle of a frame."""
+
+
+class FrameTooLargeError(CodecError):
+    """A frame's length prefix exceeds :data:`MAX_FRAME_BYTES`."""
+
+
+# ---------------------------------------------------------------------------
+# type registry
+# ---------------------------------------------------------------------------
+
+_REGISTRY: dict[str, type] = {}
+
+
+def register(cls: type) -> type:
+    """Allowlist one dataclass or enum for wire transport."""
+    name = cls.__name__
+    existing = _REGISTRY.get(name)
+    if existing is not None and existing is not cls:
+        raise CodecError(
+            f"wire-type name collision: {name} is both "
+            f"{existing.__module__} and {cls.__module__}")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def registered_types() -> dict[str, type]:
+    """A copy of the registry (tests assert coverage against this)."""
+    return dict(_REGISTRY)
+
+
+def _register_module(module) -> None:
+    """Register every dataclass and enum *defined in* a module."""
+    for value in vars(module).values():
+        if not isinstance(value, type) \
+                or value.__module__ != module.__name__:
+            continue
+        if dataclasses.is_dataclass(value) \
+                or issubclass(value, enum.Enum):
+            register(value)
+
+
+def _populate_registry() -> None:
+    from ..core import operation as core_operation
+    from ..datagen import update_stream
+    from ..queries import short_reads
+    from ..queries.complex_reads import (
+        q1, q2, q3, q4, q5, q6, q7, q8, q9, q10, q11, q12, q13, q14,
+    )
+    from ..schema import dataset, entities
+    from ..workload import operations as workload_operations
+
+    # dataset closes the registry under field types: SplitDataset (in
+    # update_stream) embeds a SocialNetwork.
+    for module in (core_operation, update_stream, short_reads,
+                   q1, q2, q3, q4, q5, q6, q7, q8, q9, q10, q11, q12,
+                   q13, q14, dataset, entities, workload_operations):
+        _register_module(module)
+
+
+_populate_registry()
+
+
+# ---------------------------------------------------------------------------
+# value encoding
+# ---------------------------------------------------------------------------
+
+def encode_value(value):
+    """Encode any registered value into its JSON-able wire form."""
+    # Enums first: str/int-mixin members would otherwise slip through
+    # the primitive passthrough and decode as bare strings/numbers.
+    if isinstance(value, enum.Enum):
+        cls = type(value)
+        if _REGISTRY.get(cls.__name__) is not cls:
+            raise CodecError(f"unregistered enum type {cls.__name__}")
+        return {"__k": "enum", "t": cls.__name__, "v": value.name}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, EntityRef):
+        return {"__k": "ref", "v": value.as_json()}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        cls = type(value)
+        if _REGISTRY.get(cls.__name__) is not cls:
+            raise CodecError(
+                f"unregistered dataclass type {cls.__name__}")
+        fields = {f.name: encode_value(getattr(value, f.name))
+                  for f in dataclasses.fields(value)}
+        return {"__k": "dc", "t": cls.__name__, "v": fields}
+    if isinstance(value, tuple):
+        return {"__k": "tuple", "v": [encode_value(v) for v in value]}
+    if isinstance(value, list):
+        return [encode_value(v) for v in value]
+    if isinstance(value, dict):
+        return {"__k": "map",
+                "v": [[encode_value(k), encode_value(v)]
+                      for k, v in value.items()]}
+    raise CodecError(
+        f"value of type {type(value).__name__} cannot cross the wire")
+
+
+def decode_value(value):
+    """Decode a wire form back into the exact original value."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, list):
+        return [decode_value(v) for v in value]
+    if isinstance(value, dict):
+        kind = value.get("__k")
+        if kind == "tuple":
+            return tuple(decode_value(v) for v in value["v"])
+        if kind == "map":
+            return {decode_value(k): decode_value(v)
+                    for k, v in value["v"]}
+        if kind == "ref":
+            return EntityRef.of(value["v"])
+        if kind == "enum":
+            cls = _REGISTRY.get(value.get("t", ""))
+            if cls is None or not issubclass(cls, enum.Enum):
+                raise CodecError(
+                    f"unknown wire enum type {value.get('t')!r}")
+            try:
+                return cls[value["v"]]
+            except KeyError:
+                raise CodecError(
+                    f"unknown {cls.__name__} member {value['v']!r}")
+        if kind == "dc":
+            cls = _REGISTRY.get(value.get("t", ""))
+            if cls is None or not dataclasses.is_dataclass(cls):
+                raise CodecError(
+                    f"unknown wire dataclass type {value.get('t')!r}")
+            fields = {name: decode_value(v)
+                      for name, v in value["v"].items()}
+            try:
+                return cls(**fields)
+            except TypeError as exc:
+                raise CodecError(
+                    f"bad field set for {cls.__name__}: {exc}")
+        raise CodecError(f"unknown wire value tag {kind!r}")
+    raise CodecError(
+        f"un-decodable wire value of type {type(value).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# operations and results
+# ---------------------------------------------------------------------------
+
+def encode_operation(operation) -> dict:
+    """Canonical wire form of one operation (any legacy shape)."""
+    from ..core.operation import as_operation
+
+    return encode_value(as_operation(operation))
+
+
+def decode_operation(encoded):
+    """Decode a wire operation; reject anything outside the union."""
+    from ..core.operation import ComplexRead, ShortRead, Update
+
+    op = decode_value(encoded)
+    if not isinstance(op, (ComplexRead, ShortRead, Update)):
+        raise CodecError(
+            f"decoded message is not an operation: {type(op).__name__}")
+    return op
+
+
+def encode_result(result) -> dict:
+    """Canonical wire form of one :class:`OperationResult`."""
+    from ..core.operation import OperationResult
+
+    if not isinstance(result, OperationResult):
+        raise CodecError(
+            f"not an OperationResult: {type(result).__name__}")
+    return encode_value(result)
+
+
+def decode_result(encoded):
+    """Decode a wire result; reject anything else."""
+    from ..core.operation import OperationResult
+
+    result = decode_value(encoded)
+    if not isinstance(result, OperationResult):
+        raise CodecError(
+            f"decoded message is not a result: {type(result).__name__}")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# framing
+# ---------------------------------------------------------------------------
+
+def encode_frame(message: dict) -> bytes:
+    """One length-prefixed frame around a version-stamped message."""
+    if "v" not in message:
+        message = {"v": PROTOCOL_VERSION, **message}
+    body = json.dumps(message, separators=(",", ":"),
+                      ensure_ascii=False).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise FrameTooLargeError(
+            f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
+    return _HEADER.pack(len(body)) + body
+
+
+def check_version(message) -> dict:
+    """Validate the envelope: a dict stamped with a known version."""
+    if not isinstance(message, dict):
+        raise CodecError("message envelope is not an object")
+    version = message.get("v")
+    if version != PROTOCOL_VERSION:
+        raise UnsupportedVersionError(
+            f"unsupported protocol version {version!r} "
+            f"(this codec speaks {PROTOCOL_VERSION})")
+    return message
+
+
+def _parse_body(body: bytes) -> dict:
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CodecError(f"undecodable frame body: {exc}")
+    return check_version(message)
+
+
+class FrameReader:
+    """Incremental frame decoder (feed bytes, pop messages).
+
+    Used by tests and any non-blocking transport; the blocking socket
+    path uses :func:`recv_message` directly.  :meth:`close` raises
+    :class:`TruncatedFrameError` when the stream ended mid-frame.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> None:
+        self._buffer.extend(data)
+
+    def next(self) -> dict | None:
+        """The next complete message, or None if more bytes are needed."""
+        if len(self._buffer) < _HEADER.size:
+            return None
+        (length,) = _HEADER.unpack_from(self._buffer)
+        if length > MAX_FRAME_BYTES:
+            raise FrameTooLargeError(
+                f"frame length prefix {length} exceeds {MAX_FRAME_BYTES}")
+        end = _HEADER.size + length
+        if len(self._buffer) < end:
+            return None
+        body = bytes(self._buffer[_HEADER.size:end])
+        del self._buffer[:end]
+        return _parse_body(body)
+
+    def close(self) -> None:
+        """Declare end-of-stream; a partial frame is an error."""
+        if self._buffer:
+            raise TruncatedFrameError(
+                f"stream ended with {len(self._buffer)} bytes of an "
+                f"incomplete frame")
+
+
+def _recv_exact(sock, count: int, *, at_boundary: bool) -> bytes | None:
+    """Read exactly ``count`` bytes; None on clean EOF at a boundary."""
+    chunks = []
+    remaining = count
+    while remaining > 0:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if at_boundary and remaining == count:
+                return None
+            raise TruncatedFrameError(
+                f"stream ended {remaining} bytes short of a "
+                f"{count}-byte read")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock) -> dict | None:
+    """Read one framed message off a blocking socket (None on EOF)."""
+    header = _recv_exact(sock, _HEADER.size, at_boundary=True)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise FrameTooLargeError(
+            f"frame length prefix {length} exceeds {MAX_FRAME_BYTES}")
+    body = _recv_exact(sock, length, at_boundary=False)
+    return _parse_body(body)
+
+
+def send_message(sock, message: dict) -> None:
+    """Frame and write one message to a blocking socket."""
+    sock.sendall(encode_frame(message))

@@ -111,7 +111,8 @@ def run_chaos(split: SplitDataset, sut_name: str, plan: FaultPlan,
               mode: ExecutionMode = ExecutionMode.PARALLEL,
               window_millis: int | None = None,
               conflict_rate: float = 0.0,
-              dependency_wait_timeout: float = 60.0) -> ChaosReport:
+              dependency_wait_timeout: float = 60.0,
+              remote: str | None = None) -> ChaosReport:
     """Drive the update stream under faults; compare final digests.
 
     The fault-injecting connector wraps a unified-API adapter over the
@@ -119,11 +120,29 @@ def run_chaos(split: SplitDataset, sut_name: str, plan: FaultPlan,
     internal concurrency control).  ``conflict_rate`` additionally
     installs the store-level :class:`ConflictInjector` so real MVCC
     aborts join the mix (store SUT only).
+
+    ``remote`` (``host:port`` of a ``repro serve`` instance loaded with
+    the same split) swaps the in-process SUT for the wire client: the
+    clean reference digest is still computed locally, injected faults
+    perturb the *client side* of the wire, and the final digest is
+    fetched from the server's admin endpoint — so the soak proves the
+    whole remote stack (codec, pipelining, retry mapping, server-side
+    dedup) converges to the same bytes.
     """
     clean = clean_run_digest(split, sut_name)
 
-    sut = _make_sut(split, sut_name)
-    inner = SUTConnector(sut, serialize=(sut_name == "engine"))
+    if remote is not None:
+        if conflict_rate > 0.0:
+            raise BenchmarkError(
+                "store-level conflict injection is in-process only; "
+                "run the server with its own conflict settings instead")
+        from ..net.client import RemoteConnector
+
+        sut = RemoteConnector.parse(remote)
+    else:
+        sut = _make_sut(split, sut_name)
+    inner = SUTConnector(sut, serialize=(remote is None
+                                         and sut_name == "engine"))
     connector = FaultInjectingConnector(inner, plan, seed=seed,
                                         operations=split.updates)
     conflicts = None
@@ -152,7 +171,10 @@ def run_chaos(split: SplitDataset, sut_name: str, plan: FaultPlan,
         report.injected_conflicts = conflicts.injected
         sut.store.fault_injector = None  # quiesce for the snapshot read
     if report.failure is None:
-        report.chaos_digest = _digest_of(sut, sut_name)
+        report.chaos_digest = sut.digest() if remote is not None \
+            else _digest_of(sut, sut_name)
+    if remote is not None:
+        sut.close()
     return report
 
 

@@ -1,0 +1,125 @@
+"""Every connector conforms to the formal ConnectorProtocol contract.
+
+The protocol is structural (``@runtime_checkable``), so these tests
+pin the actual contract: the two capability flags exist with sensible
+values, ``execute``/``close`` are present, and wrapping layers derive
+``is_remote`` from what they wrap instead of hard-coding it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.connector import ConnectorProtocol, InteractiveConnector
+from repro.core.operation import OperationResult
+from repro.core.sut import StoreSUT
+from repro.driver.connectors import (
+    Connector,
+    DifferentialConnector,
+    RecordingConnector,
+    SleepingConnector,
+    StoreConnector,
+    SUTConnector,
+)
+from repro.faults import FaultInjectingConnector, FaultPlan
+from repro.net import RemoteConnector
+from repro.store.graph import GraphStore
+
+
+class _StubSUT:
+    """Minimal unified-API SUT for wrapper-construction tests."""
+
+    name = "stub"
+
+    def __init__(self, remote: bool = False) -> None:
+        self.is_remote = remote
+        self.closed = 0
+
+    def execute(self, op) -> OperationResult:
+        return OperationResult(op.op_class, value=None)
+
+    def close(self) -> None:
+        self.closed += 1
+
+
+def all_connectors() -> list:
+    return [
+        SleepingConnector(0.0),
+        StoreConnector(GraphStore()),
+        SUTConnector(_StubSUT()),
+        DifferentialConnector(_StubSUT(), _StubSUT()),
+        RecordingConnector(),
+        InteractiveConnector(_StubSUT()),
+        FaultInjectingConnector(SUTConnector(_StubSUT()), FaultPlan()),
+        # Never dialled: the pool only connects on first execute.
+        RemoteConnector("127.0.0.1", 1),
+    ]
+
+
+@pytest.mark.parametrize("connector", all_connectors(),
+                         ids=lambda c: type(c).__name__)
+def test_conforms_to_protocol(connector):
+    assert isinstance(connector, ConnectorProtocol)
+    assert isinstance(connector.supports_reads, bool)
+    assert isinstance(connector.is_remote, bool)
+    connector.close()
+    connector.close()  # idempotent
+
+
+def test_connector_alias_is_the_protocol():
+    # The historical driver-local name still resolves, to the same type.
+    assert Connector is ConnectorProtocol
+
+
+def test_capability_flags():
+    assert not SleepingConnector(0.0).supports_reads
+    assert not StoreConnector(GraphStore()).supports_reads
+    assert not RecordingConnector().supports_reads
+    assert SUTConnector(_StubSUT()).supports_reads
+    assert InteractiveConnector(_StubSUT()).supports_reads
+    assert RemoteConnector("127.0.0.1", 1).is_remote
+
+
+def test_wrappers_inherit_is_remote_from_their_sut():
+    assert not SUTConnector(_StubSUT()).is_remote
+    assert SUTConnector(_StubSUT(remote=True)).is_remote
+    assert not InteractiveConnector(_StubSUT()).is_remote
+    assert InteractiveConnector(_StubSUT(remote=True)).is_remote
+    assert DifferentialConnector(
+        _StubSUT(), _StubSUT(remote=True)).is_remote
+    inner = SUTConnector(_StubSUT(remote=True))
+    assert FaultInjectingConnector(inner, FaultPlan()).is_remote
+    assert RecordingConnector(delegate=inner).is_remote
+
+
+def test_close_reaches_the_wrapped_sut():
+    sut = _StubSUT()
+    SUTConnector(sut).close()
+    assert sut.closed == 1
+    sut = _StubSUT()
+    InteractiveConnector(sut).close()
+    assert sut.closed == 1
+    primary, secondary = _StubSUT(), _StubSUT()
+    DifferentialConnector(primary, secondary).close()
+    assert primary.closed == 1 and secondary.closed == 1
+    sut = _StubSUT()
+    FaultInjectingConnector(SUTConnector(sut), FaultPlan()).close()
+    assert sut.closed == 1
+
+
+def test_real_suts_conform_too(loaded_store):
+    sut = StoreSUT(loaded_store)
+    # SUTs themselves satisfy the structural contract (unified execute
+    # plus close), which is what lets RemoteConnector stand in for one.
+    assert isinstance(sut, ConnectorProtocol)
+    assert sut.supports_reads and not sut.is_remote
+
+
+def test_nonconforming_object_is_rejected():
+    class Half:
+        supports_reads = True
+
+        def execute(self, operation):
+            return None
+
+    assert not isinstance(Half(), ConnectorProtocol)

@@ -186,6 +186,35 @@ class TestInjector:
         assert sum(by_class.values()) == 1
 
 
+class TestAbandonedAttempts:
+    def test_latency_does_not_delegate_when_abandoned(self, small_split):
+        """A delayed attempt the watchdog gave up on must not mutate.
+
+        The watchdog's retry already owns the operation; if the
+        abandoned attempt delegated after its injected sleep, the
+        update would apply twice.
+        """
+        import time
+
+        from repro.driver.resilience import call_with_watchdog
+        from repro.errors import OperationTimeoutError
+
+        ops = small_split.updates[:5]
+        inner = CountingConnector()
+        plan = FaultPlan().with_fault(
+            1, FaultSpec(FaultKind.LATENCY, delay_seconds=0.25))
+        connector = FaultInjectingConnector(inner, plan,
+                                            operations=ops)
+        with pytest.raises(OperationTimeoutError):
+            call_with_watchdog(lambda: connector.execute(ops[1]),
+                               timeout=0.05)
+        time.sleep(0.5)  # let the abandoned helper wake up and check
+        assert inner.executed == 0
+        # An unsupervised (or in-budget) attempt delegates normally.
+        connector.execute(ops[1])
+        assert inner.executed == 1
+
+
 class TestConflictInjector:
     def test_rate_validation(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,310 @@
+"""The wire server and remote connector: loopback behavior tests.
+
+Every test starts a real :class:`ReproServer` on an ephemeral loopback
+port and talks to it through :class:`RemoteConnector` — the codec,
+framing, pipelining, worker pool, and error mapping are all exercised
+end to end, just very small.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.connector import ConnectorProtocol
+from repro.core.operation import (
+    ComplexRead,
+    OperationResult,
+    ShortRead,
+    Update,
+)
+from repro.core.sut import StoreSUT
+from repro.errors import (
+    FatalSUTError,
+    OperationTimeoutError,
+    TransientError,
+)
+from repro.net import (
+    AdmissionRejectedError,
+    RemoteConnector,
+    RemoteFatalError,
+    RemoteTransientError,
+    ReproServer,
+    ServerBusyError,
+    ServerConfig,
+)
+from repro.workload.operations import EntityRef
+
+
+class ScriptedSUT:
+    """A SUT double: counts executions, fails or stalls on demand."""
+
+    name = "scripted"
+
+    def __init__(self) -> None:
+        self.executed: list = []
+        self.lock = threading.Lock()
+        self.delay = 0.0
+        self.raising: BaseException | None = None
+
+    def execute(self, op) -> OperationResult:
+        if self.delay:
+            time.sleep(self.delay)
+        if self.raising is not None:
+            raise self.raising
+        with self.lock:
+            self.executed.append(op)
+        return OperationResult(op.op_class, value=len(self.executed))
+
+
+@pytest.fixture()
+def server_client():
+    """A started server over a ScriptedSUT plus a connected client."""
+    opened = []
+
+    def factory(sut=None, config=None, **client_kwargs):
+        sut = sut or ScriptedSUT()
+        server = ReproServer(sut, config or ServerConfig(workers=2))
+        host, port = server.start()
+        client = RemoteConnector(host, port, timeout=10.0,
+                                 **client_kwargs)
+        opened.append((server, client))
+        return server, client, sut
+
+    yield factory
+    for server, client in opened:
+        client.close()
+        server.shutdown()
+
+
+SHORT = ShortRead(1, EntityRef.person(7))
+
+
+def test_execute_round_trip_and_ping(server_client):
+    server, client, sut = server_client()
+    result = client.execute(SHORT)
+    assert isinstance(result, OperationResult)
+    assert result.op_class == "S1" and result.value == 1
+    assert sut.executed == [SHORT]
+    info = client.ping()
+    assert info["sut"] == "scripted"
+    assert "scripted" in client.name
+
+
+def test_connector_protocol_conformance(server_client):
+    __, client, __ = server_client()
+    assert isinstance(client, ConnectorProtocol)
+    assert client.supports_reads and client.is_remote
+
+
+def test_execute_batch_pipelines_in_order(server_client):
+    __, client, sut = server_client()
+    ops = [ShortRead(2, EntityRef.person(i)) for i in range(20)]
+    results = client.execute_batch(ops)
+    assert [r.op_class for r in results] == ["S2"] * 20
+    # All executed exactly once, whatever order the pool chose.
+    assert sorted(o.entity.id for o in sut.executed) == list(range(20))
+
+
+def test_concurrent_callers_multiplex_one_pool(server_client):
+    __, client, sut = server_client(pool_size=2)
+    errors = []
+
+    def hammer(worker: int) -> None:
+        try:
+            for i in range(10):
+                client.execute(ShortRead(3, EntityRef.person(
+                    worker * 100 + i)))
+        except BaseException as exc:  # pragma: no cover
+            errors.append(exc)
+
+    threads = [threading.Thread(target=hammer, args=(w,))
+               for w in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    assert len(sut.executed) == 40
+
+
+# -- error taxonomy mapping ------------------------------------------------
+
+def test_transient_error_maps_to_remote_transient(server_client):
+    from repro.driver.resilience import default_is_transient
+
+    __, client, sut = server_client()
+    sut.raising = TransientError("deadlock victim")
+    with pytest.raises(RemoteTransientError, match="deadlock victim"):
+        client.execute(SHORT)
+    assert default_is_transient(RemoteTransientError("x"))
+
+
+def test_fatal_and_unclassified_map_to_remote_fatal(server_client):
+    from repro.driver.resilience import default_is_transient
+
+    __, client, sut = server_client()
+    sut.raising = FatalSUTError("corrupt page")
+    with pytest.raises(RemoteFatalError, match="corrupt page"):
+        client.execute(SHORT)
+    sut.raising = ValueError("surprise")
+    with pytest.raises(RemoteFatalError, match="surprise"):
+        client.execute(SHORT)
+    assert not default_is_transient(RemoteFatalError("x"))
+
+
+def test_wire_timeout_maps_to_operation_timeout(server_client):
+    __, client, sut = server_client()
+    client.timeout = 0.15
+    sut.delay = 1.0
+    started = time.perf_counter()
+    with pytest.raises(OperationTimeoutError):
+        client.execute(SHORT)
+    assert time.perf_counter() - started < 0.9
+    # The late response is dropped, and the connection stays usable.
+    sut.delay = 0.0
+    client.timeout = 10.0
+    assert client.execute(SHORT).op_class == "S1"
+    # The timed-out attempt still completes server-side eventually
+    # (reads carry no op_key; only updates get dedup protection).
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline and len(sut.executed) < 2:
+        time.sleep(0.02)
+    assert len(sut.executed) == 2
+
+
+def test_connection_loss_maps_to_connection_error(server_client):
+    server, client, __ = server_client(connect_timeout=0.5)
+    assert client.execute(SHORT).value == 1
+    server.shutdown()
+    with pytest.raises(ConnectionError):
+        for __ in range(3):  # first call may observe the close lazily
+            client.execute(SHORT)
+    # Wire loss is retryable under the resilience policy.
+    from repro.driver.resilience import default_is_transient
+    assert default_is_transient(ConnectionError("peer gone"))
+
+
+# -- backpressure ----------------------------------------------------------
+
+def test_backpressure_rejects_busy_with_retry_hint(server_client):
+    server, client, sut = server_client(
+        config=ServerConfig(workers=1, queue_size=1, retry_after=0.123))
+    sut.delay = 0.3
+    ops = [ShortRead(4, EntityRef.person(i)) for i in range(8)]
+    with pytest.raises(ServerBusyError) as excinfo:
+        client.execute_batch(ops)
+    assert excinfo.value.retry_after == pytest.approx(0.123)
+    assert server.stats()["rejected_busy"] >= 1
+    # Busy is transient: the resilience policy will back off and retry.
+    assert isinstance(excinfo.value, TransientError)
+
+
+# -- admission control -----------------------------------------------------
+
+def test_admission_rejects_expensive_complex_reads(loaded_store,
+                                                   curated_params):
+    sut = StoreSUT(loaded_store)
+    server = ReproServer(sut, ServerConfig(max_estimated_rows=1.0))
+    host, port = server.start()
+    client = RemoteConnector(host, port, timeout=10.0)
+    try:
+        params = curated_params.by_query[9][0]
+        with pytest.raises(AdmissionRejectedError) as excinfo:
+            client.execute(ComplexRead(9, params))
+        # Fatal, not transient: retrying cannot make the query cheaper.
+        assert isinstance(excinfo.value, FatalSUTError)
+        assert "estimated" in str(excinfo.value)
+        # Point operations are always admitted.
+        person = EntityRef.person(
+            next(iter(loaded_store.transaction().vertices("person")))[0])
+        assert client.execute(ShortRead(1, person)).op_class == "S1"
+        stats = client.server_stats()
+        assert stats["admission_rejected"] >= 1
+        assert stats["admission_admitted"] >= 1
+    finally:
+        client.close()
+        server.shutdown()
+
+
+def test_admission_estimate_uses_degree_and_damping():
+    from repro.engine.cardinality import DEDUP_DAMPING
+    from repro.net.admission import AdmissionController
+
+    controller = AdmissionController(10.0, max_estimated_rows=None)
+    rows, derivation = controller.estimate_rows(3)
+    assert rows == pytest.approx(10.0 * 10.0 * DEDUP_DAMPING
+                                 * 10.0 * DEDUP_DAMPING)
+    assert "degree=10.0" in derivation
+
+
+# -- exactly-once updates --------------------------------------------------
+
+def test_update_retry_is_deduplicated(server_client, split):
+    server, client, sut = server_client()
+    operation = split.updates[0]
+    first = client.execute(Update(operation))
+    # A retry of the same stream item (fresh Update wrapper, same
+    # inner operation) must replay, not re-execute.
+    second = client.execute(Update(operation))
+    assert len(sut.executed) == 1
+    assert first.value == second.value == 1
+    assert server.stats()["deduped"] == 1
+    # A different stream item executes normally.
+    client.execute(Update(split.updates[1]))
+    assert len(sut.executed) == 2
+
+
+def test_distinct_clients_never_share_dedup_keys(server_client, split):
+    server, __, sut = server_client()
+    host, port = server.address
+    a = RemoteConnector(host, port, timeout=10.0)
+    b = RemoteConnector(host, port, timeout=10.0)
+    try:
+        operation = split.updates[0]
+        a.execute(Update(operation))
+        b.execute(Update(operation))
+        # Different client ids → different op keys → both executed.
+        assert len(sut.executed) == 2
+    finally:
+        a.close()
+        b.close()
+
+
+def test_reads_are_not_deduplicated(server_client):
+    server, client, sut = server_client()
+    client.execute(SHORT)
+    client.execute(SHORT)
+    assert len(sut.executed) == 2
+    assert server.stats()["deduped"] == 0
+
+
+# -- admin actions ---------------------------------------------------------
+
+def test_digest_action_requires_configuration(server_client):
+    __, client, __ = server_client()
+    with pytest.raises(RemoteFatalError, match="digest"):
+        client.digest()
+
+
+def test_digest_action_returns_configured_digest():
+    sut = ScriptedSUT()
+    server = ReproServer(sut, ServerConfig(),
+                         digest_fn=lambda: "sha256:abc")
+    host, port = server.start()
+    client = RemoteConnector(host, port, timeout=10.0)
+    try:
+        assert client.digest() == "sha256:abc"
+    finally:
+        client.close()
+        server.shutdown()
+
+
+def test_unknown_request_kinds_are_fatal(server_client):
+    __, client, __ = server_client()
+    with pytest.raises(RemoteFatalError, match="unknown request kind"):
+        client._round_trip({"v": 1, "kind": "exec"})
+    with pytest.raises(RemoteFatalError, match="unknown admin action"):
+        client._admin("reboot")

@@ -85,23 +85,25 @@ def sut(request, loaded_store, loaded_catalog):
     return EngineSUT(loaded_catalog)
 
 
-def test_execute_matches_deprecated_shims(sut, curated_params, network):
+def test_execute_reads(sut, curated_params, network):
     binding = curated_params.by_query[2][0]
     result = sut.execute(ComplexRead(2, binding))
     assert isinstance(result, OperationResult)
     assert result.op_class == "Q2"
-    with pytest.deprecated_call():
-        assert sut.run_complex(2, binding) == result.value
 
     ref = EntityRef.person(network.persons[0].id)
     short = sut.execute(ShortRead(3, ref))
     assert short.op_class == "S3"
-    with pytest.deprecated_call():
-        # The shim still accepts the legacy (kind, id) tuple.
-        assert sut.run_short(3, ("person", ref.id)) == short.value
 
 
-def test_execute_update_and_shim(split):
+def test_deprecated_run_shims_are_gone(sut):
+    """PR-2's ``run_*`` deprecation shims were removed: ``execute``
+    over the typed operation union is the only SUT entry point."""
+    for shim in ("run_complex", "run_short", "run_update"):
+        assert not hasattr(sut, shim)
+
+
+def test_execute_update(split):
     from repro.store import load_network
 
     update = split.updates[0]
@@ -109,9 +111,6 @@ def test_execute_update_and_shim(split):
     result = direct.execute(Update(update))
     assert result.op_class == update.kind.name
     assert result.value is None
-    shimmed = StoreSUT(load_network(split.bulk))
-    with pytest.deprecated_call():
-        shimmed.run_update(update)
 
 
 def test_execute_accepts_legacy_driver_shapes(sut, curated_params):
