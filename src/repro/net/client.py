@@ -134,8 +134,12 @@ class _PooledConnection:
         if not pending.event.wait(timeout):
             with self.pending_lock:
                 pending.abandoned = True
-                self.pending.pop(request_id, None)
-                self.in_flight -= 1
+                # The reader may have popped the entry between the
+                # wait timing out and this lock; only the popper
+                # decrements, or in_flight goes negative and skews
+                # least-loaded pool selection forever.
+                if self.pending.pop(request_id, None) is not None:
+                    self.in_flight -= 1
             raise OperationTimeoutError(
                 f"no response within {timeout:.3f}s "
                 f"(request {request_id})")
@@ -234,6 +238,13 @@ class RemoteConnector:
         self._pool: list[_PooledConnection] = []
         self._pool_lock = threading.Lock()
         self._sut_name: str | None = None
+        self._op_key_lock = threading.Lock()
+        self._op_key_seq = itertools.count(1)
+        #: id(item) → (item, key).  Holding the item reference pins it,
+        #: so CPython can never recycle its id for a different stream
+        #: item while the key is live — id() alone would alias two
+        #: distinct updates under a lazily-consumed stream.
+        self._op_keys: dict[int, tuple[object, str]] = {}
 
     @classmethod
     def parse(cls, address: str, **kwargs) -> "RemoteConnector":
@@ -300,8 +311,18 @@ class RemoteConnector:
             # a fresh Update each attempt).  The server's dedup table
             # then recognizes a replay of a request whose first
             # attempt timed out on the wire but executed anyway.
-            request["op_key"] = f"{self.client_id}:{id(op.operation)}"
+            request["op_key"] = self._stable_op_key(op.operation)
         return request
+
+    def _stable_op_key(self, item) -> str:
+        """One stable token per stream item (same item → same key)."""
+        with self._op_key_lock:
+            entry = self._op_keys.get(id(item))
+            if entry is None or entry[0] is not item:
+                entry = (item,
+                         f"{self.client_id}:u{next(self._op_key_seq)}")
+                self._op_keys[id(item)] = entry
+            return entry[1]
 
     def execute_batch(self, operations) -> list:
         """Pipeline a batch on one connection; results in order.

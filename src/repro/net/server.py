@@ -20,7 +20,10 @@ unified ``execute(op) -> OperationResult`` API) and speaks the
 * **exactly-once updates** — requests may carry an ``op_key`` token;
   the server remembers each token's outcome and replays it instead of
   re-executing, so a client retry after a wire-level timeout can never
-  double-apply an update whose first attempt actually ran.
+  double-apply an update whose first attempt actually ran.  Only
+  results and fatal errors are remembered: a transient failure means
+  the update never applied, so the token is released and the retry
+  re-executes.
 """
 
 from __future__ import annotations
@@ -179,6 +182,8 @@ class ReproServer:
 
     def shutdown(self) -> None:
         """Stop accepting, close connections, release workers."""
+        if self._shutdown.is_set():
+            return  # idempotent: sentinels are already in flight
         self._shutdown.set()
         if self._listener is not None:
             try:
@@ -197,12 +202,12 @@ class ReproServer:
             connections = list(self._connections)
         for connection in connections:
             connection.close()
-        for __ in self._threads:
-            # Wake any worker blocked on an empty queue.
-            try:
-                self._queue.put_nowait(None)
-            except queue.Full:  # pragma: no cover - drained on exit
-                break
+        # One blocking put per worker: with jobs still queued,
+        # put_nowait would drop sentinels and leave workers parked on
+        # get() forever.  Workers keep draining the backlog, so each
+        # put completes once a slot frees up.
+        for __ in range(max(1, self.config.workers)):
+            self._queue.put(None)
 
     def stats(self) -> dict:
         with self._stats_lock:
@@ -311,13 +316,19 @@ class ReproServer:
         try:
             self._queue.put_nowait((connection, request_id, op, op_key))
         except queue.Full:
-            if op_key is not None:
-                self._dedup_abandon(op_key)
             self._count("rejected_busy", BUSY_COUNTER)
-            connection.send(self._error_response(
+            busy = self._error_response(
                 request_id, "busy",
                 f"request queue full ({self.config.queue_size})",
-                retry_after=self.config.retry_after))
+                retry_after=self.config.retry_after)
+            if op_key is not None:
+                # Duplicates that registered as waiters between the
+                # claim and this rejection must hear the busy error
+                # too, or their clients block for the full timeout.
+                for waiter_conn, waiter_id in \
+                        self._dedup_abandon(op_key):
+                    waiter_conn.send(dict(busy, id=waiter_id))
+            connection.send(busy)
 
     def _handle_admin(self, request_id, message: dict) -> dict:
         action = message.get("action")
@@ -369,12 +380,21 @@ class ReproServer:
                 entry.waiters.append((connection, request_id))
             return entry, True
 
-    def _dedup_abandon(self, op_key: str) -> None:
-        """Remove an in-flight claim that never reached the queue."""
+    def _dedup_abandon(self, op_key: str) -> list:
+        """Drop an in-flight claim; return waiters owed an answer.
+
+        The next request with this token re-executes from scratch.
+        The caller must send each returned ``(connection, request_id)``
+        waiter a response — they are owed one and nothing else will
+        answer them.
+        """
         with self._dedup_lock:
             entry = self._dedup.get(op_key)
-            if entry is not None and not entry.done:
-                del self._dedup[op_key]
+            if entry is None or entry.done:
+                return []
+            del self._dedup[op_key]
+            waiters, entry.waiters = entry.waiters, []
+            return waiters
 
     def _dedup_complete(self, op_key: str, outcome: dict,
                         ) -> tuple[_DedupEntry | None, list]:
@@ -387,6 +407,11 @@ class ReproServer:
             entry.outcome = outcome
             waiters, entry.waiters = entry.waiters, []
             return entry, waiters
+
+    @staticmethod
+    def _is_transient_outcome(outcome: dict) -> bool:
+        return (outcome.get("kind") == "error"
+                and outcome.get("error") == "transient")
 
     @staticmethod
     def _replay(entry: _DedupEntry, request_id) -> dict:
@@ -405,10 +430,23 @@ class ReproServer:
             connection, request_id, op, op_key = job
             outcome = self._execute(op)
             if op_key is not None:
-                entry, waiters = self._dedup_complete(op_key, outcome)
-                if entry is not None:
-                    for waiter_conn, waiter_id in waiters:
-                        waiter_conn.send(self._replay(entry, waiter_id))
+                if self._is_transient_outcome(outcome):
+                    # A transient failure (e.g. a write conflict under
+                    # concurrent workers) must not become the token's
+                    # remembered outcome: the update never applied, so
+                    # the client's retry has to re-execute rather than
+                    # replay the error until its budget runs out.
+                    # Waiters hear the transient error directly.
+                    for waiter_conn, waiter_id in \
+                            self._dedup_abandon(op_key):
+                        waiter_conn.send(dict(outcome, id=waiter_id))
+                else:
+                    entry, waiters = self._dedup_complete(
+                        op_key, outcome)
+                    if entry is not None:
+                        for waiter_conn, waiter_id in waiters:
+                            waiter_conn.send(
+                                self._replay(entry, waiter_id))
             response = dict(outcome)
             response["id"] = request_id
             connection.send(response)

@@ -8,6 +8,7 @@ end to end, just very small.
 
 from __future__ import annotations
 
+import queue
 import threading
 import time
 
@@ -273,12 +274,174 @@ def test_distinct_clients_never_share_dedup_keys(server_client, split):
         b.close()
 
 
+def test_transient_update_failure_is_not_replayed_to_retry(
+        server_client, split):
+    # A transient outcome (the store's write conflict under concurrent
+    # workers) means the update never applied; caching it would replay
+    # the error to every retry and silently lose the update.
+    server, client, sut = server_client()
+    operation = split.updates[0]
+    sut.raising = TransientError("write conflict")
+    with pytest.raises(RemoteTransientError, match="write conflict"):
+        client.execute(Update(operation))
+    sut.raising = None
+    result = client.execute(Update(operation))
+    assert result.value == 1
+    assert len(sut.executed) == 1
+    assert server.stats()["deduped"] == 0
+
+
+def test_fatal_update_outcome_is_replayed_to_retry(server_client,
+                                                   split):
+    server, client, sut = server_client()
+    operation = split.updates[0]
+    sut.raising = FatalSUTError("corrupt page")
+    with pytest.raises(RemoteFatalError, match="corrupt page"):
+        client.execute(Update(operation))
+    sut.raising = None
+    # Fatal outcomes stay remembered: the replay, not a re-execution.
+    with pytest.raises(RemoteFatalError, match="corrupt page"):
+        client.execute(Update(operation))
+    assert len(sut.executed) == 0
+    assert server.stats()["deduped"] == 1
+
+
+def test_concurrent_duplicates_recover_from_transient_failure(
+        server_client, split):
+    # Two racing attempts at one stream item while the SUT conflicts:
+    # whichever lands second either re-executes or waits on the first
+    # — both must hear the transient error, and a later retry must
+    # still be able to apply the update.
+    server, client, sut = server_client()
+    sut.delay = 0.2
+    sut.raising = TransientError("conflict")
+    operation = split.updates[0]
+    outcomes = []
+
+    def attempt() -> None:
+        try:
+            client.execute(Update(operation))
+            outcomes.append(None)  # pragma: no cover - must raise
+        except BaseException as exc:
+            outcomes.append(exc)
+
+    threads = [threading.Thread(target=attempt) for __ in range(2)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert all(isinstance(o, RemoteTransientError) for o in outcomes)
+    sut.delay = 0.0
+    sut.raising = None
+    assert client.execute(Update(operation)).value == 1
+    assert len(sut.executed) == 1
+
+
 def test_reads_are_not_deduplicated(server_client):
     server, client, sut = server_client()
     client.execute(SHORT)
     client.execute(SHORT)
     assert len(sut.executed) == 2
     assert server.stats()["deduped"] == 0
+
+
+class _StubConnection:
+    """Records what the server sends, in lieu of a real socket."""
+
+    def __init__(self) -> None:
+        self.sent: list[dict] = []
+
+    def send(self, message: dict) -> None:
+        self.sent.append(message)
+
+
+def test_queue_full_rejection_answers_duplicate_waiters(split):
+    # A duplicate that registered between the dedup claim and the
+    # (failed) enqueue must hear the busy rejection too, not block
+    # for its whole request timeout.
+    from repro.net import codec
+
+    server = ReproServer(ScriptedSUT(), ServerConfig(queue_size=1))
+    origin, waiter = _StubConnection(), _StubConnection()
+    message = {"v": codec.PROTOCOL_VERSION, "id": 1, "kind": "execute",
+               "op": codec.encode_operation(Update(split.updates[0])),
+               "op_key": "tok"}
+
+    class RacingQueue:
+        def put_nowait(self, job) -> None:
+            # The duplicate lands in the claim→enqueue window.
+            server._dedup_claim("tok", waiter, 2)
+            raise queue.Full
+
+    server._queue = RacingQueue()
+    server._handle_message(origin, message)
+    assert [m["id"] for m in origin.sent] == [1]
+    assert [m["id"] for m in waiter.sent] == [2]
+    assert all(m["error"] == "busy"
+               for m in origin.sent + waiter.sent)
+    # The token is free again: a retry claims it from scratch.
+    assert "tok" not in server._dedup
+
+
+def test_dedup_abandon_leaves_completed_outcomes_alone(server_client,
+                                                       split):
+    server, client, sut = server_client()
+    operation = split.updates[0]
+    key_owner = _StubConnection()
+    client.execute(Update(operation))
+    (op_key,) = list(server._dedup)
+    assert server._dedup_abandon(op_key) == []
+    assert op_key in server._dedup  # done entries are kept for replay
+    assert key_owner.sent == []
+
+
+def test_shutdown_releases_workers_despite_backlogged_queue():
+    sut = ScriptedSUT()
+    sut.delay = 0.02
+    server = ReproServer(sut, ServerConfig(workers=2, queue_size=2))
+    server.start()
+    stub = _StubConnection()
+    for i in range(6):  # more jobs than queue slots
+        server._queue.put((stub, i, SHORT, None))
+    server.shutdown()
+    workers = [t for t in server._threads
+               if t.name.startswith("repro-net-worker")]
+    for worker in workers:
+        worker.join(5.0)
+    assert not any(worker.is_alive() for worker in workers)
+    server.shutdown()  # idempotent: a second call must not block
+
+
+# -- client-side accounting ------------------------------------------------
+
+def test_timeout_race_does_not_double_decrement_in_flight():
+    # Simulate the reader delivering (entry popped, counter already
+    # decremented) just after event.wait timed out but before wait()
+    # reacquired the lock: only the popper may decrement.
+    from repro.net.client import _Pending, _PooledConnection
+
+    connection = _PooledConnection.__new__(_PooledConnection)
+    connection.pending_lock = threading.Lock()
+    connection.pending = {}
+    connection.in_flight = 0
+    connection.dead = None
+    with pytest.raises(OperationTimeoutError):
+        connection.wait(7, _Pending(), timeout=0.0)
+    assert connection.in_flight == 0
+
+
+def test_op_keys_are_stable_and_never_alias(split):
+    client = RemoteConnector("127.0.0.1", 1)  # never dialed
+    first, second = split.updates[0], split.updates[1]
+    key = client._stable_op_key(first)
+    assert client._stable_op_key(first) == key
+    keys = {key, client._stable_op_key(second)}
+    assert len(keys) == 2
+    # Fresh short-lived items must never reuse a key, even though
+    # CPython recycles ids of collected objects.
+    for __ in range(50):
+        keys.add(client._stable_op_key(object()))
+    assert len(keys) == 52
 
 
 # -- admin actions ---------------------------------------------------------
