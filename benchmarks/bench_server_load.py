@@ -1,13 +1,15 @@
-"""Server load A/B — the wire SUT vs the in-process SUT, same stream.
+"""Server load A/B — wire, sharded, and in-process SUTs, same stream.
 
-Runs the full interactive workload twice — once in process, once over
-the loopback wire against a ``ReproServer`` — with the driver applying
-concurrent load (parallel mode, several partitions).  Digest equality
-is the hard gate: the remote run must leave the server's store in the
-byte-identical final state the in-process run leaves its local store
-in, or this harness exits 1.  On top of the gate it reports the
-latency cost of the wire per operation class (mean/p99, both sides)
-and the server's own admission/queue counters.
+Runs the full interactive workload three times — in process, against
+the multi-process sharded store (``--shards``), and over the loopback
+wire against a ``ReproServer`` — with the driver applying concurrent
+load (parallel mode, several partitions).  Digest equality across all
+three legs is the hard gate: every run must leave byte-identical final
+state or this harness exits 1.  On top of the gate it reports the
+latency cost of the wire per operation class (mean/p99, both sides),
+the server's own admission/queue counters, and writes the
+sharded-vs-single throughput row to the committed
+``BENCH_server_load.json`` (the tracked perf trajectory).
 
 Standalone (the CI smoke gate)::
 
@@ -17,9 +19,10 @@ Standalone (the CI smoke gate)::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
-from repro.bench import emit_artifact, format_table
+from repro.bench import emit_artifact, emit_headline, format_table
 from repro.core.benchmark import BenchmarkConfig, InteractiveBenchmark
 from repro.core.sut import StoreSUT
 from repro.datagen import DatagenConfig, generate
@@ -31,19 +34,20 @@ from repro.validation import snapshot_digest, snapshot_store
 
 
 def _config(persons: int, seed: int, partitions: int,
-            remote: str | None = None) -> BenchmarkConfig:
+            remote: str | None = None,
+            shards: int = 0) -> BenchmarkConfig:
     return BenchmarkConfig(num_persons=persons, seed=seed, sut="store",
                            num_partitions=partitions,
                            mode=ExecutionMode.PARALLEL,
-                           bindings_per_query=4, remote=remote)
+                           bindings_per_query=4, remote=remote,
+                           shards=shards)
 
 
 def _run(config: BenchmarkConfig):
     bench = InteractiveBenchmark(config)
     report = bench.run()
     digest = bench.final_state_digest()
-    if config.remote is not None:
-        bench.sut.close()
+    bench.close()
     return report, digest
 
 
@@ -73,9 +77,18 @@ def _latency_rows(local, remote) -> list[list]:
     return rows
 
 
-def run_ab(persons: int, seed: int, partitions: int, workers: int):
-    """In-process vs loopback-remote run; returns (rows, gate report)."""
+def run_ab(persons: int, seed: int, partitions: int, workers: int,
+           shards: int = 2):
+    """In-process vs loopback-remote vs sharded run, same stream.
+
+    Returns ``(rows, summary, checks, headline)``; digest equality
+    across all three legs is the hard gate, and the headline dict is
+    the sharded-vs-single row the committed ``BENCH_server_load.json``
+    tracks.
+    """
     local_report, local_digest = _run(_config(persons, seed, partitions))
+    sharded_report, sharded_digest = _run(
+        _config(persons, seed, partitions, shards=shards))
 
     # The server owns its own bulk-loaded store, built from the same
     # deterministic generation the in-process run bulk-loads locally.
@@ -101,6 +114,10 @@ def run_ab(persons: int, seed: int, partitions: int, workers: int):
         f"in-process: {local_report.operations} ops in "
         f"{local_report.wall_seconds:.2f}s "
         f"({local_report.throughput:.0f} op/s)",
+        f"sharded x{shards}: {sharded_report.operations} ops in "
+        f"{sharded_report.wall_seconds:.2f}s "
+        f"({sharded_report.throughput:.0f} op/s) via "
+        f"{sharded_report.sut_name}",
         f"remote:     {remote_report.operations} ops in "
         f"{remote_report.wall_seconds:.2f}s "
         f"({remote_report.throughput:.0f} op/s) via "
@@ -109,18 +126,36 @@ def run_ab(persons: int, seed: int, partitions: int, workers: int):
         f"executed={stats['executed']} busy={stats['rejected_busy']} "
         f"deduped={stats['deduped']}",
         f"digest in-process: {local_digest}",
+        f"digest sharded:    {sharded_digest}",
         f"digest remote:     {remote_digest}",
     ]
     checks = {
         "digests equal": local_digest == remote_digest,
+        "sharded digest equal": local_digest == sharded_digest,
         "same operation count":
-            local_report.operations == remote_report.operations,
+            local_report.operations == remote_report.operations
+            == sharded_report.operations,
         "remote latencies measured": all(
             s.count > 0 and s.p99_ms > 0.0
             for s in remote_report.complex_stats.values()),
         "short walk ran over the wire": remote_report.short_reads > 0,
     }
-    return rows, summary, checks
+    headline = {
+        "persons": persons,
+        "seed": seed,
+        "partitions": partitions,
+        "operations": local_report.operations,
+        "single_ops_per_second": round(local_report.throughput, 1),
+        "sharded": {
+            "shards": shards,
+            "ops_per_second": round(sharded_report.throughput, 1),
+            "over_single": round(sharded_report.throughput
+                                 / local_report.throughput, 2),
+        },
+        "remote_ops_per_second": round(remote_report.throughput, 1),
+        "digests_equal": local_digest == sharded_digest == remote_digest,
+    }
+    return rows, summary, checks, headline
 
 
 def main(argv=None) -> int:
@@ -130,13 +165,16 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--partitions", type=int, default=4)
     parser.add_argument("--workers", type=int, default=8)
+    parser.add_argument("--shards", type=int, default=2,
+                        help="shard count for the sharded leg")
     parser.add_argument("--quick", action="store_true",
                         help="small network (the CI smoke size)")
     args = parser.parse_args(argv)
     persons = 120 if args.quick else args.persons
 
-    rows, summary, checks = run_ab(persons, args.seed,
-                                   args.partitions, args.workers)
+    rows, summary, checks, headline = run_ab(
+        persons, args.seed, args.partitions, args.workers,
+        shards=args.shards)
 
     headers = ["class", "count", "local mean ms", "local p99 ms",
                "remote mean ms", "remote p99 ms"]
@@ -147,6 +185,12 @@ def main(argv=None) -> int:
         title=f"Server load A/B — {persons} persons, seed {args.seed}, "
               f"{args.partitions} partitions, {args.workers} workers")
         + "\n" + "\n".join(summary) + "\n" + "\n".join(verdicts))
+    emit_headline("server_load", {
+        "bench": "server_load",
+        "cores": os.cpu_count() or 1,
+        **headline,
+        "checks": checks,
+    })
     return 0 if all(checks.values()) else 1
 
 

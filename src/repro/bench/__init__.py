@@ -5,7 +5,7 @@ paper; these helpers render aligned text tables and ASCII plots so the
 bench output can be compared side by side with the paper's artifact.
 """
 
-from .artifacts import emit_artifact
+from .artifacts import emit_artifact, emit_headline, headline_path
 from .plots import ascii_histogram, ascii_series
 from .tables import format_table
 from .timing import median_seconds
@@ -14,6 +14,8 @@ __all__ = [
     "ascii_histogram",
     "ascii_series",
     "emit_artifact",
+    "emit_headline",
     "format_table",
+    "headline_path",
     "median_seconds",
 ]

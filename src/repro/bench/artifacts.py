@@ -7,6 +7,7 @@ regenerated paper artifacts.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -29,3 +30,26 @@ def emit_artifact(name: str, text: str) -> None:
     print(banner + text)
     (artifact_dir() / f"{name}.txt").write_text(text + "\n",
                                                 encoding="utf-8")
+
+
+def headline_path(name: str) -> Path:
+    """Repo-root path of a committed headline file (``BENCH_<name>.json``)."""
+    root = os.environ.get("REPRO_BENCH_HEADLINES")
+    base = Path(root) if root else Path(__file__).resolve().parents[3]
+    return base / f"BENCH_{name}.json"
+
+
+def emit_headline(name: str, payload: dict) -> Path:
+    """Persist a bench's headline numbers as committed JSON.
+
+    Unlike the per-run artifacts under ``benchmarks/output/`` these land
+    at the repo root (``BENCH_<name>.json``) and are committed, forming
+    the tracked perf trajectory: each run overwrites the file, so the
+    diff IS the perf delta.  Payloads must record the machine shape
+    (``cores``) — scale-up numbers are meaningless without it.
+    """
+    path = headline_path(name)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    print(f"headline numbers -> {path}")
+    return path

@@ -69,9 +69,14 @@ def build_parser() -> argparse.ArgumentParser:
     val.add_argument("--check", metavar="PATH", default=None,
                      help="replay a golden dataset against a SUT "
                           "and diff every expectation")
-    val.add_argument("--sut", choices=("store", "engine", "both"),
+    val.add_argument("--sut",
+                     choices=("store", "engine", "sharded", "both"),
                      default="both",
-                     help="which SUT --check replays (default both)")
+                     help="which SUT --check replays (default both; "
+                          "'sharded' replays against the multi-process "
+                          "sharded store)")
+    val.add_argument("--shards", type=int, default=2,
+                     help="--check --sut sharded: worker process count")
     val.add_argument("--persons", type=int, default=80,
                      help="--create: datagen person count")
     val.add_argument("--seed", type=int, default=7,
@@ -123,6 +128,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--digest", action="store_true",
         help="print the SUT's final-state digest after the run (the "
              "remote/in-process equivalence oracle)")
+    bench.add_argument(
+        "--shards", type=int, default=0,
+        help="partition the store SUT across N worker processes "
+             "behind the shard router (0 = in-process, the default)")
     _add_trace_flag(bench)
 
     explain = commands.add_parser(
@@ -159,6 +168,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--replay-out", metavar="PATH", default=None,
         help="--updates: write the replay bundle of the first "
              "mismatch here")
+    crosscheck.add_argument(
+        "--shards", type=int, default=0,
+        help="with --updates: check the single-process store against "
+             "the N-shard multi-process store instead of the engine "
+             "(digest equality proves shard placement loses nothing)")
 
     chaos = commands.add_parser(
         "chaos",
@@ -204,6 +218,20 @@ def build_parser() -> argparse.ArgumentParser:
              "locally, the final digest is fetched from the server "
              "(requires --sut store or engine matching the server, "
              "and --store-conflicts 0)")
+    chaos.add_argument(
+        "--shards", type=int, default=0,
+        help="soak the N-shard multi-process store (requires --sut "
+             "store); the clean digest stays single-process")
+    chaos.add_argument("--shard-abort-rate", type=float, default=0.0,
+                       help="--shards: fraction of worker applies "
+                            "aborted before any state change")
+    chaos.add_argument("--shard-delay-rate", type=float, default=0.0,
+                       help="--shards: fraction of worker applies "
+                            "delayed past the router timeout")
+    chaos.add_argument("--shard-delay-ms", type=float, default=50.0,
+                       help="--shards: injected worker delay duration")
+    chaos.add_argument("--shard-timeout", type=float, default=30.0,
+                       help="--shards: router RPC timeout in seconds")
     _add_trace_flag(chaos)
 
     serve = commands.add_parser(
@@ -229,6 +257,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-estimated-rows", type=float, default=None,
         help="admission-control ceiling on a complex read's estimated "
              "traversal cardinality (default: no ceiling)")
+    serve.add_argument(
+        "--shards", type=int, default=0,
+        help="serve the N-shard multi-process store (requires --sut "
+             "store); clients drive it over the wire unchanged")
     _add_trace_flag(serve)
     return parser
 
@@ -348,17 +380,22 @@ def _cmd_validate_golden(args) -> int:
         all_ok = True
         reports = []
         for sut_name in suts:
-            report = check_golden(args.check, sut_name, jobs=args.jobs)
+            report = check_golden(args.check, sut_name, jobs=args.jobs,
+                                  shards=args.shards)
             reports.append(report)
             print(render_golden_check(report))
             all_ok = all_ok and report.ok
         return all_ok, reports
 
     if args.canary:
-        target = "engine" if args.sut in ("engine", "both") \
-            else "store"
-        print(f"canary: seeding a Q2/S4 result bug into the "
-              f"{target} SUT — the check below MUST fail")
+        target = "engine" if args.sut == "both" else args.sut
+        if target == "sharded":
+            print("canary: seeding a shard-router bug (shard 0 "
+                  "dropped from every scatter-gather) — the check "
+                  "below MUST fail")
+        else:
+            print(f"canary: seeding a Q2/S4 result bug into the "
+                  f"{target} SUT — the check below MUST fail")
         with canary_bug(target):
             ok, reports = run_checks()
         if ok:
@@ -443,6 +480,19 @@ def _cmd_benchmark(args) -> int:
         raise SystemExit(
             "--remote: client-side SUT caches do not apply; the server "
             "owns the state (drop --cache)")
+    if args.shards:
+        if args.remote:
+            raise SystemExit(
+                "--shards loads the sharded SUT in-process; start the "
+                "server with --shards instead of combining it with "
+                "--remote")
+        if args.sut != "store":
+            raise SystemExit(
+                "--shards partitions the graph store; use --sut store")
+        if args.cache != "none":
+            raise SystemExit(
+                "--shards: in-process SUT caches do not apply; worker "
+                "processes own the state (drop --cache)")
     config = BenchmarkConfig(
         num_persons=args.persons,
         seed=args.seed,
@@ -453,6 +503,7 @@ def _cmd_benchmark(args) -> int:
                       else AS_FAST_AS_POSSIBLE),
         cache=cache,
         remote=args.remote,
+        shards=args.shards,
     )
     benchmark = InteractiveBenchmark(config)
     # Preparation (datagen, bulk load, curation) happens untraced so the
@@ -463,8 +514,9 @@ def _cmd_benchmark(args) -> int:
     print(render_report(report))
     if args.digest:
         print(f"final-state digest: {benchmark.final_state_digest()}")
-    if args.remote:
-        benchmark.sut.close()
+    # Shard workers drain their span buffers into the router's
+    # telemetry on close, so close before exporting the trace.
+    benchmark.close()
     trace.finish()
     return 0
 
@@ -503,6 +555,10 @@ def _cmd_curate(args) -> int:
 def _cmd_crosscheck(args) -> int:
     from .core import cross_validate, render_validation
 
+    if args.shards and not args.updates:
+        raise SystemExit(
+            "--shards: the sharded crosscheck is the update-aware "
+            "differential mode; add --updates")
     network = generate(DatagenConfig(num_persons=args.persons,
                                      seed=args.seed))
     if args.updates:
@@ -513,9 +569,18 @@ def _cmd_crosscheck(args) -> int:
         split = split_network(network)
         params = ParameterCurator(split.bulk, seed=args.seed) \
             .curate(args.k)
+        right_factory = None
+        if args.shards:
+            from .shard import ShardedStoreSUT
+
+            def right_factory(bulk):
+                return ShardedStoreSUT.for_network(bulk, args.shards)
+
+            print(f"crosscheck: single-process store vs "
+                  f"{args.shards}-shard multi-process store")
         report, bundle = run_differential(
             split, params, persons=args.persons, seed=args.seed,
-            batch_size=args.batch)
+            batch_size=args.batch, right_factory=right_factory)
         print(render_differential(report))
         if bundle is not None and args.replay_out:
             bundle.save(args.replay_out)
@@ -557,6 +622,28 @@ def _cmd_chaos(args) -> int:
             raise SystemExit(
                 "--remote: store-level conflict injection is "
                 "in-process only")
+    shard_faults = None
+    if args.shards:
+        if args.sut not in ("store", "both"):
+            raise SystemExit(
+                "--shards partitions the graph store; use --sut store")
+        if args.remote:
+            raise SystemExit(
+                "--shards spawns the sharded SUT in-process; start "
+                "the server with --shards instead")
+        if args.store_conflicts:
+            raise SystemExit(
+                "--shards: use --shard-abort-rate/--shard-delay-rate "
+                "to fault the workers instead of --store-conflicts")
+        args.sut = "store"
+        if args.shard_abort_rate or args.shard_delay_rate:
+            from .shard import ShardFaultPlan
+
+            shard_faults = ShardFaultPlan(
+                abort_rate=args.shard_abort_rate,
+                delay_rate=args.shard_delay_rate,
+                delay_seconds=args.shard_delay_ms / 1000.0,
+                seed=args.plan_seed)
     network = generate(DatagenConfig(num_persons=args.persons,
                                      seed=args.seed))
     split = split_network(network)
@@ -569,7 +656,9 @@ def _cmd_chaos(args) -> int:
             num_partitions=args.partitions,
             conflict_rate=(args.store_conflicts
                            if sut_name == "store" else 0.0),
-            remote=args.remote)
+            remote=args.remote, shards=args.shards,
+            shard_faults=shard_faults,
+            shard_timeout=args.shard_timeout)
         print(render_chaos(report))
         all_ok = all_ok and report.ok
     trace.finish()
@@ -582,12 +671,21 @@ def _cmd_serve(args) -> int:
     from .validation.snapshot import snapshot_catalog, snapshot_digest, \
         snapshot_store
 
+    if args.shards and args.sut != "store":
+        raise SystemExit(
+            "--shards partitions the graph store; use --sut store")
+    shard_note = f", {args.shards} shards" if args.shards else ""
     print(f"loading {args.sut} SUT: {args.persons} persons "
-          f"(seed {args.seed}) ...")
+          f"(seed {args.seed}{shard_note}) ...")
     network = generate(DatagenConfig(num_persons=args.persons,
                                      seed=args.seed))
     split = split_network(network)
-    if args.sut == "store":
+    if args.shards:
+        from .shard import ShardedStoreSUT
+
+        sut = ShardedStoreSUT.for_network(split.bulk, args.shards)
+        digest_fn = sut.digest
+    elif args.sut == "store":
         from .core.sut import StoreSUT
 
         sut = StoreSUT.for_network(split.bulk)
@@ -628,6 +726,8 @@ def _cmd_serve(args) -> int:
     stats = server.stats()
     print("served: " + ", ".join(f"{k}={v}"
                                  for k, v in sorted(stats.items()) if v))
+    if args.shards:
+        sut.close()  # stop the shard workers (drains spans first)
     trace.finish()
     return 0
 

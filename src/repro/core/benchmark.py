@@ -62,6 +62,10 @@ class BenchmarkConfig:
     #: (the server must be loaded with the same persons/seed for
     #: digests to agree).
     remote: str | None = None
+    #: > 0 partitions the store SUT across this many worker processes
+    #: behind the shard router (``--shards``); 0 keeps the store
+    #: in-process.
+    shards: int = 0
 
 
 @dataclass
@@ -138,6 +142,14 @@ class InteractiveBenchmark:
 
             return RemoteConnector.parse(self.config.remote)
         cache = self.config.cache
+        if self.config.shards > 0:
+            if self.config.sut != "store":
+                raise BenchmarkError(
+                    "--shards partitions the graph store; combine it "
+                    "with --sut store")
+            from ..shard import ShardedStoreSUT
+
+            return ShardedStoreSUT.for_network(bulk, self.config.shards)
         if self.config.sut == "store":
             store = load_network(bulk)
             if cache.adjacency:
@@ -191,6 +203,12 @@ class InteractiveBenchmark:
             return snapshot_digest(snapshot_catalog(sut.catalog))
         raise BenchmarkError(
             f"no digest strategy for SUT {type(sut).__name__}")
+
+    def close(self) -> None:
+        """Release SUT resources (shard workers, wire connections)."""
+        close = getattr(self.sut, "close", None)
+        if callable(close):
+            close()
 
     # -- the measured run ---------------------------------------------------
 

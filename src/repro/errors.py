@@ -69,6 +69,26 @@ class DuplicateError(StoreError):
     """An entity with the same key already exists."""
 
 
+class ShardError(StoreError):
+    """Base class for sharded-store (router/worker) errors."""
+
+
+class ShardTimeoutError(ShardError, TransientError):
+    """A shard worker did not answer within the router's budget.
+
+    Transient: the worker is serial, so its (late) response is drained
+    and the retried operation is deduplicated by op key — the retry can
+    never double-apply.
+    """
+
+
+class ShardConnectionError(ShardError, FatalSUTError):
+    """A shard worker process died or its pipe closed.
+
+    Fatal: a lost shard means lost state; retrying cannot recover it.
+    """
+
+
 class EngineError(ReproError):
     """Base class for relational-engine errors."""
 

@@ -44,11 +44,8 @@ def _descendant_classes(txn: Transaction, class_id: int) -> set[int]:
     """The class and every (transitive) subclass of it."""
     all_classes = {}
     # The hierarchy is small; materialize parent links once.
-    table = txn.store._vertices.get(VertexLabel.TAG_CLASS, {})
-    for vid in table:
-        props = txn.vertex(VertexLabel.TAG_CLASS, vid)
-        if props is not None:
-            all_classes[vid] = props.get("parent_id")
+    for vid, props in txn.vertices(VertexLabel.TAG_CLASS):
+        all_classes[vid] = props.get("parent_id")
     result = {class_id}
     changed = True
     while changed:

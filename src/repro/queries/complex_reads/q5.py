@@ -40,19 +40,32 @@ class Q5Result:
 
 
 def run(txn: Transaction, params: Q5Params) -> list[Q5Result]:
-    """Execute Q5: freshly joined forums ranked by in-circle posts."""
+    """Execute Q5: freshly joined forums ranked by in-circle posts.
+
+    The three fan-outs — memberships of the 2-hop circle, posts of the
+    joined forums, authors of those posts — go through the batched
+    primitives, so the sharded store serves each as one scatter-gather
+    with per-shard partial aggregation instead of a round trip per
+    vertex (this is the Fig. 5a stress query).
+    """
     circle = two_hop_circle(txn, params.person_id)
+    memberships = txn.neighbors_many(EdgeLabel.HAS_MEMBER, list(circle),
+                                     Direction.IN)
     joined_forums: set[int] = set()
     for friend_id in circle:
-        for forum_id, props in txn.neighbors(EdgeLabel.HAS_MEMBER,
-                                             friend_id, Direction.IN):
+        for forum_id, props in memberships.get(friend_id, ()):
             if props["joined_date"] > params.min_date:
                 joined_forums.add(forum_id)
+    containers = txn.neighbors_many(EdgeLabel.CONTAINER_OF,
+                                    list(joined_forums))
+    post_ids = {post_id for posts in containers.values()
+                for post_id, __ in posts}
+    posts = txn.vertex_many(VertexLabel.POST, list(post_ids))
     rows = []
     for forum_id in joined_forums:
         post_count = 0
-        for post_id, __ in txn.neighbors(EdgeLabel.CONTAINER_OF, forum_id):
-            post = txn.vertex(VertexLabel.POST, post_id)
+        for post_id, __ in containers.get(forum_id, ()):
+            post = posts.get(post_id)
             if post is not None and post["author_id"] in circle:
                 post_count += 1
         forum = txn.require_vertex(VertexLabel.FORUM, forum_id)

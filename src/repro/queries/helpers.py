@@ -7,7 +7,6 @@ message retrieval per creator, and discussion-tree navigation.
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Iterator
 
 from ..ids import EntityKind, is_kind
@@ -33,18 +32,25 @@ def friends_within(txn: Transaction, person_id: int, max_hops: int,
     """BFS over *knows*: person id → distance, for 1 ≤ distance ≤ max_hops.
 
     The start person is excluded (distance 0 is not reported).
+    Expands one whole frontier per level through
+    :meth:`~repro.store.graph.Transaction.neighbors_many`, so on the
+    sharded store each level costs one scatter-gather (the workers
+    aggregate the adjacency of their owned slice of the frontier)
+    instead of one round trip per person.
     """
     distances: dict[int, int] = {person_id: 0}
-    frontier = deque([person_id])
-    while frontier:
-        current = frontier.popleft()
-        depth = distances[current]
-        if depth >= max_hops:
-            continue
-        for other, __ in txn.neighbors(EdgeLabel.KNOWS, current):
-            if other not in distances:
-                distances[other] = depth + 1
-                frontier.append(other)
+    frontier = [person_id]
+    depth = 0
+    while frontier and depth < max_hops:
+        depth += 1
+        adjacency = txn.neighbors_many(EdgeLabel.KNOWS, frontier)
+        next_frontier: list[int] = []
+        for current in frontier:
+            for other, __ in adjacency.get(current, ()):
+                if other not in distances:
+                    distances[other] = depth
+                    next_frontier.append(other)
+        frontier = next_frontier
     distances.pop(person_id, None)
     return distances
 

@@ -1,0 +1,40 @@
+"""Multi-process sharded execution of the graph store.
+
+The scale-out answer to the paper's Table 5: partition the SNB graph
+by person-hash across worker processes (each its own interpreter, its
+own GIL), route point operations to the owning shard, scatter-gather
+the 2-hop traversals with per-shard partial aggregation, and commit
+cross-shard updates two-phase under a router-held epoch — all while
+preserving the canonical final-state digest byte for byte, so every
+existing oracle (crosscheck, differential, chaos, golden) applies to
+the sharded path unchanged.
+"""
+
+from .router import ShardRouter, ShardedTransaction, stable_update_key
+from .routing import (
+    ShardLoad,
+    ShardWrites,
+    anchor_shard,
+    is_static,
+    owner_of,
+    partition_bulk,
+    partition_writes,
+)
+from .sut import ShardedStoreSUT
+from .worker import InjectedWorkerAbortError, ShardFaultPlan
+
+__all__ = [
+    "InjectedWorkerAbortError",
+    "ShardFaultPlan",
+    "ShardLoad",
+    "ShardRouter",
+    "ShardWrites",
+    "ShardedStoreSUT",
+    "ShardedTransaction",
+    "anchor_shard",
+    "is_static",
+    "owner_of",
+    "partition_bulk",
+    "partition_writes",
+    "stable_update_key",
+]

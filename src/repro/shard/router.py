@@ -1,0 +1,573 @@
+"""The shard router: one process orchestrating N worker shards.
+
+The router owns one duplex pipe per worker, guarded by a per-shard
+lock, and exposes three things:
+
+* a **read transaction** (:class:`ShardedTransaction`) implementing the
+  whole :class:`repro.store.graph.Transaction` read API, so every SNB
+  query — all 14 complex reads and 7 short reads — runs against the
+  sharded store *unchanged*.  Point reads dispatch straight to the
+  owning shard; the batched 2-hop primitives (``neighbors_many``,
+  ``vertex_many``) scatter one request per involved shard and merge the
+  partial adjacency/property maps the workers aggregate locally;
+  whole-label scans (``vertices``/``edges``/``lookup``/``scan_range``)
+  scatter-gather across all shards.
+* an **update commit**: the update's insert logic runs router-side
+  against a write recorder; the recorded write-set is partitioned by
+  the placement rules and applied under a router-held commit epoch —
+  directly when one shard is involved, two-phase (prepare everywhere,
+  then commit everywhere) when the write-set straddles shards, e.g. a
+  friendship between persons on different shards.  Every write carries
+  a stable op key so worker applies are exactly-once across retries.
+* the **merged canonical snapshot**: per-shard snapshots concatenated
+  section-wise and re-sorted by canonical JSON — byte-identical to the
+  single-process snapshot by the placement invariant, which is what
+  lets every digest oracle in the repo (crosscheck, chaos, golden)
+  judge the sharded store with no new machinery.
+
+Failure taxonomy at the pipe boundary mirrors the wire protocol: a
+worker exception travels back by name and re-raises as its original
+:mod:`repro.errors` class; a response missing its deadline raises
+:class:`~repro.errors.ShardTimeoutError` (transient — the serial worker
+plus the op-key table make the retry safe); a dead worker raises
+:class:`~repro.errors.ShardConnectionError` (fatal).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import threading
+import time
+from typing import Any, Iterator
+
+from .. import errors as _errors
+from .. import telemetry
+from ..datagen.update_stream import UpdateOperation
+from ..errors import (
+    DuplicateError,
+    FatalSUTError,
+    NotFoundError,
+    ShardConnectionError,
+    ShardError,
+    ShardTimeoutError,
+    TransientError,
+)
+from ..queries.updates import executor_for
+from ..store.graph import Direction
+from .routing import (
+    ShardWrites,
+    is_static,
+    owner_of,
+    partition_bulk,
+    partition_writes,
+)
+from .worker import ShardFaultPlan, shard_worker_main
+
+#: Mutation-canary hook (see :mod:`repro.validation.canary`): when set
+#: to a shard index, scatter-gather reads silently drop that shard's
+#: partial results — a seeded routing bug the validation harness must
+#: catch via golden reads / checkpoint digests.
+_canary_drop_shard: int | None = None
+
+
+def default_start_method() -> str:
+    """``fork`` when the platform offers it (worker startup is ~free),
+    else ``spawn``.  The worker code itself is spawn-safe either way —
+    CI and the test suite exercise ``spawn`` explicitly."""
+    return "fork" if "fork" in multiprocessing.get_all_start_methods() \
+        else "spawn"
+
+
+def stable_update_key(operation: UpdateOperation) -> str:
+    """Deterministic identity of one update across driver retries.
+
+    Mirrors the wire client's stable op key: derived from the
+    operation's own fields (kind, due time, frozen payload repr), never
+    from object identity, so a retried attempt hashes identically and
+    the workers' applied-tables can deduplicate it.
+    """
+    body = (f"{operation.kind.value}:{operation.due_time}:"
+            f"{operation.payload!r}")
+    return hashlib.sha1(body.encode()).hexdigest()
+
+
+def _decode_error(payload: tuple[str, str, bool]) -> BaseException:
+    """Re-raise a worker error surrogate as its taxonomy class."""
+    name, message, transient = payload
+    cls = getattr(_errors, name, None)
+    if isinstance(cls, type) and issubclass(cls, BaseException):
+        return cls(message)
+    if name == "InjectedWorkerAbortError":
+        from .worker import InjectedWorkerAbortError
+        return InjectedWorkerAbortError(message)
+    if transient:
+        return TransientError(f"shard worker {name}: {message}")
+    return FatalSUTError(f"shard worker {name}: {message}")
+
+
+class ShardHandle:
+    """Router-side endpoint of one worker: pipe + lock + sequencing.
+
+    One outstanding request per shard (the lock); the worker answers in
+    request order, so a timed-out sequence number is remembered and its
+    late response drained before any later reply is interpreted.
+    """
+
+    def __init__(self, index: int, process, conn) -> None:
+        self.index = index
+        self.process = process
+        self.conn = conn
+        self.lock = threading.Lock()
+        self._seq = 0
+        self._stale: set[int] = set()
+        self.timeouts = 0
+
+    def call(self, method: str, args: tuple, timeout: float):
+        with self.lock:
+            self._seq += 1
+            seq = self._seq
+            try:
+                self.conn.send((seq, method, args))
+            except (BrokenPipeError, OSError) as exc:
+                raise ShardConnectionError(
+                    f"shard {self.index} pipe closed on send") from exc
+            deadline = time.monotonic() + timeout
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self.conn.poll(remaining):
+                    self._stale.add(seq)
+                    self.timeouts += 1
+                    raise ShardTimeoutError(
+                        f"shard {self.index} did not answer {method} "
+                        f"within {timeout:.3f}s")
+                try:
+                    got_seq, status, payload = self.conn.recv()
+                except (EOFError, OSError) as exc:
+                    raise ShardConnectionError(
+                        f"shard {self.index} worker died "
+                        f"(pid {self.process.pid})") from exc
+                if got_seq != seq:
+                    # A late answer to an abandoned (timed-out) request;
+                    # the worker is serial, so these always precede ours.
+                    self._stale.discard(got_seq)
+                    continue
+                if status == "ok":
+                    return payload
+                raise _decode_error(payload)
+
+
+class ShardRouter:
+    """Process/pipe management plus the read and commit protocols."""
+
+    def __init__(self, handles: list[ShardHandle],
+                 request_timeout: float = 30.0) -> None:
+        self.handles = handles
+        self.num_shards = len(handles)
+        self.request_timeout = request_timeout
+        #: Router-held commit epoch: all update commits serialize here,
+        #: which is what makes the two-phase window (prepare on some
+        #: shards, not yet committed on others) invisible to every
+        #: other writer.
+        self._commit_lock = threading.Lock()
+        self._epoch = 0
+        self._closed = False
+        self._updates = 0
+        self._multi_shard_updates = 0
+        self._gather_pool = None
+        self._pool_lock = threading.Lock()
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def spawn(cls, network, num_shards: int, *,
+              faults: ShardFaultPlan | None = None,
+              request_timeout: float = 30.0,
+              start_method: str | None = None) -> "ShardRouter":
+        """Partition a bulk network and spawn one worker per shard."""
+        if num_shards < 1:
+            raise ShardError(f"num_shards must be >= 1, got {num_shards}")
+        context = multiprocessing.get_context(
+            start_method or default_start_method())
+        faults = faults or ShardFaultPlan()
+        loads = partition_bulk(network, num_shards)
+        handles: list[ShardHandle] = []
+        try:
+            for load in loads:
+                parent_conn, child_conn = context.Pipe(duplex=True)
+                process = context.Process(
+                    target=shard_worker_main,
+                    args=(child_conn, load, faults),
+                    name=f"repro-shard-{load.shard_index}",
+                    daemon=True)
+                process.start()
+                child_conn.close()
+                handles.append(ShardHandle(load.shard_index, process,
+                                           parent_conn))
+            router = cls(handles, request_timeout=request_timeout)
+            # Liveness probe: a worker that failed to import/load must
+            # surface here, not as a hang on the first real operation.
+            for handle in handles:
+                handle.call("ping", (), timeout=max(request_timeout, 30.0))
+            return router
+        except BaseException:
+            for handle in handles:
+                if handle.process.is_alive():
+                    handle.process.terminate()
+            raise
+
+    # -- plumbing ----------------------------------------------------------
+
+    def call(self, shard: int, method: str, *args):
+        """One RPC to one shard."""
+        return self.handles[shard].call(method, args, self.request_timeout)
+
+    def _pool(self):
+        with self._pool_lock:
+            if self._gather_pool is None:
+                from concurrent.futures import ThreadPoolExecutor
+                self._gather_pool = ThreadPoolExecutor(
+                    max_workers=max(4, 2 * self.num_shards),
+                    thread_name_prefix="shard-gather")
+            return self._gather_pool
+
+    @property
+    def _control_timeout(self) -> float:
+        """Floor for control-plane RPCs (snapshot, stats, shutdown).
+
+        Chaos soaks shrink ``request_timeout`` far below a full-shard
+        snapshot's cost to force data-plane timeouts; the control plane
+        must not inherit that.
+        """
+        return max(self.request_timeout, 30.0)
+
+    def gather(self, method: str, *args, timeout: float | None = None,
+               ) -> list:
+        """The same RPC on every shard; per-shard results in index order.
+
+        Fans out on threads (each blocks in ``poll``/``recv`` with the
+        GIL released) so worker-side partial aggregation genuinely runs
+        in parallel.
+        """
+        timeout = self.request_timeout if timeout is None else timeout
+        targets = [h for h in self.handles
+                   if h.index != _canary_drop_shard]
+        if len(targets) == 1:
+            return [targets[0].call(method, args, timeout)]
+        futures = [self._pool().submit(h.call, method, args, timeout)
+                   for h in targets]
+        return [future.result() for future in futures]
+
+    def call_many(self, per_shard: dict[int, tuple]) -> dict[int, Any]:
+        """Different arguments per shard, one fan-out; shard → result."""
+        items = [(shard, args) for shard, args in per_shard.items()
+                 if shard != _canary_drop_shard]
+        if len(items) == 1:
+            shard, (method, *args) = items[0]
+            return {shard: self.call(shard, method, *args)}
+        futures = {
+            shard: self._pool().submit(
+                self.handles[shard].call, args[0], tuple(args[1:]),
+                self.request_timeout)
+            for shard, args in items}
+        return {shard: future.result()
+                for shard, future in futures.items()}
+
+    # -- reads -------------------------------------------------------------
+
+    def transaction(self) -> "ShardedTransaction":
+        return ShardedTransaction(self)
+
+    # -- updates -----------------------------------------------------------
+
+    def execute_update(self, operation: UpdateOperation) -> None:
+        """Route one SNB update through the sharded commit protocol."""
+        from ..driver.resilience import raise_if_abandoned
+
+        raise_if_abandoned()
+        executor = executor_for(operation.kind)
+        recorder = _WriteRecorder()
+        executor(recorder, operation.payload)
+        per_shard = partition_writes(recorder.new_vertices,
+                                     recorder.new_edges, self.num_shards)
+        involved = sorted(shard for shard, writes in per_shard.items()
+                          if writes)
+        if not involved:
+            return
+        op_key = stable_update_key(operation)
+        with self._commit_lock:
+            self._epoch += 1
+            self._updates += 1
+            if len(involved) == 1:
+                shard = involved[0]
+                writes = per_shard[shard]
+                self.call(shard, "apply", op_key, writes.vertices,
+                          writes.halves)
+                return
+            self._multi_shard_updates += 1
+            self._two_phase(op_key, involved, per_shard)
+
+    def _two_phase(self, op_key: str, involved: list[int],
+                   per_shard: dict[int, ShardWrites]) -> None:
+        """Prepare everywhere, then commit everywhere.
+
+        A prepare failure (duplicate, injected abort, timeout) aborts
+        the already-staged shards and re-raises; since nothing was
+        applied, the retry starts clean.  Commits cannot fail
+        semantically (validation happened at prepare and the epoch lock
+        excludes other writers); a commit *timeout* still applies
+        worker-side, and the retry's prepares then land in the
+        applied-table and replay as successes.
+        """
+        prepared: list[int] = []
+        try:
+            for shard in involved:
+                writes = per_shard[shard]
+                self.call(shard, "prepare", op_key, writes.vertices,
+                          writes.halves)
+                prepared.append(shard)
+        except BaseException:
+            for shard in prepared:
+                try:
+                    self.call(shard, "abort", op_key)
+                except ShardError:
+                    pass
+            raise
+        for shard in involved:
+            self.call(shard, "commit", op_key)
+
+    # -- snapshot / digest -------------------------------------------------
+
+    def snapshot(self) -> dict[str, list[dict]]:
+        """Canonical whole-graph snapshot, merged across shards."""
+        from ..validation.canonical import canonical_json
+
+        parts = self.gather("snapshot", timeout=self._control_timeout)
+        merged: dict[str, list[dict]] = {}
+        for section in parts[0]:
+            rows: list[dict] = []
+            for part in parts:
+                rows.extend(part[section])
+            merged[section] = sorted(rows, key=canonical_json)
+        return merged
+
+    def digest(self) -> str:
+        from ..validation.snapshot import snapshot_digest
+
+        return snapshot_digest(self.snapshot())
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Router counters plus each worker's own counters."""
+        shards = []
+        for handle in self.handles:
+            try:
+                worker = handle.call("stats", (), self._control_timeout)
+            except ShardError:
+                worker = {"shard": handle.index, "dead": True}
+            worker["router_timeouts"] = handle.timeouts
+            shards.append(worker)
+        return {
+            "num_shards": self.num_shards,
+            "updates": self._updates,
+            "multi_shard_updates": self._multi_shard_updates,
+            "epoch": self._epoch,
+            "shards": shards,
+        }
+
+    def close(self) -> None:
+        """Drain spans, stop workers; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        clock_offset = time.perf_counter() - time.time()
+        for handle in self.handles:
+            try:
+                if telemetry.active:
+                    spans = handle.call("drain_spans", (),
+                                        min(self._control_timeout, 5.0))
+                    pid = handle.process.pid
+                    for name, wall_start, wall_end, attrs in spans:
+                        telemetry.add_span(
+                            name, wall_start + clock_offset,
+                            wall_end + clock_offset, thread_id=pid,
+                            thread_name=f"shard-{handle.index}-{pid}",
+                            **attrs)
+                handle.call("shutdown", (),
+                            min(self._control_timeout, 5.0))
+            except ShardError:
+                pass
+            handle.process.join(timeout=5.0)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=2.0)
+            handle.conn.close()
+        if self._gather_pool is not None:
+            self._gather_pool.shutdown(wait=False)
+
+
+class _WriteRecorder:
+    """Write-API stand-in for a Transaction while building a write-set.
+
+    The SNB-Interactive update workload is insert-only, so only the
+    insert methods are implemented; the recorded shapes are exactly a
+    Transaction's ``new_vertices``/``new_edges``.
+    """
+
+    def __init__(self) -> None:
+        self.new_vertices: dict[tuple[str, int], dict] = {}
+        self.new_edges: list[tuple[str, int, int, dict | None]] = []
+
+    def insert_vertex(self, label: str, vid: int, props: dict) -> None:
+        key = (label, vid)
+        if key in self.new_vertices:
+            raise DuplicateError(f"{label}:{vid} inserted twice in txn")
+        self.new_vertices[key] = props
+
+    def insert_edge(self, label: str, src: int, dst: int,
+                    props: dict | None = None) -> None:
+        self.new_edges.append((label, src, dst, props))
+
+    def insert_undirected_edge(self, label: str, a: int, b: int,
+                               props: dict | None = None) -> None:
+        self.insert_edge(label, a, b, props)
+        self.insert_edge(label, b, a, props)
+
+    def update_vertex(self, label: str, vid: int, **changes) -> None:
+        raise ShardError(
+            "the sharded store routes insert-only SNB updates; "
+            f"in-place update of {label}:{vid} is not supported")
+
+
+class ShardedTransaction:
+    """Read-only Transaction facade over the router.
+
+    Implements every read primitive of
+    :class:`repro.store.graph.Transaction`, so the whole query registry
+    runs unmodified.  Each primitive reads at the owning workers'
+    current committed snapshots; under the sequential validation modes
+    (crosscheck, differential, golden) that is exactly the single-store
+    semantics.  Writes go through :meth:`ShardRouter.execute_update`,
+    never through this facade.
+    """
+
+    def __init__(self, router: ShardRouter) -> None:
+        self.router = router
+
+    # Context-manager protocol so ``with sut.router.transaction()``
+    # reads exactly like the single-store code path.
+    def __enter__(self) -> "ShardedTransaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    # -- point reads -------------------------------------------------------
+
+    def _owner(self, vid: int) -> int:
+        return owner_of(vid, self.router.num_shards)
+
+    def vertex(self, label: str, vid: int) -> dict | None:
+        return self.router.call(self._owner(vid), "vertex", label, vid)
+
+    def require_vertex(self, label: str, vid: int) -> dict:
+        props = self.vertex(label, vid)
+        if props is None:
+            raise NotFoundError(f"{label}:{vid} not visible")
+        return props
+
+    def vertex_exists(self, label: str, vid: int) -> bool:
+        return self.vertex(label, vid) is not None
+
+    def neighbors(self, edge_label: str, vid: int,
+                  direction: Direction = Direction.OUT,
+                  ) -> list[tuple[int, dict | None]]:
+        if not is_static(vid):
+            return self.router.call(self._owner(vid), "neighbors",
+                                    edge_label, vid, direction)
+        # Static anchor: its halves follow the non-static endpoints,
+        # which may live anywhere — scatter-gather and concatenate.
+        merged: list[tuple[int, dict | None]] = []
+        for part in self.router.gather("neighbors", edge_label, vid,
+                                       direction):
+            merged.extend(part)
+        return merged
+
+    def degree(self, edge_label: str, vid: int,
+               direction: Direction = Direction.OUT) -> int:
+        return len(self.neighbors(edge_label, vid, direction))
+
+    # -- batched 2-hop primitives (per-shard partial aggregation) ---------
+
+    def vertex_many(self, label: str, vids) -> dict[int, dict]:
+        per_shard: dict[int, list[int]] = {}
+        for vid in vids:
+            per_shard.setdefault(self._owner(vid), []).append(vid)
+        if not per_shard:
+            return {}
+        results = self.router.call_many({
+            shard: ("vertex_many", label, group)
+            for shard, group in per_shard.items()})
+        merged: dict[int, dict] = {}
+        for part in results.values():
+            merged.update(part)
+        return merged
+
+    def neighbors_many(self, edge_label: str, vids,
+                       direction: Direction = Direction.OUT,
+                       ) -> dict[int, list[tuple[int, dict | None]]]:
+        """One scatter per involved shard; workers aggregate their
+        owned slice of the batch locally and the router merges the
+        partial adjacency maps — the Q5 / ``friends_within`` path."""
+        static: list[int] = []
+        per_shard: dict[int, list[int]] = {}
+        for vid in vids:
+            if is_static(vid):
+                static.append(vid)
+            else:
+                per_shard.setdefault(self._owner(vid), []).append(vid)
+        merged: dict[int, list[tuple[int, dict | None]]] = {}
+        if per_shard:
+            results = self.router.call_many({
+                shard: ("neighbors_many", edge_label, group, direction)
+                for shard, group in per_shard.items()})
+            for part in results.values():
+                merged.update(part)
+        for vid in static:
+            merged[vid] = self.neighbors(edge_label, vid, direction)
+        return merged
+
+    # -- scans -------------------------------------------------------------
+
+    def lookup(self, vertex_label: str, prop: str, value) -> list[int]:
+        found: list[int] = []
+        for part in self.router.gather("lookup", vertex_label, prop,
+                                       value):
+            found.extend(part)
+        return found
+
+    def scan_range(self, vertex_label: str, prop: str, low=None,
+                   high=None, *, reverse: bool = False,
+                   ) -> Iterator[tuple[Any, int]]:
+        import heapq
+
+        parts = self.router.gather("scan_range", vertex_label, prop,
+                                   low, high, reverse)
+        # Each shard's index yields (key, vid) already key-ordered;
+        # a k-way merge on the key keeps the global key order (ties
+        # resolve in shard order, which every consumer re-sorts past).
+        yield from heapq.merge(
+            *parts, key=lambda pair: pair[0], reverse=reverse)
+
+    def vertices(self, label: str) -> Iterator[tuple[int, dict]]:
+        for part in self.router.gather("vertices", label):
+            yield from part
+
+    def edges(self, edge_label: str,
+              ) -> Iterator[tuple[int, int, dict | None]]:
+        for part in self.router.gather("edges", edge_label):
+            yield from part
+
+    def count_vertices(self, label: str) -> int:
+        return sum(self.router.gather("count_vertices", label))

@@ -1,0 +1,257 @@
+"""The shard worker process: one store partition behind a pipe.
+
+Spawn-safety follows the :mod:`repro.datagen.parallel` idiom: the
+worker entry point and everything it touches are module-level, and the
+whole configuration (the shard's pre-partitioned bulk slice, the fault
+plan) arrives as picklable process arguments — nothing is inherited
+from parent interpreter state, so ``spawn``, ``fork`` and
+``forkserver`` all work.
+
+The worker is deliberately *serial*: it owns a local
+:class:`~repro.store.graph.GraphStore` holding only the vertices and
+adjacency halves routed to it, and answers requests from its pipe one
+at a time.  Serial execution is what makes the router's retry story
+airtight — responses come back in request order, so a timed-out
+request's late response is always drained before the retry's, and the
+``op_key`` applied-table makes every retried write idempotent
+(exactly-once application, same contract as the wire server's dedup).
+
+Chaos hooks: a :class:`ShardFaultPlan` injects deterministic,
+seeded *worker aborts* (a transient raise before any state change) and
+*response delays* (the worker applies, then stalls past the router's
+budget — the retry must be absorbed by the applied-table, never
+double-applied).  Each fault fires at most once per op key, so a
+perturbed run converges to the fault-free digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from ..errors import TransientError
+from ..store.graph import GraphStore
+from .routing import ShardLoad, load_shard
+
+#: Worker-side span buffer bound — enough for the soak sizes the tests
+#: run, without letting a long benchmark grow worker memory unbounded.
+_SPAN_BUFFER = 4096
+
+
+class InjectedWorkerAbortError(TransientError):
+    """A seeded worker-side abort (chaos); clears on retry."""
+
+
+@dataclass(frozen=True)
+class ShardFaultPlan:
+    """Deterministic worker-side fault schedule (picklable).
+
+    Rates are per *write* op key; draws are seeded hashes of
+    ``(seed, op_key)`` so runs are reproducible and both faults can be
+    made to hit the same operation.  ``delay_seconds`` must exceed the
+    router's request timeout for the delay to surface as a
+    :class:`~repro.errors.ShardTimeoutError` retry.
+    """
+
+    abort_rate: float = 0.0
+    delay_rate: float = 0.0
+    delay_seconds: float = 0.0
+    seed: int = 0
+
+    def _draw(self, salt: str, op_key: str) -> float:
+        digest = hashlib.sha256(
+            f"{self.seed}:{salt}:{op_key}".encode()).digest()
+        return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+    def should_abort(self, op_key: str) -> bool:
+        return self.abort_rate > 0.0 and \
+            self._draw("abort", op_key) < self.abort_rate
+
+    def should_delay(self, op_key: str) -> bool:
+        return self.delay_rate > 0.0 and \
+            self._draw("delay", op_key) < self.delay_rate
+
+
+def _encode_error(exc: BaseException) -> tuple[str, str, bool]:
+    """(type name, message, transient?) — picklable error surrogate."""
+    return (type(exc).__name__, str(exc),
+            isinstance(exc, (TransientError, TimeoutError,
+                             ConnectionError)))
+
+
+class _WorkerState:
+    """Everything one worker process owns."""
+
+    def __init__(self, load: ShardLoad, faults: ShardFaultPlan) -> None:
+        self.shard_index = load.shard_index
+        self.store: GraphStore = load_shard(load)
+        self.faults = faults
+        #: op key → True once its write-set is fully applied.  Replays
+        #: (driver retries after an injected abort or a router timeout)
+        #: return success without touching the store again.
+        self.applied: dict[str, bool] = {}
+        #: op key → (vertices, halves) staged by a 2PC prepare.
+        self.staged: dict[str, tuple[list, list]] = {}
+        self.spans: deque = deque(maxlen=_SPAN_BUFFER)
+        self.requests = 0
+        self.replayed = 0
+        self.fault_counts = {"abort": 0, "delay": 0}
+        self._fault_spent: set[tuple[str, str]] = set()
+
+    # -- chaos ------------------------------------------------------------
+
+    def _maybe_fault(self, op_key: str) -> None:
+        """Fire each seeded fault at most once per op key."""
+        if self.faults.should_delay(op_key) and \
+                ("delay", op_key) not in self._fault_spent:
+            self._fault_spent.add(("delay", op_key))
+            self.fault_counts["delay"] += 1
+            time.sleep(self.faults.delay_seconds)
+        if self.faults.should_abort(op_key) and \
+                ("abort", op_key) not in self._fault_spent:
+            self._fault_spent.add(("abort", op_key))
+            self.fault_counts["abort"] += 1
+            raise InjectedWorkerAbortError(
+                f"injected worker abort on shard {self.shard_index} "
+                f"for {op_key[:12]}")
+
+    # -- write path -------------------------------------------------------
+
+    def apply(self, op_key: str, vertices: list, halves: list) -> str:
+        """Single-shard commit: validate + apply atomically."""
+        if op_key in self.applied:
+            self.replayed += 1
+            return "replayed"
+        self._maybe_fault(op_key)
+        self.store.apply_shard_writes(vertices, halves)
+        self.applied[op_key] = True
+        return "applied"
+
+    def prepare(self, op_key: str, vertices: list, halves: list) -> str:
+        """2PC phase 1: validate and stage; nothing becomes visible."""
+        if op_key in self.applied:
+            self.replayed += 1
+            return "already-applied"
+        self._maybe_fault(op_key)
+        self.store.validate_shard_writes(vertices)
+        self.staged[op_key] = (vertices, halves)
+        return "prepared"
+
+    def commit(self, op_key: str) -> str:
+        """2PC phase 2: apply the staged slice."""
+        if op_key in self.applied:
+            self.staged.pop(op_key, None)
+            self.replayed += 1
+            return "replayed"
+        vertices, halves = self.staged.pop(op_key)
+        self.store.apply_shard_writes(vertices, halves)
+        self.applied[op_key] = True
+        return "committed"
+
+    def abort(self, op_key: str) -> str:
+        self.staged.pop(op_key, None)
+        return "aborted"
+
+    # -- read path --------------------------------------------------------
+
+    def dispatch(self, method: str, args: tuple):
+        self.requests += 1
+        if method == "apply":
+            return self.apply(*args)
+        if method == "prepare":
+            return self.prepare(*args)
+        if method == "commit":
+            return self.commit(*args)
+        if method == "abort":
+            return self.abort(*args)
+        if method == "snapshot":
+            from ..validation.snapshot import snapshot_store
+            return snapshot_store(self.store)
+        if method == "busy":
+            # CPU-bound spin for the scale-up benchmark: the work runs
+            # on this process's own GIL, which is the whole point.
+            deadline = time.perf_counter() + args[0]
+            while time.perf_counter() < deadline:
+                pass
+            return None
+        if method == "drain_spans":
+            drained = list(self.spans)
+            self.spans.clear()
+            return drained
+        if method == "stats":
+            return {
+                "pid": os.getpid(),
+                "shard": self.shard_index,
+                "requests": self.requests,
+                "commits": self.store.commit_count,
+                "applied": len(self.applied),
+                "replayed": self.replayed,
+                "staged": len(self.staged),
+                "faults": dict(self.fault_counts),
+            }
+        if method == "ping":
+            return os.getpid()
+        return self._read(method, args)
+
+    def _read(self, method: str, args: tuple):
+        with self.store.transaction() as txn:
+            if method == "vertex":
+                return txn.vertex(*args)
+            if method == "vertex_many":
+                return txn.vertex_many(*args)
+            if method == "neighbors":
+                return list(txn.neighbors(*args))
+            if method == "neighbors_many":
+                return txn.neighbors_many(*args)
+            if method == "lookup":
+                return txn.lookup(*args)
+            if method == "scan_range":
+                label, prop, low, high, reverse = args
+                return list(txn.scan_range(label, prop, low, high,
+                                           reverse=reverse))
+            if method == "vertices":
+                return list(txn.vertices(*args))
+            if method == "edges":
+                return list(txn.edges(*args))
+            if method == "count_vertices":
+                return txn.count_vertices(*args)
+        raise ValueError(f"unknown shard RPC {method!r}")
+
+
+def shard_worker_main(conn, load: ShardLoad,
+                      faults: ShardFaultPlan) -> None:
+    """Process entry point: serve requests until ``shutdown``.
+
+    Every request is answered — errors travel back as picklable
+    ``(type name, message, transient?)`` surrogates the router re-raises
+    onto the taxonomy — and per-request wall-clock spans are buffered
+    for the router to stitch onto per-shard telemetry tracks.
+    """
+    state = _WorkerState(load, faults)
+    track = f"shard-{load.shard_index}"
+    while True:
+        try:
+            seq, method, args = conn.recv()
+        except (EOFError, OSError):
+            break
+        if method == "shutdown":
+            conn.send((seq, "ok", None))
+            break
+        started = time.time()
+        try:
+            payload = state.dispatch(method, args)
+        except BaseException as exc:
+            status, payload = "err", _encode_error(exc)
+        else:
+            status = "ok"
+        state.spans.append((f"{track}.{method}", started, time.time(),
+                            {"shard": load.shard_index, "ok":
+                             status == "ok"}))
+        try:
+            conn.send((seq, status, payload))
+        except (BrokenPipeError, OSError):
+            break
+    conn.close()

@@ -265,6 +265,73 @@ class GraphStore:
         if self._last_committed < 1:
             self._last_committed = 1
 
+    def bulk_insert_edge_halves(self, label: str,
+                                halves: list[tuple[str, int, int,
+                                                   dict | None]]) -> None:
+        """Load directed adjacency *halves* at timestamp 1.
+
+        A shard worker stores only the halves anchored at vertices it
+        owns: each row is ``(direction value, anchor, other, props)``
+        and lands in exactly one adjacency table — unlike
+        :meth:`bulk_insert_edges`, which writes both the OUT and the IN
+        record of every edge.
+        """
+        for dir_value, anchor, other, props in halves:
+            self._adjacency(label, Direction(dir_value)).setdefault(
+                anchor, []).append(_EdgeRecord(other, props, 1))
+        if self.adjacency_cache is not None:
+            self.adjacency_cache.clear()
+        if self._last_committed < 1:
+            self._last_committed = 1
+
+    # -- shard-worker apply path ------------------------------------------
+
+    def apply_shard_writes(self, new_vertices: list[tuple[str, int, dict]],
+                           edge_halves: list[tuple[str, str, int, int,
+                                                   dict | None]]) -> int:
+        """Apply one routed write-set atomically; returns the commit ts.
+
+        This is the worker half of the sharded commit: the router has
+        already run the update's insert logic and partitioned the
+        resulting write-set, so this shard receives plain vertex rows
+        ``(label, vid, props)`` plus adjacency halves
+        ``(label, direction value, anchor, other, props)`` — only the
+        halves anchored at vertices this shard owns.  Validation mirrors
+        :meth:`_apply_commit_locked` for inserts (the SNB-Interactive
+        update workload is insert-only): a vertex already visible
+        raises :class:`~repro.errors.DuplicateError` and nothing is
+        applied.
+        """
+        with self._commit_lock:
+            self.validate_shard_writes(new_vertices)
+            ts = self._last_committed + 1
+            for label, vid, props in new_vertices:
+                table = self._vertex_table(label)
+                record = table.get(vid)
+                if record is None:
+                    record = table[vid] = _VertexRecord()
+                record.versions.append((ts, props))
+                self._index_vertex(label, vid, props, ts)
+            for label, dir_value, anchor, other, props in edge_halves:
+                self._adjacency(label, Direction(dir_value)).setdefault(
+                    anchor, []).append(_EdgeRecord(other, props, ts))
+            if self.adjacency_cache is not None and edge_halves:
+                self.adjacency_cache.invalidate(
+                    (label, anchor, Direction(dir_value))
+                    for label, dir_value, anchor, __, ___ in edge_halves)
+            self._last_committed = ts
+            self._commits += 1
+            return ts
+
+    def validate_shard_writes(self, new_vertices: list[tuple[str, int, dict]],
+                              ) -> None:
+        """First-committer-wins check for a routed write-set (prepare)."""
+        for label, vid, __ in new_vertices:
+            record = self._vertex_table(label).get(vid)
+            if record is not None and record.visible(
+                    self._last_committed) is not None:
+                raise DuplicateError(f"{label}:{vid} already exists")
+
 
 class Transaction:
     """A unit of work against the store; use as a context manager.
@@ -387,6 +454,20 @@ class Transaction:
     def vertex_exists(self, label: str, vid: int) -> bool:
         return self.vertex(label, vid) is not None
 
+    def vertex_many(self, label: str, vids: Iterable[int],
+                    ) -> dict[int, dict[str, Any]]:
+        """Batched :meth:`vertex`: vid → props for the *visible* subset.
+
+        One round trip on the sharded store (each shard resolves its
+        owned slice of the batch); a plain loop here.
+        """
+        result: dict[int, dict[str, Any]] = {}
+        for vid in vids:
+            props = self.vertex(label, vid)
+            if props is not None:
+                result[vid] = props
+        return result
+
     def neighbors(self, edge_label: str, vid: int,
                   direction: Direction = Direction.OUT,
                   ) -> Iterable[tuple[int, dict[str, Any] | None]]:
@@ -438,6 +519,19 @@ class Transaction:
                 yield dst, props
             elif direction is Direction.IN and dst == vid:
                 yield src, props
+
+    def neighbors_many(self, edge_label: str, vids: Iterable[int],
+                       direction: Direction = Direction.OUT,
+                       ) -> dict[int, list[tuple[int, dict | None]]]:
+        """Batched :meth:`neighbors`: vid → materialized pair list.
+
+        The 2-hop traversals (``friends_within``, Q5's membership and
+        container scans) go through this so the sharded store can
+        scatter one request per shard and aggregate partial adjacency
+        maps instead of paying one round trip per vertex.
+        """
+        return {vid: list(self.neighbors(edge_label, vid, direction))
+                for vid in vids}
 
     def degree(self, edge_label: str, vid: int,
                direction: Direction = Direction.OUT) -> int:

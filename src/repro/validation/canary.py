@@ -67,5 +67,18 @@ def canary_bug(sut: str = "engine"):
         finally:
             COMPLEX_QUERIES[2] = saved_q2
             SHORT_QUERIES[4] = saved_s4
+    elif sut == "sharded":
+        # Shard-router mutation: drop shard 0 from every scatter-gather,
+        # simulating a routing bug that silently loses a partition.
+        # Golden reads see missing rows and checkpoint digests diverge,
+        # so ``validate --check --sut sharded --canary`` must FAIL.
+        from ..shard import router as shard_router
+
+        saved_drop = shard_router._canary_drop_shard
+        shard_router._canary_drop_shard = 0
+        try:
+            yield
+        finally:
+            shard_router._canary_drop_shard = saved_drop
     else:
         raise BenchmarkError(f"unknown canary target {sut!r}")

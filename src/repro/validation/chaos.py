@@ -57,6 +57,9 @@ def _make_sut(split: SplitDataset, sut_name: str):
 
 
 def _digest_of(sut, sut_name: str) -> str:
+    digest = getattr(sut, "digest", None)
+    if callable(digest):
+        return digest()
     snap = snapshot_store(sut.store) if sut_name == "store" \
         else snapshot_catalog(sut.catalog)
     return snapshot_digest(snap)
@@ -83,13 +86,16 @@ class ChaosReport:
     injected: dict[str, int] = field(default_factory=dict)
     #: Store-level write conflicts injected (store SUT only).
     injected_conflicts: int = 0
+    #: Worker-side shard faults that fired (sharded runs only).
+    injected_shard_faults: dict[str, int] = field(default_factory=dict)
     driver: DriverReport | None = None
     #: Set when the perturbed run raised instead of completing.
     failure: str | None = None
 
     @property
     def injected_total(self) -> int:
-        return sum(self.injected.values()) + self.injected_conflicts
+        return (sum(self.injected.values()) + self.injected_conflicts
+                + sum(self.injected_shard_faults.values()))
 
     @property
     def digests_match(self) -> bool:
@@ -112,7 +118,10 @@ def run_chaos(split: SplitDataset, sut_name: str, plan: FaultPlan,
               window_millis: int | None = None,
               conflict_rate: float = 0.0,
               dependency_wait_timeout: float = 60.0,
-              remote: str | None = None) -> ChaosReport:
+              remote: str | None = None,
+              shards: int = 0,
+              shard_faults=None,
+              shard_timeout: float = 30.0) -> ChaosReport:
     """Drive the update stream under faults; compare final digests.
 
     The fault-injecting connector wraps a unified-API adapter over the
@@ -128,6 +137,13 @@ def run_chaos(split: SplitDataset, sut_name: str, plan: FaultPlan,
     fetched from the server's admin endpoint — so the soak proves the
     whole remote stack (codec, pipelining, retry mapping, server-side
     dedup) converges to the same bytes.
+
+    ``shards`` > 0 swaps the in-process store for the multi-process
+    sharded store (``shard_faults`` optionally arms worker-side aborts
+    and delays, ``shard_timeout`` bounds each router RPC) — the clean
+    reference digest stays single-process, so the soak simultaneously
+    proves exactly-once commit under faults *and* shard-placement
+    digest invariance.
     """
     clean = clean_run_digest(split, sut_name)
 
@@ -136,9 +152,29 @@ def run_chaos(split: SplitDataset, sut_name: str, plan: FaultPlan,
             raise BenchmarkError(
                 "store-level conflict injection is in-process only; "
                 "run the server with its own conflict settings instead")
+        if shards > 0:
+            raise BenchmarkError(
+                "--shards spawns the sharded SUT in-process; start the "
+                "server with --shards instead of combining it with "
+                "--remote")
         from ..net.client import RemoteConnector
 
         sut = RemoteConnector.parse(remote)
+    elif shards > 0:
+        if sut_name != "store":
+            raise BenchmarkError(
+                "the sharded SUT partitions the graph store; use "
+                "--sut store with --shards")
+        if conflict_rate > 0.0:
+            raise BenchmarkError(
+                "store-level conflict injection is in-process only; "
+                "use --shard-abort-rate/--shard-delay-rate to fault "
+                "the workers instead")
+        from ..shard import ShardedStoreSUT
+
+        sut = ShardedStoreSUT.for_network(
+            split.bulk, shards, faults=shard_faults,
+            request_timeout=shard_timeout)
     else:
         sut = _make_sut(split, sut_name)
     inner = SUTConnector(sut, serialize=(remote is None
@@ -170,10 +206,18 @@ def run_chaos(split: SplitDataset, sut_name: str, plan: FaultPlan,
     if conflicts is not None:
         report.injected_conflicts = conflicts.injected
         sut.store.fault_injector = None  # quiesce for the snapshot read
+    if shards > 0 and shard_faults is not None:
+        stats = sut.stats()
+        fired: dict[str, int] = {}
+        for worker in stats.get("shards", []):
+            for kind, count in worker.get("faults", {}).items():
+                if count:
+                    fired[kind] = fired.get(kind, 0) + count
+        report.injected_shard_faults = fired
     if report.failure is None:
         report.chaos_digest = sut.digest() if remote is not None \
             else _digest_of(sut, sut_name)
-    if remote is not None:
+    if remote is not None or shards > 0:
         sut.close()
     return report
 
@@ -210,6 +254,11 @@ def render_chaos(report: ChaosReport) -> str:
     lines.append(f"  injected faults: {injected}"
                  + (f", store conflicts={report.injected_conflicts}"
                     if report.injected_conflicts else ""))
+    if report.injected_shard_faults:
+        shard_faults = ", ".join(
+            f"{kind}={count}" for kind, count
+            in sorted(report.injected_shard_faults.items()))
+        lines.append(f"  shard worker faults: {shard_faults}")
     if report.failure is not None:
         lines.append(f"  run FAILED: {report.failure}")
     elif report.driver is not None:

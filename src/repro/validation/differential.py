@@ -24,12 +24,7 @@ from ..datagen.update_stream import SplitDataset
 from ..workload.operations import EntityRef
 from .canonical import ResultDiff, comparable, diff_results
 from .replay import FailingCheck, ReplayBundle
-from .snapshot import (
-    SectionDiff,
-    diff_snapshots,
-    snapshot_catalog,
-    snapshot_store,
-)
+from .snapshot import SectionDiff, diff_snapshots
 
 #: Short reads taking a person ref / a message ref.
 _PERSON_SHORTS = (1, 2, 3)
@@ -144,19 +139,57 @@ def run_differential(split: SplitDataset, params: CuratedWorkloadParams,
                      batch_size: int = 100, reads_per_batch: int = 3,
                      shorts_per_batch: int = 4, snapshot_every: int = 4,
                      max_mismatches: int = 10,
+                     left_factory=None, right_factory=None,
                      ) -> tuple[DifferentialReport, ReplayBundle | None]:
-    """Replay the update stream on both SUTs with interleaved checks.
+    """Replay the update stream on two SUTs with interleaved checks.
 
     Returns the report plus a replay bundle for the *first* mismatch
     (``None`` on a clean run).  ``persons``/``seed`` are recorded in the
     bundle so it reproduces standalone; pass the datagen configuration
     that produced ``split``.
+
+    ``left_factory`` / ``right_factory`` build the two systems from the
+    bulk network (default: graph store vs relational engine).  Any pair
+    of unified-API SUTs works — the sharded-vs-single digest-invariance
+    oracle passes ``ShardedStoreSUT.for_network`` as one side — and
+    SUTs holding external resources are closed on the way out.
     """
-    from ..core.operation import ComplexRead, ShortRead, Update
     from ..core.sut import EngineSUT, StoreSUT
 
-    store = StoreSUT.for_network(split.bulk)
-    engine = EngineSUT.for_network(split.bulk)
+    left_factory = left_factory or StoreSUT.for_network
+    right_factory = right_factory or EngineSUT.for_network
+    left_sut = left_factory(split.bulk)
+    try:
+        right_sut = right_factory(split.bulk)
+    except BaseException:
+        _close_sut(left_sut)
+        raise
+    try:
+        return _run_differential(
+            split, params, left_sut, right_sut, persons=persons,
+            seed=seed, batch_size=batch_size,
+            reads_per_batch=reads_per_batch,
+            shorts_per_batch=shorts_per_batch,
+            snapshot_every=snapshot_every,
+            max_mismatches=max_mismatches)
+    finally:
+        _close_sut(left_sut)
+        _close_sut(right_sut)
+
+
+def _close_sut(sut) -> None:
+    close = getattr(sut, "close", None)
+    if callable(close):
+        close()
+
+
+def _run_differential(split, params, left_sut, right_sut, *,
+                      persons, seed, batch_size, reads_per_batch,
+                      shorts_per_batch, snapshot_every, max_mismatches,
+                      ) -> tuple[DifferentialReport, ReplayBundle | None]:
+    from ..core.operation import ComplexRead, ShortRead, Update
+    from .snapshot import sut_snapshot
+
     plan = build_plan(split, params, batch_size=batch_size,
                       reads_per_batch=reads_per_batch,
                       shorts_per_batch=shorts_per_batch,
@@ -184,14 +217,15 @@ def run_differential(split: SplitDataset, params: CuratedWorkloadParams,
             break
         if step.action == "update":
             op = Update(split.updates[step.index])
-            store.execute(op)
-            engine.execute(op)
+            left_sut.execute(op)
+            right_sut.execute(op)
             applied.append(step.index)
             report.updates_applied += 1
         elif step.action == "complex":
             op = ComplexRead(step.query_id, step.params)
-            left = comparable(step.query_id, store.execute(op).value)
-            right = comparable(step.query_id, engine.execute(op).value)
+            left = comparable(step.query_id, left_sut.execute(op).value)
+            right = comparable(step.query_id,
+                               right_sut.execute(op).value)
             report.reads_checked += 1
             if left != right:
                 record(step_no, f"Q{step.query_id}", step.params,
@@ -200,8 +234,9 @@ def run_differential(split: SplitDataset, params: CuratedWorkloadParams,
                        diff=diff_results(left, right))
         elif step.action == "short":
             op = ShortRead(step.query_id, step.entity)
-            left = comparable(step.query_id, store.execute(op).value)
-            right = comparable(step.query_id, engine.execute(op).value)
+            left = comparable(step.query_id, left_sut.execute(op).value)
+            right = comparable(step.query_id,
+                               right_sut.execute(op).value)
             report.reads_checked += 1
             if left != right:
                 record(step_no, f"S{step.query_id}", step.entity,
@@ -209,8 +244,8 @@ def run_differential(split: SplitDataset, params: CuratedWorkloadParams,
                                     entity=step.entity.as_json()),
                        diff=diff_results(left, right))
         else:
-            left_snap = snapshot_store(store.store)
-            right_snap = snapshot_catalog(engine.catalog)
+            left_snap = sut_snapshot(left_sut)
+            right_snap = sut_snapshot(right_sut)
             report.snapshots_checked += 1
             sections = diff_snapshots(left_snap, right_snap)
             if sections:

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, field
+from dataclasses import replace as dc_replace
 
 from ..curation.curator import ParameterCurator
 from ..datagen.config import DatagenConfig
@@ -34,7 +35,7 @@ from ..workload.operations import EntityRef
 from .canonical import ResultDiff, canonicalize, comparable, diff_results
 from .differential import build_plan
 from .replay import FailingCheck, ReplayBundle, ShrinkResult, shrink
-from .snapshot import snapshot_catalog, snapshot_digest, snapshot_store
+from .snapshot import snapshot_digest, snapshot_store, sut_snapshot
 
 GOLDEN_FORMAT = "snb-golden/1"
 
@@ -158,7 +159,7 @@ class GoldenCheckReport:
 def check_golden(path: str, sut_name: str = "store",
                  shrink_on_mismatch: bool = True,
                  max_mismatches: int = 5,
-                 jobs: int = 1) -> GoldenCheckReport:
+                 jobs: int = 1, shards: int = 2) -> GoldenCheckReport:
     """Replay a golden dataset against one SUT and diff expectations.
 
     The shrink pass replays candidates against the *recorded*
@@ -171,10 +172,14 @@ def check_golden(path: str, sut_name: str = "store",
     ``jobs`` regenerates the network process-parallel; goldens were
     recorded from serial runs, so a passing check doubles as a
     determinism proof for the parallel path.
+
+    ``sut_name="sharded"`` replays against the multi-process sharded
+    store (``shards`` workers): goldens were recorded single-process,
+    so a pass proves the sharded read path and commit protocol are
+    byte-for-byte faithful, and the shard-router canary (which drops a
+    shard from scatter-gathers) must make this check FAIL.
     """
-    from ..core.operation import ComplexRead, ShortRead, Update
     from ..core.sut import EngineSUT, StoreSUT
-    from ..queries.registry import COMPLEX_QUERIES
 
     with open(path, encoding="utf-8") as handle:
         lines = [json.loads(line) for line in handle if line.strip()]
@@ -188,17 +193,22 @@ def check_golden(path: str, sut_name: str = "store",
         sut = StoreSUT.for_network(split.bulk)
     elif sut_name == "engine":
         sut = EngineSUT.for_network(split.bulk)
+    elif sut_name == "sharded":
+        from ..shard import ShardedStoreSUT
+
+        sut = ShardedStoreSUT.for_network(split.bulk, shards)
     else:
         raise BenchmarkError(f"unknown SUT {sut_name!r}")
 
     report = GoldenCheckReport(sut=sut_name)
     applied: list[int] = []
-    update_cursor = 0
 
     def record_mismatch(line_no: int, label: str, params: object,
                         failing: FailingCheck,
                         diff: ResultDiff | None = None,
                         detail: str = "") -> None:
+        if sut_name == "sharded":
+            failing = dc_replace(failing, shards=shards)
         report.mismatches.append(GoldenMismatch(
             record=line_no, label=label, params=params, diff=diff,
             detail=detail))
@@ -209,6 +219,26 @@ def check_golden(path: str, sut_name: str = "store",
                 note=f"golden check of {sut_name} failed at record "
                      f"{line_no}")
 
+    try:
+        _replay_golden(records, split, sut, sut_name, report, applied,
+                       record_mismatch, max_mismatches, path)
+    finally:
+        close = getattr(sut, "close", None)
+        if callable(close):
+            close()
+
+    if report.bundle is not None and shrink_on_mismatch \
+            and report.bundle.failing.action != "checkpoint":
+        report.shrunk = shrink(report.bundle, split=split)
+    return report
+
+
+def _replay_golden(records, split, sut, sut_name, report, applied,
+                   record_mismatch, max_mismatches, path) -> None:
+    from ..core.operation import ComplexRead, ShortRead, Update
+    from ..queries.registry import COMPLEX_QUERIES
+
+    update_cursor = 0
     for line_no, record in enumerate(records, start=2):
         if len(report.mismatches) >= max_mismatches:
             break
@@ -263,9 +293,7 @@ def check_golden(path: str, sut_name: str = "store",
                                  expected=record["expect"]),
                     diff=diff_results(record["expect"], actual))
         elif op_kind == "checkpoint":
-            snap = snapshot_store(sut.store) if sut_name == "store" \
-                else snapshot_catalog(sut.catalog)
-            actual = snapshot_digest(snap)
+            actual = snapshot_digest(sut_snapshot(sut))
             report.checkpoints_checked += 1
             if actual != record["digest"]:
                 record_mismatch(
@@ -277,11 +305,6 @@ def check_golden(path: str, sut_name: str = "store",
         else:
             raise BenchmarkError(
                 f"{path}:{line_no}: unknown record op {op_kind!r}")
-
-    if report.bundle is not None and shrink_on_mismatch \
-            and report.bundle.failing.action != "checkpoint":
-        report.shrunk = shrink(report.bundle, split=split)
-    return report
 
 
 def render_golden_check(report: GoldenCheckReport) -> str:

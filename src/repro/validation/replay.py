@@ -48,6 +48,8 @@ class FailingCheck:
     #: Expected canonical result (or checkpoint digest); ``None`` in
     #: differential mode.
     expected: object = None
+    #: Worker count when ``sut == "sharded"``.
+    shards: int = 0
 
     @property
     def label(self) -> str:
@@ -60,7 +62,8 @@ class FailingCheck:
     def to_json(self) -> dict:
         return {"action": self.action, "query_id": self.query_id,
                 "params": self.params, "entity": self.entity,
-                "sut": self.sut, "expected": self.expected}
+                "sut": self.sut, "expected": self.expected,
+                "shards": self.shards}
 
     @classmethod
     def from_json(cls, data: dict) -> "FailingCheck":
@@ -69,7 +72,8 @@ class FailingCheck:
                    params=data.get("params"),
                    entity=data.get("entity"),
                    sut=data.get("sut"),
-                   expected=data.get("expected"))
+                   expected=data.get("expected"),
+                   shards=data.get("shards", 0))
 
 
 @dataclass
@@ -111,12 +115,21 @@ class ReplayBundle:
 # ---------------------------------------------------------------------------
 
 def _build_suts(split: SplitDataset, failing: FailingCheck):
-    """Fresh (store SUT, engine SUT) pair — either may be None when the
-    failing check replays against a recorded expectation."""
+    """Fresh (store-side SUT, engine SUT) pair — either may be None
+    when the failing check replays against a recorded expectation.  A
+    ``"sharded"`` check spawns the multi-process store in the store
+    slot (it *is* a store, just partitioned)."""
     from ..core.sut import EngineSUT, StoreSUT
 
-    store = StoreSUT.for_network(split.bulk) \
-        if failing.sut in (None, "store") else None
+    if failing.sut == "sharded":
+        from ..shard import ShardedStoreSUT
+
+        store = ShardedStoreSUT.for_network(split.bulk,
+                                            failing.shards or 2)
+    elif failing.sut in (None, "store"):
+        store = StoreSUT.for_network(split.bulk)
+    else:
+        store = None
     engine = EngineSUT.for_network(split.bulk) \
         if failing.sut in (None, "engine") else None
     return store, engine
@@ -146,56 +159,58 @@ def run_check(split: SplitDataset, update_indices: list[int],
     digest) against ``failing.expected``.
     """
     from ..core.operation import Update
-    from .snapshot import (
-        diff_snapshots,
-        snapshot_catalog,
-        snapshot_digest,
-        snapshot_store,
-    )
+    from .snapshot import diff_snapshots, snapshot_digest, sut_snapshot
 
     store, engine = _build_suts(split, failing)
-    updates = split.updates
-    for index in update_indices:
-        op = Update(updates[index])
-        if store is not None:
-            store.execute(op)
-        if engine is not None:
-            engine.execute(op)
+    try:
+        updates = split.updates
+        for index in update_indices:
+            op = Update(updates[index])
+            if store is not None:
+                store.execute(op)
+            if engine is not None:
+                engine.execute(op)
 
-    if failing.action == "checkpoint":
-        left = snapshot_store(store.store) if store is not None \
-            else snapshot_catalog(engine.catalog)
-        if failing.sut is None:
-            right = snapshot_catalog(engine.catalog)
-            sections = diff_snapshots(left, right)
-            if not sections:
+        if failing.action == "checkpoint":
+            left = sut_snapshot(store if store is not None else engine)
+            if failing.sut is None:
+                right = sut_snapshot(engine)
+                sections = diff_snapshots(left, right)
+                if not sections:
+                    return None
+                diff = ResultDiff(len(left), len(right))
+                diff.column_diffs = [
+                    ColumnDiff(i, section.section,
+                               section.only_left[:1],
+                               section.only_right[:1])
+                    for i, section in enumerate(sections[:3])]
+                diff.truncated = max(len(sections) - 3, 0)
+                return diff
+            actual = snapshot_digest(left)
+            if actual == failing.expected:
                 return None
-            diff = ResultDiff(len(left), len(right))
-            diff.column_diffs = [
-                ColumnDiff(i, section.section,
-                           section.only_left[:1],
-                           section.only_right[:1])
-                for i, section in enumerate(sections[:3])]
-            diff.truncated = max(len(sections) - 3, 0)
-            return diff
-        actual = snapshot_digest(left)
-        if actual == failing.expected:
-            return None
-        return ResultDiff(1, 1, [ColumnDiff(0, "<state digest>",
-                                            failing.expected, actual)])
+            return ResultDiff(1, 1, [ColumnDiff(0, "<state digest>",
+                                                failing.expected,
+                                                actual)])
 
-    op = _check_op(failing)
-    if failing.sut is None:
-        left = comparable(failing.query_id, store.execute(op).value)
-        right = comparable(failing.query_id, engine.execute(op).value)
-    else:
-        sut = store if failing.sut == "store" else engine
-        left = failing.expected
-        right = comparable(failing.query_id,
-                           canonicalize(sut.execute(op).value))
-    if left == right:
-        return None
-    return diff_results(left, right)
+        op = _check_op(failing)
+        if failing.sut is None:
+            left = comparable(failing.query_id, store.execute(op).value)
+            right = comparable(failing.query_id,
+                               engine.execute(op).value)
+        else:
+            sut = engine if failing.sut == "engine" else store
+            left = failing.expected
+            right = comparable(failing.query_id,
+                               canonicalize(sut.execute(op).value))
+        if left == right:
+            return None
+        return diff_results(left, right)
+    finally:
+        for sut in (store, engine):
+            close = getattr(sut, "close", None)
+            if callable(close):
+                close()
 
 
 def reproduce(bundle: ReplayBundle,

@@ -1,110 +1,104 @@
-"""Every connector conforms to the formal ConnectorProtocol contract.
+"""Every connector conforms to the ConnectorProtocol contract.
 
-The protocol is structural (``@runtime_checkable``), so these tests
-pin the actual contract: the two capability flags exist with sensible
-values, ``execute``/``close`` are present, and wrapping layers derive
-``is_remote`` from what they wrap instead of hard-coding it.
+The checks themselves live in :mod:`tests.connector_kit` — one
+parametrized suite run against the driver connectors, the interactive
+and fault-injecting wrappers, the (never-dialled) wire client, and the
+multi-process sharded store.  This module only binds the kit's cases
+to pytest and keeps the handful of assertions that are about the
+protocol *type* rather than any one connector.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.core.connector import ConnectorProtocol, InteractiveConnector
-from repro.core.operation import OperationResult
+from repro.core.connector import ConnectorProtocol
 from repro.core.sut import StoreSUT
 from repro.driver.connectors import (
     Connector,
     DifferentialConnector,
     RecordingConnector,
-    SleepingConnector,
-    StoreConnector,
     SUTConnector,
 )
 from repro.faults import FaultInjectingConnector, FaultPlan
-from repro.net import RemoteConnector
-from repro.store.graph import GraphStore
+
+from .connector_kit import (
+    DEFAULT_CASES,
+    ConnectorCase,
+    StubSUT,
+    check_abandoned_never_double_applies,
+    check_close_idempotent,
+    check_error_taxonomy,
+    check_protocol_structure,
+    sharded_case,
+)
 
 
-class _StubSUT:
-    """Minimal unified-API SUT for wrapper-construction tests."""
-
-    name = "stub"
-
-    def __init__(self, remote: bool = False) -> None:
-        self.is_remote = remote
-        self.closed = 0
-
-    def execute(self, op) -> OperationResult:
-        return OperationResult(op.op_class, value=None)
-
-    def close(self) -> None:
-        self.closed += 1
+@pytest.fixture(scope="module")
+def all_cases(small_split) -> list[ConnectorCase]:
+    return [*DEFAULT_CASES, sharded_case(small_split, shards=2)]
 
 
-def all_connectors() -> list:
-    return [
-        SleepingConnector(0.0),
-        StoreConnector(GraphStore()),
-        SUTConnector(_StubSUT()),
-        DifferentialConnector(_StubSUT(), _StubSUT()),
-        RecordingConnector(),
-        InteractiveConnector(_StubSUT()),
-        FaultInjectingConnector(SUTConnector(_StubSUT()), FaultPlan()),
-        # Never dialled: the pool only connects on first execute.
-        RemoteConnector("127.0.0.1", 1),
-    ]
+# Parametrize over case *names*; the case objects come from the
+# fixture so the sharded case can reuse the session dataset.
+_CASE_NAMES = [case.name for case in DEFAULT_CASES] \
+    + ["ShardedStoreConnector"]
 
 
-@pytest.mark.parametrize("connector", all_connectors(),
-                         ids=lambda c: type(c).__name__)
-def test_conforms_to_protocol(connector):
-    assert isinstance(connector, ConnectorProtocol)
-    assert isinstance(connector.supports_reads, bool)
-    assert isinstance(connector.is_remote, bool)
-    connector.close()
-    connector.close()  # idempotent
+def _case(all_cases, name: str) -> ConnectorCase:
+    return next(case for case in all_cases if case.name == name)
 
+
+@pytest.mark.parametrize("name", _CASE_NAMES)
+def test_protocol_structure(all_cases, name):
+    check_protocol_structure(_case(all_cases, name))
+
+
+@pytest.mark.parametrize("name", _CASE_NAMES)
+def test_close_idempotent_and_propagates(all_cases, name):
+    check_close_idempotent(_case(all_cases, name))
+
+
+@pytest.mark.parametrize("name", _CASE_NAMES)
+def test_error_taxonomy_crosses_connector(all_cases, name):
+    check_error_taxonomy(_case(all_cases, name))
+
+
+@pytest.mark.parametrize("name", _CASE_NAMES)
+def test_abandoned_attempt_never_double_applies(all_cases, name):
+    check_abandoned_never_double_applies(_case(all_cases, name))
+
+
+def test_every_guarding_connector_is_actually_probed(all_cases):
+    """The exactly-once check must not rot into all-skips."""
+    probed = [case.name for case in all_cases
+              if check_abandoned_never_double_applies(case)]
+    assert "FaultInjectingConnector" in probed
+    assert "ShardedStoreConnector" in probed
+
+
+def test_taxonomy_check_is_actually_probed(all_cases):
+    probed = [case.name for case in all_cases
+              if check_error_taxonomy(case)]
+    assert {"SUTConnector", "InteractiveConnector",
+            "FaultInjectingConnector"} <= set(probed)
+
+
+# -- protocol-type assertions (not per-connector) --------------------------
 
 def test_connector_alias_is_the_protocol():
     # The historical driver-local name still resolves, to the same type.
     assert Connector is ConnectorProtocol
 
 
-def test_capability_flags():
-    assert not SleepingConnector(0.0).supports_reads
-    assert not StoreConnector(GraphStore()).supports_reads
-    assert not RecordingConnector().supports_reads
-    assert SUTConnector(_StubSUT()).supports_reads
-    assert InteractiveConnector(_StubSUT()).supports_reads
-    assert RemoteConnector("127.0.0.1", 1).is_remote
-
-
 def test_wrappers_inherit_is_remote_from_their_sut():
-    assert not SUTConnector(_StubSUT()).is_remote
-    assert SUTConnector(_StubSUT(remote=True)).is_remote
-    assert not InteractiveConnector(_StubSUT()).is_remote
-    assert InteractiveConnector(_StubSUT(remote=True)).is_remote
+    assert not SUTConnector(StubSUT()).is_remote
+    assert SUTConnector(StubSUT(remote=True)).is_remote
     assert DifferentialConnector(
-        _StubSUT(), _StubSUT(remote=True)).is_remote
-    inner = SUTConnector(_StubSUT(remote=True))
+        StubSUT(), StubSUT(remote=True)).is_remote
+    inner = SUTConnector(StubSUT(remote=True))
     assert FaultInjectingConnector(inner, FaultPlan()).is_remote
     assert RecordingConnector(delegate=inner).is_remote
-
-
-def test_close_reaches_the_wrapped_sut():
-    sut = _StubSUT()
-    SUTConnector(sut).close()
-    assert sut.closed == 1
-    sut = _StubSUT()
-    InteractiveConnector(sut).close()
-    assert sut.closed == 1
-    primary, secondary = _StubSUT(), _StubSUT()
-    DifferentialConnector(primary, secondary).close()
-    assert primary.closed == 1 and secondary.closed == 1
-    sut = _StubSUT()
-    FaultInjectingConnector(SUTConnector(sut), FaultPlan()).close()
-    assert sut.closed == 1
 
 
 def test_real_suts_conform_too(loaded_store):
