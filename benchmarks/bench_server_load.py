@@ -77,6 +77,51 @@ def _latency_rows(local, remote) -> list[list]:
     return rows
 
 
+def measure_recovery(split, shards: int, rounds: int = 5):
+    """Worker-restart-to-first-successful-read, measured directly.
+
+    Applies a prefix of the update stream to a crash-tolerant sharded
+    store, then ``rounds`` times kill -9s a worker and times the next
+    supervised read on that shard — respawn + bulk reload + WAL replay
+    + re-issue, the full recovery episode as a caller experiences it.
+    Returns ``(p50_ms, p95_ms, digest_held, supervisor_stats)`` where
+    ``digest_held`` asserts the post-recovery digest still matches the
+    pre-kill state (no acked update lost, none double-applied).
+    """
+    import shutil
+    import tempfile
+    import time
+
+    from repro import telemetry
+    from repro.core.operation import Update
+    from repro.shard import ShardedStoreSUT
+
+    wal_dir = tempfile.mkdtemp(prefix="repro-bench-wal-")
+    sut = ShardedStoreSUT.for_network(split.bulk, shards,
+                                      wal_dir=wal_dir,
+                                      max_restarts=rounds + shards)
+    samples_ms: list[float] = []
+    try:
+        for op in split.updates[:60]:
+            sut.execute(Update(op))
+        expected = sut.digest()
+        for round_index in range(rounds):
+            handle = sut.router.handles[round_index % shards]
+            handle.process.kill()
+            handle.process.join(timeout=5.0)
+            started = time.perf_counter()
+            sut.router.call(handle.index, "count_vertices", "person")
+            samples_ms.append((time.perf_counter() - started) * 1000.0)
+        digest_held = sut.digest() == expected
+        supervisor = sut.router.stats()["supervisor"]
+    finally:
+        sut.close()
+        shutil.rmtree(wal_dir, ignore_errors=True)
+    return (round(telemetry.percentile(samples_ms, 0.50), 3),
+            round(telemetry.percentile(samples_ms, 0.95), 3),
+            digest_held, supervisor)
+
+
 def run_ab(persons: int, seed: int, partitions: int, workers: int,
            shards: int = 2):
     """In-process vs loopback-remote vs sharded run, same stream.
@@ -84,7 +129,7 @@ def run_ab(persons: int, seed: int, partitions: int, workers: int,
     Returns ``(rows, summary, checks, headline)``; digest equality
     across all three legs is the hard gate, and the headline dict is
     the sharded-vs-single row the committed ``BENCH_server_load.json``
-    tracks.
+    tracks, alongside the worker-recovery-time row.
     """
     local_report, local_digest = _run(_config(persons, seed, partitions))
     sharded_report, sharded_digest = _run(
@@ -107,6 +152,9 @@ def run_ab(persons: int, seed: int, partitions: int, workers: int,
     finally:
         server.shutdown()
 
+    recovery_p50, recovery_p95, recovery_digest_held, supervisor = \
+        measure_recovery(split, shards)
+
     rows = _latency_rows(local_report, remote_report)
     rows.append(["TOTAL ops", local_report.operations, "", "",
                  "", ""])
@@ -125,6 +173,9 @@ def run_ab(persons: int, seed: int, partitions: int, workers: int,
         f"server:     requests={stats['requests']} "
         f"executed={stats['executed']} busy={stats['rejected_busy']} "
         f"deduped={stats['deduped']}",
+        f"recovery:   restart-to-first-read p50={recovery_p50}ms "
+        f"p95={recovery_p95}ms over {supervisor['restarts']} kills "
+        f"(digest {'held' if recovery_digest_held else 'DIVERGED'})",
         f"digest in-process: {local_digest}",
         f"digest sharded:    {sharded_digest}",
         f"digest remote:     {remote_digest}",
@@ -139,6 +190,9 @@ def run_ab(persons: int, seed: int, partitions: int, workers: int,
             s.count > 0 and s.p99_ms > 0.0
             for s in remote_report.complex_stats.values()),
         "short walk ran over the wire": remote_report.short_reads > 0,
+        "recovery digest held": recovery_digest_held,
+        "recovery times measured": recovery_p50 > 0.0
+            and recovery_p95 >= recovery_p50,
     }
     headline = {
         "persons": persons,
@@ -154,6 +208,14 @@ def run_ab(persons: int, seed: int, partitions: int, workers: int,
         },
         "remote_ops_per_second": round(remote_report.throughput, 1),
         "digests_equal": local_digest == sharded_digest == remote_digest,
+        "recovery": {
+            "restarts": supervisor["restarts"],
+            "restart_to_first_read_p50_ms": recovery_p50,
+            "restart_to_first_read_p95_ms": recovery_p95,
+            "supervisor_p50_ms": supervisor.get("recovery_p50_ms"),
+            "supervisor_p95_ms": supervisor.get("recovery_p95_ms"),
+            "digest_held": recovery_digest_held,
+        },
     }
     return rows, summary, checks, headline
 

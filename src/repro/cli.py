@@ -232,6 +232,31 @@ def build_parser() -> argparse.ArgumentParser:
                        help="--shards: injected worker delay duration")
     chaos.add_argument("--shard-timeout", type=float, default=30.0,
                        help="--shards: router RPC timeout in seconds")
+    chaos.add_argument("--shard-kill-rate", type=float, default=0.0,
+                       help="--shards: fraction of worker writes that "
+                            "kill -9 the worker (half before anything "
+                            "durable, half after WAL+apply but before "
+                            "the ack); requires a WAL dir (a tempdir "
+                            "is used when --shard-wal-dir is omitted)")
+    chaos.add_argument("--shard-kill-after-prepare", type=float,
+                       default=0.0,
+                       help="--shards: fraction of 2PC prepares that "
+                            "ack and then kill the worker — the "
+                            "in-doubt window the coordinator log must "
+                            "resolve")
+    chaos.add_argument("--shard-torn-wal-rate", type=float, default=0.0,
+                       help="--shards: fraction of worker writes that "
+                            "die mid-WAL-append, leaving a torn "
+                            "trailing record recovery must skip")
+    chaos.add_argument("--shard-wal-dir", default=None,
+                       help="--shards: directory for per-shard WALs + "
+                            "the 2PC coordinator log; arms supervised "
+                            "worker recovery")
+    chaos.add_argument("--shard-max-restarts", type=int, default=64,
+                       help="--shards: supervised worker respawn "
+                            "budget before a dead shard degrades to "
+                            "fatal (0 disables recovery — the canary "
+                            "mode)")
     _add_trace_flag(chaos)
 
     serve = commands.add_parser(
@@ -261,6 +286,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards", type=int, default=0,
         help="serve the N-shard multi-process store (requires --sut "
              "store); clients drive it over the wire unchanged")
+    serve.add_argument(
+        "--shard-wal-dir", default=None,
+        help="--shards: directory for per-shard WALs + the 2PC "
+             "coordinator log; arms supervised worker crash recovery")
+    serve.add_argument(
+        "--drain-timeout", type=float, default=5.0,
+        help="SIGTERM grace: stop accepting, finish in-flight "
+             "requests (and queued duplicates) for up to this many "
+             "seconds, then close")
     _add_trace_flag(serve)
     return parser
 
@@ -636,31 +670,53 @@ def _cmd_chaos(args) -> int:
                 "--shards: use --shard-abort-rate/--shard-delay-rate "
                 "to fault the workers instead of --store-conflicts")
         args.sut = "store"
-        if args.shard_abort_rate or args.shard_delay_rate:
+        if args.shard_abort_rate or args.shard_delay_rate \
+                or args.shard_kill_rate \
+                or args.shard_kill_after_prepare \
+                or args.shard_torn_wal_rate:
             from .shard import ShardFaultPlan
 
             shard_faults = ShardFaultPlan(
                 abort_rate=args.shard_abort_rate,
                 delay_rate=args.shard_delay_rate,
                 delay_seconds=args.shard_delay_ms / 1000.0,
+                kill_rate=args.shard_kill_rate,
+                kill_after_prepare=args.shard_kill_after_prepare,
+                torn_wal_rate=args.shard_torn_wal_rate,
                 seed=args.plan_seed)
+    shard_wal_dir = args.shard_wal_dir
+    wal_tempdir = None
+    if args.shards and shard_wal_dir is None and shard_faults is not None \
+            and shard_faults.has_crash_faults:
+        import tempfile
+
+        wal_tempdir = tempfile.TemporaryDirectory(prefix="repro-shard-wal-")
+        shard_wal_dir = wal_tempdir.name
+        print(f"crash faults armed, no --shard-wal-dir given: "
+              f"using {shard_wal_dir}")
     network = generate(DatagenConfig(num_persons=args.persons,
                                      seed=args.seed))
     split = split_network(network)
     trace = _TraceSession(args.trace)
     suts = ("store", "engine") if args.sut == "both" else (args.sut,)
     all_ok = True
-    for sut_name in suts:
-        report = run_chaos(
-            split, sut_name, plan, seed=args.plan_seed, policy=policy,
-            num_partitions=args.partitions,
-            conflict_rate=(args.store_conflicts
-                           if sut_name == "store" else 0.0),
-            remote=args.remote, shards=args.shards,
-            shard_faults=shard_faults,
-            shard_timeout=args.shard_timeout)
-        print(render_chaos(report))
-        all_ok = all_ok and report.ok
+    try:
+        for sut_name in suts:
+            report = run_chaos(
+                split, sut_name, plan, seed=args.plan_seed, policy=policy,
+                num_partitions=args.partitions,
+                conflict_rate=(args.store_conflicts
+                               if sut_name == "store" else 0.0),
+                remote=args.remote, shards=args.shards,
+                shard_faults=shard_faults,
+                shard_timeout=args.shard_timeout,
+                shard_wal_dir=shard_wal_dir,
+                shard_max_restarts=args.shard_max_restarts)
+            print(render_chaos(report))
+            all_ok = all_ok and report.ok
+    finally:
+        if wal_tempdir is not None:
+            wal_tempdir.cleanup()
     trace.finish()
     return 0 if all_ok else 1
 
@@ -683,7 +739,8 @@ def _cmd_serve(args) -> int:
     if args.shards:
         from .shard import ShardedStoreSUT
 
-        sut = ShardedStoreSUT.for_network(split.bulk, args.shards)
+        sut = ShardedStoreSUT.for_network(split.bulk, args.shards,
+                                          wal_dir=args.shard_wal_dir)
         digest_fn = sut.digest
     elif args.sut == "store":
         from .core.sut import StoreSUT
@@ -705,10 +762,24 @@ def _cmd_serve(args) -> int:
         queue_size=args.queue_size, retry_after=args.retry_after,
         # The engine's catalog has no internal concurrency control.
         serialize=(args.sut == "engine"),
-        max_estimated_rows=args.max_estimated_rows)
+        max_estimated_rows=args.max_estimated_rows,
+        drain_timeout=args.drain_timeout)
     trace = _TraceSession(args.trace)
     server = ReproServer(sut, config, digest_fn=digest_fn)
     host, port = server.start()
+
+    # SIGTERM = graceful drain: stop accepting, let in-flight (and
+    # queued duplicate) requests finish, then close.  A pipelined
+    # client mid-batch gets its answers instead of a reset socket.
+    import signal
+
+    def _drain_handler(signum, frame):
+        print(f"\nSIGTERM: draining (timeout "
+              f"{args.drain_timeout:.1f}s)")
+        completed = server.drain(args.drain_timeout)
+        print("drain " + ("complete" if completed else "timed out"))
+
+    signal.signal(signal.SIGTERM, _drain_handler)
     admission = "off" if args.max_estimated_rows is None else \
         f"max {args.max_estimated_rows:.0f} estimated rows " \
         f"(avg degree {server.admission.average_degree:.1f})"

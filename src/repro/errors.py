@@ -85,8 +85,45 @@ class ShardTimeoutError(ShardError, TransientError):
 class ShardConnectionError(ShardError, FatalSUTError):
     """A shard worker process died or its pipe closed.
 
-    Fatal: a lost shard means lost state; retrying cannot recover it.
+    Fatal: without supervision (no per-shard WAL to replay) a lost
+    shard means lost state, and with supervision it is raised only
+    once the restart budget is exhausted — either way retrying cannot
+    recover it.  The payload identifies the failure precisely: which
+    shard died, the stable op key of the request that was in flight
+    (``None`` for reads and control-plane RPCs), and how many requests
+    were queued against the shard at the time.
     """
+
+    def __init__(self, message: str, *, shard_index: int | None = None,
+                 op_key: str | None = None,
+                 pending: int | None = None) -> None:
+        detail = []
+        if shard_index is not None:
+            detail.append(f"shard={shard_index}")
+        if op_key is not None:
+            detail.append(f"op_key={op_key}")
+        if pending is not None:
+            detail.append(f"pending={pending}")
+        if detail:
+            message = f"{message} [{' '.join(detail)}]"
+        super().__init__(message)
+        self.shard_index = shard_index
+        self.op_key = op_key
+        self.pending = pending
+
+
+class ShardRecoveringError(ShardError, TransientError):
+    """A shard worker died and its supervised recovery is in progress.
+
+    Transient: the supervisor is respawning the worker and replaying
+    its WAL; the retried operation lands once recovery completes and
+    the per-shard applied-table keeps the retry exactly-once.
+    """
+
+    def __init__(self, message: str,
+                 *, shard_index: int | None = None) -> None:
+        super().__init__(message)
+        self.shard_index = shard_index
 
 
 class EngineError(ReproError):

@@ -31,6 +31,7 @@ from __future__ import annotations
 import queue
 import socket
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -67,6 +68,10 @@ class ServerConfig:
     max_estimated_rows: float | None = None
     #: Completed op_key outcomes kept for duplicate-replay (FIFO).
     dedup_capacity: int = 65536
+    #: Default grace for :meth:`ReproServer.drain` (SIGTERM handling):
+    #: stop accepting, let in-flight requests finish for up to this
+    #: many seconds, then close.
+    drain_timeout: float = 5.0
 
 
 class _DedupEntry:
@@ -146,6 +151,9 @@ class ReproServer:
             "deduped": 0,
         }
         self._shutdown = threading.Event()
+        self._draining = False
+        self._active_jobs = 0
+        self._active_lock = threading.Lock()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -180,24 +188,65 @@ class ReproServer:
             self.start()
         self._shutdown.wait()
 
+    def _close_listener(self) -> None:
+        """Stop accepting new connections (idempotent)."""
+        if self._listener is None:
+            return
+        try:
+            # shutdown() wakes the thread blocked in accept();
+            # close() alone leaves the kernel listener alive under
+            # that in-flight syscall, still completing handshakes
+            # nobody will ever serve.
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass  # never connected, or already shut down
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Graceful SIGTERM path: finish the in-flight work, then stop.
+
+        Stops accepting *new connections* immediately but keeps
+        serving the live ones: queued requests execute, pipelined
+        batches complete, and duplicate-waiters parked on an in-flight
+        ``op_key`` hear their replayed outcome — none of which survives
+        a bare :meth:`shutdown`, which resets every socket mid-batch.
+        Once the queue is empty and no worker holds a job (or
+        ``timeout`` seconds pass), the full shutdown runs.  Returns
+        True when the drain completed cleanly, False on timeout.
+        """
+        if timeout is None:
+            timeout = self.config.drain_timeout
+        self._draining = True
+        self._close_listener()
+        deadline = time.monotonic() + max(0.0, timeout)
+        idle_checks = 0
+        while time.monotonic() < deadline:
+            with self._active_lock:
+                active = self._active_jobs
+            if self._queue.empty() and active == 0:
+                # Require a few consecutive idle observations: a reader
+                # thread may be between recv() and queue.put.
+                idle_checks += 1
+                if idle_checks >= 3:
+                    break
+            else:
+                idle_checks = 0
+            time.sleep(0.005)
+        with self._active_lock:
+            active = self._active_jobs
+        completed = self._queue.empty() and active == 0
+        self.shutdown()
+        return completed
+
     def shutdown(self) -> None:
         """Stop accepting, close connections, release workers."""
         if self._shutdown.is_set():
             return  # idempotent: sentinels are already in flight
         self._shutdown.set()
-        if self._listener is not None:
-            try:
-                # shutdown() wakes the thread blocked in accept();
-                # close() alone leaves the kernel listener alive under
-                # that in-flight syscall, still completing handshakes
-                # nobody will ever serve.
-                self._listener.shutdown(socket.SHUT_RDWR)
-            except OSError:
-                pass  # never connected, or already shut down
-            try:
-                self._listener.close()
-            except OSError:  # pragma: no cover
-                pass
+        self._close_listener()
         with self._conn_lock:
             connections = list(self._connections)
         for connection in connections:
@@ -427,29 +476,38 @@ class ReproServer:
             job = self._queue.get()
             if job is None:
                 return  # shutdown sentinel
-            connection, request_id, op, op_key = job
-            outcome = self._execute(op)
-            if op_key is not None:
-                if self._is_transient_outcome(outcome):
-                    # A transient failure (e.g. a write conflict under
-                    # concurrent workers) must not become the token's
-                    # remembered outcome: the update never applied, so
-                    # the client's retry has to re-execute rather than
-                    # replay the error until its budget runs out.
-                    # Waiters hear the transient error directly.
-                    for waiter_conn, waiter_id in \
-                            self._dedup_abandon(op_key):
-                        waiter_conn.send(dict(outcome, id=waiter_id))
-                else:
-                    entry, waiters = self._dedup_complete(
-                        op_key, outcome)
-                    if entry is not None:
-                        for waiter_conn, waiter_id in waiters:
-                            waiter_conn.send(
-                                self._replay(entry, waiter_id))
-            response = dict(outcome)
-            response["id"] = request_id
-            connection.send(response)
+            with self._active_lock:
+                self._active_jobs += 1
+            try:
+                self._run_job(job)
+            finally:
+                with self._active_lock:
+                    self._active_jobs -= 1
+
+    def _run_job(self, job) -> None:
+        connection, request_id, op, op_key = job
+        outcome = self._execute(op)
+        if op_key is not None:
+            if self._is_transient_outcome(outcome):
+                # A transient failure (e.g. a write conflict under
+                # concurrent workers) must not become the token's
+                # remembered outcome: the update never applied, so
+                # the client's retry has to re-execute rather than
+                # replay the error until its budget runs out.
+                # Waiters hear the transient error directly.
+                for waiter_conn, waiter_id in \
+                        self._dedup_abandon(op_key):
+                    waiter_conn.send(dict(outcome, id=waiter_id))
+            else:
+                entry, waiters = self._dedup_complete(
+                    op_key, outcome)
+                if entry is not None:
+                    for waiter_conn, waiter_id in waiters:
+                        waiter_conn.send(
+                            self._replay(entry, waiter_id))
+        response = dict(outcome)
+        response["id"] = request_id
+        connection.send(response)
 
     def _execute(self, op) -> dict:
         """Run one operation; build the (id-less) outcome message."""

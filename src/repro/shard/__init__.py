@@ -20,13 +20,22 @@ from .routing import (
     partition_bulk,
     partition_writes,
 )
+from .supervisor import WorkerSupervisor
 from .sut import ShardedStoreSUT
-from .worker import InjectedWorkerAbortError, ShardFaultPlan
+from .txlog import CoordinatorLog
+from .worker import (
+    InjectedWorkerAbortError,
+    ShardDurability,
+    ShardFaultPlan,
+)
 
 __all__ = [
+    "CoordinatorLog",
     "InjectedWorkerAbortError",
+    "ShardDurability",
     "ShardFaultPlan",
     "ShardLoad",
+    "WorkerSupervisor",
     "ShardRouter",
     "ShardWrites",
     "ShardedStoreSUT",

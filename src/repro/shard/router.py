@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import hashlib
 import multiprocessing
+import os
 import threading
 import time
 from typing import Any, Iterator
@@ -62,7 +63,8 @@ from .routing import (
     partition_bulk,
     partition_writes,
 )
-from .worker import ShardFaultPlan, shard_worker_main
+from .txlog import COORDINATOR_LOG, CoordinatorLog
+from .worker import ShardDurability, ShardFaultPlan, shard_worker_main
 
 #: Mutation-canary hook (see :mod:`repro.validation.canary`): when set
 #: to a shard index, scatter-gather reads silently drop that shard's
@@ -112,6 +114,12 @@ class ShardHandle:
     One outstanding request per shard (the lock); the worker answers in
     request order, so a timed-out sequence number is remembered and its
     late response drained before any later reply is interpreted.
+
+    ``generation`` counts worker incarnations: the supervisor bumps it
+    when it swaps in a respawned process, which is how a failed caller
+    distinguishes "my worker is still dead" from "someone already
+    recovered it".  ``pending`` counts requests currently queued or in
+    flight on this shard — part of the dead-worker error payload.
     """
 
     def __init__(self, index: int, process, conn) -> None:
@@ -122,8 +130,19 @@ class ShardHandle:
         self._seq = 0
         self._stale: set[int] = set()
         self.timeouts = 0
+        self.generation = 0
+        self.pending = 0
 
-    def call(self, method: str, args: tuple, timeout: float):
+    def call(self, method: str, args: tuple, timeout: float,
+             op_key: str | None = None):
+        self.pending += 1
+        try:
+            return self._call(method, args, timeout, op_key)
+        finally:
+            self.pending -= 1
+
+    def _call(self, method: str, args: tuple, timeout: float,
+              op_key: str | None):
         with self.lock:
             self._seq += 1
             seq = self._seq
@@ -131,7 +150,9 @@ class ShardHandle:
                 self.conn.send((seq, method, args))
             except (BrokenPipeError, OSError) as exc:
                 raise ShardConnectionError(
-                    f"shard {self.index} pipe closed on send") from exc
+                    f"shard worker pipe closed on send ({method})",
+                    shard_index=self.index, op_key=op_key,
+                    pending=self.pending) from exc
             deadline = time.monotonic() + timeout
             while True:
                 remaining = deadline - time.monotonic()
@@ -145,8 +166,10 @@ class ShardHandle:
                     got_seq, status, payload = self.conn.recv()
                 except (EOFError, OSError) as exc:
                     raise ShardConnectionError(
-                        f"shard {self.index} worker died "
-                        f"(pid {self.process.pid})") from exc
+                        f"shard worker died during {method} "
+                        f"(pid {self.process.pid})",
+                        shard_index=self.index, op_key=op_key,
+                        pending=self.pending) from exc
                 if got_seq != seq:
                     # A late answer to an abandoned (timed-out) request;
                     # the worker is serial, so these always precede ours.
@@ -161,7 +184,8 @@ class ShardRouter:
     """Process/pipe management plus the read and commit protocols."""
 
     def __init__(self, handles: list[ShardHandle],
-                 request_timeout: float = 30.0) -> None:
+                 request_timeout: float = 30.0,
+                 txlog: CoordinatorLog | None = None) -> None:
         self.handles = handles
         self.num_shards = len(handles)
         self.request_timeout = request_timeout
@@ -176,6 +200,13 @@ class ShardRouter:
         self._multi_shard_updates = 0
         self._gather_pool = None
         self._pool_lock = threading.Lock()
+        #: Coordinator decision log; always present (in-memory when no
+        #: WAL directory), durable when the run has one.
+        self.txlog = txlog or CoordinatorLog()
+        #: Installed by :meth:`spawn` when durability is configured;
+        #: ``None`` means a dead worker stays fatal (the pre-recovery
+        #: behaviour).
+        self.supervisor = None
 
     # -- construction ------------------------------------------------------
 
@@ -183,13 +214,35 @@ class ShardRouter:
     def spawn(cls, network, num_shards: int, *,
               faults: ShardFaultPlan | None = None,
               request_timeout: float = 30.0,
-              start_method: str | None = None) -> "ShardRouter":
-        """Partition a bulk network and spawn one worker per shard."""
+              start_method: str | None = None,
+              wal_dir: str | os.PathLike | None = None,
+              sync_wal: bool = False,
+              max_restarts: int = 8) -> "ShardRouter":
+        """Partition a bulk network and spawn one worker per shard.
+
+        With ``wal_dir`` the run is crash-tolerant: each worker keeps a
+        WAL there, the router keeps its 2PC coordinator log there, and
+        a :class:`~repro.shard.supervisor.WorkerSupervisor` (budgeted
+        by ``max_restarts``) respawns dead workers.  Spawning into a
+        directory that already holds WALs is a *cold restart*: workers
+        replay their logs and in-doubt 2PC stages resolve by the
+        coordinator log (presumed abort when undecided).
+        """
         if num_shards < 1:
             raise ShardError(f"num_shards must be >= 1, got {num_shards}")
         context = multiprocessing.get_context(
             start_method or default_start_method())
         faults = faults or ShardFaultPlan()
+        durability = None
+        if wal_dir is not None:
+            os.makedirs(wal_dir, exist_ok=True)
+            durability = ShardDurability(os.fspath(wal_dir),
+                                         sync=sync_wal)
+        elif faults.has_crash_faults:
+            raise ShardError(
+                "crash faults (kill/torn rates) require a shard WAL "
+                "directory — killing a WAL-less worker loses "
+                "acknowledged state by construction")
         loads = partition_bulk(network, num_shards)
         handles: list[ShardHandle] = []
         try:
@@ -197,18 +250,29 @@ class ShardRouter:
                 parent_conn, child_conn = context.Pipe(duplex=True)
                 process = context.Process(
                     target=shard_worker_main,
-                    args=(child_conn, load, faults),
+                    args=(child_conn, load, faults, durability),
                     name=f"repro-shard-{load.shard_index}",
                     daemon=True)
                 process.start()
                 child_conn.close()
                 handles.append(ShardHandle(load.shard_index, process,
                                            parent_conn))
-            router = cls(handles, request_timeout=request_timeout)
+            txlog = CoordinatorLog(
+                os.path.join(durability.wal_dir, COORDINATOR_LOG)
+                if durability is not None else None,
+                sync_every_append=sync_wal)
+            router = cls(handles, request_timeout=request_timeout,
+                         txlog=txlog)
             # Liveness probe: a worker that failed to import/load must
             # surface here, not as a hang on the first real operation.
             for handle in handles:
                 handle.call("ping", (), timeout=max(request_timeout, 30.0))
+            if durability is not None:
+                from .supervisor import WorkerSupervisor
+                router.supervisor = WorkerSupervisor(
+                    router, loads, context, faults, durability,
+                    max_restarts=max_restarts)
+                router._resolve_cold_restart()
             return router
         except BaseException:
             for handle in handles:
@@ -216,11 +280,49 @@ class ShardRouter:
                     handle.process.terminate()
             raise
 
+    def _resolve_cold_restart(self) -> None:
+        """Settle in-doubt 2PC stages replayed from pre-existing WALs.
+
+        Cold restart means no router thread is mid-commit, so every
+        undecided stage is *presumed abort*: the coordinator logs its
+        decision before sending any commit RPC, so an op with no
+        logged decision was never committed anywhere.
+        """
+        control = self._control_timeout
+        for handle in self.handles:
+            staged = handle.call("staged_keys", (), control)
+            if not staged:
+                continue
+            decisions = {
+                key: (self.txlog.decision(key) or "abort")
+                for key in staged}
+            handle.call("resolve", (decisions,), control)
+
     # -- plumbing ----------------------------------------------------------
 
-    def call(self, shard: int, method: str, *args):
+    def _call_handle(self, handle: ShardHandle, method: str, args: tuple,
+                     timeout: float, op_key: str | None = None):
+        """One supervised RPC: a dead worker triggers recovery + retry.
+
+        Every data-plane RPC funnels through here.  Without a
+        supervisor (no WAL directory) the dead-worker error propagates
+        fatal exactly as before.
+        """
+        generation = handle.generation
+        try:
+            return handle.call(method, args, timeout, op_key=op_key)
+        except ShardConnectionError as exc:
+            if self.supervisor is None or self._closed:
+                raise
+            return self.supervisor.recover_and_reissue(
+                handle, method, args, timeout, op_key=op_key,
+                cause=exc, observed_gen=generation)
+
+    def call(self, shard: int, method: str, *args,
+             op_key: str | None = None):
         """One RPC to one shard."""
-        return self.handles[shard].call(method, args, self.request_timeout)
+        return self._call_handle(self.handles[shard], method, args,
+                                 self.request_timeout, op_key=op_key)
 
     def _pool(self):
         with self._pool_lock:
@@ -253,8 +355,9 @@ class ShardRouter:
         targets = [h for h in self.handles
                    if h.index != _canary_drop_shard]
         if len(targets) == 1:
-            return [targets[0].call(method, args, timeout)]
-        futures = [self._pool().submit(h.call, method, args, timeout)
+            return [self._call_handle(targets[0], method, args, timeout)]
+        futures = [self._pool().submit(self._call_handle, h, method,
+                                       args, timeout)
                    for h in targets]
         return [future.result() for future in futures]
 
@@ -267,8 +370,8 @@ class ShardRouter:
             return {shard: self.call(shard, method, *args)}
         futures = {
             shard: self._pool().submit(
-                self.handles[shard].call, args[0], tuple(args[1:]),
-                self.request_timeout)
+                self._call_handle, self.handles[shard], args[0],
+                tuple(args[1:]), self.request_timeout)
             for shard, args in items}
         return {shard: future.result()
                 for shard, future in futures.items()}
@@ -302,39 +405,45 @@ class ShardRouter:
                 shard = involved[0]
                 writes = per_shard[shard]
                 self.call(shard, "apply", op_key, writes.vertices,
-                          writes.halves)
+                          writes.halves, op_key=op_key)
                 return
             self._multi_shard_updates += 1
             self._two_phase(op_key, involved, per_shard)
 
     def _two_phase(self, op_key: str, involved: list[int],
                    per_shard: dict[int, ShardWrites]) -> None:
-        """Prepare everywhere, then commit everywhere.
+        """Prepare everywhere, log the decision, then send it.
 
-        A prepare failure (duplicate, injected abort, timeout) aborts
-        the already-staged shards and re-raises; since nothing was
-        applied, the retry starts clean.  Commits cannot fail
-        semantically (validation happened at prepare and the epoch lock
-        excludes other writers); a commit *timeout* still applies
-        worker-side, and the retry's prepares then land in the
-        applied-table and replay as successes.
+        A prepare failure (duplicate, injected abort, timeout) logs
+        **abort**, aborts the already-staged shards and re-raises;
+        since nothing was applied, the retry starts clean.  On success
+        the coordinator logs **commit** *before* the first commit RPC —
+        that append is the commit point: a worker that dies holding a
+        prepared stage rolls forward iff that record exists.  Commits
+        cannot fail semantically (validation happened at prepare and
+        the epoch lock excludes other writers); a commit *timeout*
+        still applies worker-side, and the retry's prepares then land
+        in the applied-table and replay as successes.
         """
+        self.txlog.log_begin(op_key, involved)
         prepared: list[int] = []
         try:
             for shard in involved:
                 writes = per_shard[shard]
                 self.call(shard, "prepare", op_key, writes.vertices,
-                          writes.halves)
+                          writes.halves, op_key=op_key)
                 prepared.append(shard)
         except BaseException:
+            self.txlog.log_abort(op_key)
             for shard in prepared:
                 try:
-                    self.call(shard, "abort", op_key)
+                    self.call(shard, "abort", op_key, op_key=op_key)
                 except ShardError:
                     pass
             raise
+        self.txlog.log_commit(op_key)
         for shard in involved:
-            self.call(shard, "commit", op_key)
+            self.call(shard, "commit", op_key, op_key=op_key)
 
     # -- snapshot / digest -------------------------------------------------
 
@@ -368,13 +477,17 @@ class ShardRouter:
                 worker = {"shard": handle.index, "dead": True}
             worker["router_timeouts"] = handle.timeouts
             shards.append(worker)
-        return {
+        report = {
             "num_shards": self.num_shards,
             "updates": self._updates,
             "multi_shard_updates": self._multi_shard_updates,
             "epoch": self._epoch,
+            "coordinator": self.txlog.stats(),
             "shards": shards,
         }
+        if self.supervisor is not None:
+            report["supervisor"] = self.supervisor.stats()
+        return report
 
     def close(self) -> None:
         """Drain spans, stop workers; idempotent."""
@@ -405,6 +518,7 @@ class ShardRouter:
             handle.conn.close()
         if self._gather_pool is not None:
             self._gather_pool.shutdown(wait=False)
+        self.txlog.close()
 
 
 class _WriteRecorder:

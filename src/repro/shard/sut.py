@@ -30,6 +30,14 @@ class ShardedStoreSUT(BaseSUT):
 
     name = "sharded-store"
 
+    #: With a WAL directory the sharded store survives worker crashes:
+    #: the connector-conformance kit's crash-recovery case keys off
+    #: this flag (it is a property of the *connector instance* — a
+    #: WAL-less instance reports False).
+    @property
+    def supports_recovery(self) -> bool:
+        return self.router.supervisor is not None
+
     def __init__(self, router: ShardRouter) -> None:
         self.router = router
 
@@ -38,11 +46,16 @@ class ShardedStoreSUT(BaseSUT):
                     faults: ShardFaultPlan | None = None,
                     request_timeout: float = 30.0,
                     start_method: str | None = None,
+                    wal_dir: str | None = None,
+                    sync_wal: bool = False,
+                    max_restarts: int = 8,
                     ) -> "ShardedStoreSUT":
         """Partition + bulk-load a generated network across workers."""
         return cls(ShardRouter.spawn(
             network, num_shards, faults=faults,
-            request_timeout=request_timeout, start_method=start_method))
+            request_timeout=request_timeout, start_method=start_method,
+            wal_dir=wal_dir, sync_wal=sync_wal,
+            max_restarts=max_restarts))
 
     @property
     def num_shards(self) -> int:

@@ -8,6 +8,20 @@ the writes are applied (classic WAL discipline), and
 the log — mirroring a real deployment, where the 32-month bulk data
 comes from CSVs and only the DML stream needs logging.
 
+Two record formats share the same append/read machinery
+(:class:`AppendLog` / :func:`read_records`):
+
+* the **single-store commit log** (:class:`WriteAheadLog`) — one record
+  per committed transaction, keyed by commit timestamp;
+* the **shard WAL** (:class:`ShardWAL`) — one record per shard-worker
+  write event, keyed by the *stable op key* the router derives from the
+  update itself.  ``apply`` records carry a single-shard commit's write
+  slice; ``prepare`` records persist a 2PC stage (so an in-doubt
+  transaction survives a worker crash between prepare and commit);
+  ``commit``/``abort`` marks resolve a stage.  Replaying the log
+  rebuilds both the shard's state *and* its exactly-once applied-table,
+  so a retried op can never double-apply across a crash.
+
 Property values are JSON-encoded with tuples rendered as lists and
 restored as tuples on replay, so a recovered store is
 read-indistinguishable from the original.
@@ -28,8 +42,12 @@ from ..errors import StoreError
 #: during log reading (crash mid-append leaves at most one).
 TORN_RECORD_COUNTER = "store.wal.torn_records"
 
-#: The keys every well-formed commit record carries.
+#: The keys every well-formed single-store commit record carries.
 _RECORD_KEYS = ("ts", "inserts", "updates", "edges")
+
+#: The keys every well-formed shard WAL record carries.
+_SHARD_RECORD_KEYS = ("act", "op")
+
 from ..schema.dataset import SocialNetwork
 from .graph import GraphStore
 from .loader import load_network
@@ -59,61 +77,93 @@ def _decode_props(props: dict | None) -> dict | None:
     return {key: _decode_value(value) for key, value in props.items()}
 
 
-class WriteAheadLog:
-    """Append-only commit log (one JSON line per commit)."""
+def _truncate_torn_tail(path: str) -> None:
+    """Cut an unterminated (torn) final line off an append log."""
+    try:
+        size = os.path.getsize(path)
+    except OSError:
+        return
+    if size == 0:
+        return
+    with open(path, "rb+") as handle:
+        handle.seek(size - 1)
+        if handle.read(1) == b"\n":
+            return
+        position, last_newline = size, -1
+        while position > 0 and last_newline < 0:
+            start = max(0, position - 4096)
+            handle.seek(start)
+            chunk = handle.read(position - start)
+            index = chunk.rfind(b"\n")
+            if index >= 0:
+                last_newline = start + index
+            position = start
+        handle.truncate(last_newline + 1 if last_newline >= 0 else 0)
+
+
+class AppendLog:
+    """Append-only JSON-lines file: the shared WAL substrate.
+
+    One line per record, flushed on every append (optionally fsynced),
+    guarded by a lock so concurrent committers interleave whole lines.
+    """
 
     def __init__(self, path: str | os.PathLike,
-                 sync_every_commit: bool = False) -> None:
+                 sync_every_append: bool = False) -> None:
         self.path = os.fspath(path)
-        self._handle: IO[str] = open(self.path, "a",
-                                     encoding="utf-8")
+        # A crash mid-append leaves a partial trailing line with no
+        # newline; appending after it would weld the next record onto
+        # the fragment and turn a recoverable torn tail into mid-file
+        # corruption.  Drop the fragment before reopening for append
+        # (readers have already counted it by the time a recovering
+        # writer gets here).
+        _truncate_torn_tail(self.path)
+        self._handle: IO[str] = open(self.path, "a", encoding="utf-8")
         self._lock = threading.Lock()
-        self.sync_every_commit = sync_every_commit
-        self.commits_logged = 0
+        self.sync_every_append = sync_every_append
+        self.appended = 0
 
-    def log_commit(self, ts: int, new_vertices, updated_vertices,
-                   new_edges) -> None:
-        """Persist one commit's write set (called before it applies)."""
-        record = {
-            "ts": ts,
-            "inserts": [[label, vid, _encode_props(props)]
-                        for (label, vid), props
-                        in new_vertices.items()],
-            "updates": [[label, vid, _encode_props(changes)]
-                        for (label, vid), changes
-                        in updated_vertices.items()],
-            "edges": [[label, src, dst, _encode_props(props)]
-                      for label, src, dst, props in new_edges],
-        }
+    def append(self, record: dict) -> int:
+        """Persist one record; returns the serialized byte length."""
         line = json.dumps(record, separators=(",", ":"))
-        if telemetry.active:
-            with telemetry.span("store.wal.commit", ts=ts,
-                                bytes=len(line) + 1):
-                self._append(line)
-        else:
-            self._append(line)
+        self.append_line(line)
+        return len(line) + 1
 
-    def _append(self, line: str) -> None:
+    def append_line(self, line: str) -> None:
         with self._lock:
             self._handle.write(line + "\n")
             self._handle.flush()
-            if self.sync_every_commit:
+            if self.sync_every_append:
                 os.fsync(self._handle.fileno())
-            self.commits_logged += 1
+            self.appended += 1
+
+    def append_torn(self, record: dict) -> None:
+        """Write HALF a record and stop — the chaos crash-mid-append.
+
+        Deliberately leaves the file with an unparsable trailing line
+        (no newline, truncated JSON) exactly as a power cut mid-write
+        would; the reader must skip it and count it as torn.
+        """
+        line = json.dumps(record, separators=(",", ":"))
+        with self._lock:
+            self._handle.write(line[:max(1, len(line) // 2)])
+            self._handle.flush()
 
     def close(self) -> None:
         with self._lock:
-            self._handle.close()
+            if not self._handle.closed:
+                self._handle.close()
 
-    def __enter__(self) -> "WriteAheadLog":
+    def __enter__(self) -> "AppendLog":
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
 
 
-def read_log(path: str | os.PathLike) -> list[dict]:
-    """Parse all commit records of a log file (oldest first).
+def read_records(path: str | os.PathLike,
+                 required_keys: tuple[str, ...]) -> list[dict]:
+    """Parse all records of an append log (oldest first).
 
     A torn final record (crash mid-append) is skipped with a warning —
     the ``store.wal.torn_records`` telemetry counter and a
@@ -136,7 +186,7 @@ def read_log(path: str | os.PathLike) -> list[dict]:
         try:
             parsed = json.loads(line)
             record = parsed if isinstance(parsed, dict) and all(
-                key in parsed for key in _RECORD_KEYS) else None
+                key in parsed for key in required_keys) else None
         except json.JSONDecodeError:
             record = None
         if record is not None:
@@ -152,6 +202,64 @@ def read_log(path: str | os.PathLike) -> list[dict]:
             f"skipping torn trailing WAL record in {os.fspath(path)} "
             f"(crash mid-append)", stacklevel=2)
     return records
+
+
+# ---------------------------------------------------------------------------
+# the single-store commit log
+# ---------------------------------------------------------------------------
+
+class WriteAheadLog:
+    """Append-only commit log (one JSON line per commit)."""
+
+    def __init__(self, path: str | os.PathLike,
+                 sync_every_commit: bool = False) -> None:
+        self._log = AppendLog(path, sync_every_append=sync_every_commit)
+
+    @property
+    def path(self) -> str:
+        return self._log.path
+
+    @property
+    def sync_every_commit(self) -> bool:
+        return self._log.sync_every_append
+
+    @property
+    def commits_logged(self) -> int:
+        return self._log.appended
+
+    def log_commit(self, ts: int, new_vertices, updated_vertices,
+                   new_edges) -> None:
+        """Persist one commit's write set (called before it applies)."""
+        record = {
+            "ts": ts,
+            "inserts": [[label, vid, _encode_props(props)]
+                        for (label, vid), props
+                        in new_vertices.items()],
+            "updates": [[label, vid, _encode_props(changes)]
+                        for (label, vid), changes
+                        in updated_vertices.items()],
+            "edges": [[label, src, dst, _encode_props(props)]
+                      for label, src, dst, props in new_edges],
+        }
+        if telemetry.active:
+            with telemetry.span("store.wal.commit", ts=ts):
+                self._log.append(record)
+        else:
+            self._log.append(record)
+
+    def close(self) -> None:
+        self._log.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def read_log(path: str | os.PathLike) -> list[dict]:
+    """Parse all commit records of a single-store log (oldest first)."""
+    return read_records(path, _RECORD_KEYS)
 
 
 def recover_store(bulk: SocialNetwork, wal_path: str | os.PathLike,
@@ -191,3 +299,122 @@ def attach_wal(store: GraphStore, wal: WriteAheadLog) -> None:
         return ts
 
     store._apply_commit = apply_with_wal
+
+
+# ---------------------------------------------------------------------------
+# the shard WAL (per-worker, keyed by stable op key)
+# ---------------------------------------------------------------------------
+
+def _encode_writes(vertices: list, halves: list) -> dict:
+    return {
+        "vertices": [[label, vid, _encode_props(props)]
+                     for label, vid, props in vertices],
+        "halves": [[label, direction, anchor, other,
+                    _encode_props(props)]
+                   for label, direction, anchor, other, props
+                   in halves],
+    }
+
+
+def _decode_writes(record: dict) -> tuple[list, list]:
+    vertices = [(label, vid, _decode_props(props))
+                for label, vid, props in record.get("vertices", [])]
+    halves = [(label, direction, anchor, other, _decode_props(props))
+              for label, direction, anchor, other, props
+              in record.get("halves", [])]
+    return vertices, halves
+
+
+class ShardWAL:
+    """One shard worker's write-ahead log.
+
+    Every write event is appended *before* the worker acknowledges it
+    on the pipe, so an acknowledged update is always recoverable:
+
+    * ``apply`` — a single-shard commit's write slice (the common case);
+    * ``prepare`` — a 2PC stage: the slice is persisted but not yet
+      visible, so an in-doubt transaction survives a crash between
+      prepare and commit and can be rolled forward or back by the
+      coordinator's decision;
+    * ``commit`` / ``abort`` — resolution marks for a prior prepare.
+    """
+
+    def __init__(self, path: str | os.PathLike,
+                 sync_every_append: bool = False) -> None:
+        self._log = AppendLog(path, sync_every_append=sync_every_append)
+
+    @property
+    def path(self) -> str:
+        return self._log.path
+
+    @property
+    def records_logged(self) -> int:
+        return self._log.appended
+
+    def log_apply(self, op_key: str, vertices: list,
+                  halves: list) -> None:
+        self._log.append({"act": "apply", "op": op_key,
+                          **_encode_writes(vertices, halves)})
+
+    def log_prepare(self, op_key: str, vertices: list,
+                    halves: list) -> None:
+        self._log.append({"act": "prepare", "op": op_key,
+                          **_encode_writes(vertices, halves)})
+
+    def log_mark(self, op_key: str, act: str) -> None:
+        """Append a bare ``commit``/``abort`` resolution mark."""
+        self._log.append({"act": act, "op": op_key})
+
+    def tear(self, act: str, op_key: str, vertices: list,
+             halves: list) -> None:
+        """Chaos hook: write half the record (crash mid-append)."""
+        self._log.append_torn({"act": act, "op": op_key,
+                               **_encode_writes(vertices, halves)})
+
+    def close(self) -> None:
+        self._log.close()
+
+
+def read_shard_log(path: str | os.PathLike) -> list[dict]:
+    """Parse a shard WAL (oldest first; torn tail skipped + counted)."""
+    return read_records(path, _SHARD_RECORD_KEYS)
+
+
+def replay_shard_log(store, records: list[dict],
+                     ) -> tuple[dict[str, bool], dict[str, tuple]]:
+    """Re-apply a shard WAL onto a freshly bulk-loaded shard store.
+
+    Returns ``(applied, staged)``: the reconstructed exactly-once
+    applied-table and the in-doubt 2PC stages (prepared, never
+    resolved) awaiting the coordinator's decision.  The store must be a
+    :class:`GraphStore` exposing ``apply_shard_writes``.
+    """
+    applied: dict[str, bool] = {}
+    staged: dict[str, tuple] = {}
+    for record in records:
+        act, op_key = record["act"], record["op"]
+        if act == "apply":
+            if op_key in applied:
+                continue  # duplicate delivery logged twice; apply once
+            vertices, halves = _decode_writes(record)
+            store.apply_shard_writes(vertices, halves)
+            applied[op_key] = True
+        elif act == "prepare":
+            if op_key not in applied:
+                staged[op_key] = _decode_writes(record)
+        elif act == "commit":
+            if op_key in applied:
+                staged.pop(op_key, None)
+                continue
+            stage = staged.pop(op_key, None)
+            if stage is None:
+                raise StoreError(
+                    f"shard WAL commit mark for {op_key} without a "
+                    f"preceding prepare record")
+            store.apply_shard_writes(*stage)
+            applied[op_key] = True
+        elif act == "abort":
+            staged.pop(op_key, None)
+        else:
+            raise StoreError(f"unknown shard WAL act {act!r}")
+    return applied, staged

@@ -88,6 +88,8 @@ class ChaosReport:
     injected_conflicts: int = 0
     #: Worker-side shard faults that fired (sharded runs only).
     injected_shard_faults: dict[str, int] = field(default_factory=dict)
+    #: Supervised worker respawns (crash-tolerant sharded runs only).
+    worker_restarts: int = 0
     driver: DriverReport | None = None
     #: Set when the perturbed run raised instead of completing.
     failure: str | None = None
@@ -121,7 +123,9 @@ def run_chaos(split: SplitDataset, sut_name: str, plan: FaultPlan,
               remote: str | None = None,
               shards: int = 0,
               shard_faults=None,
-              shard_timeout: float = 30.0) -> ChaosReport:
+              shard_timeout: float = 30.0,
+              shard_wal_dir: str | None = None,
+              shard_max_restarts: int = 8) -> ChaosReport:
     """Drive the update stream under faults; compare final digests.
 
     The fault-injecting connector wraps a unified-API adapter over the
@@ -144,6 +148,14 @@ def run_chaos(split: SplitDataset, sut_name: str, plan: FaultPlan,
     reference digest stays single-process, so the soak simultaneously
     proves exactly-once commit under faults *and* shard-placement
     digest invariance.
+
+    ``shard_wal_dir`` arms crash tolerance: per-shard WALs, the 2PC
+    coordinator log, and supervised respawn (budgeted by
+    ``shard_max_restarts``).  It is required when ``shard_faults``
+    carries crash rates (``kill_rate`` / ``kill_after_prepare`` /
+    ``torn_wal_rate``) — those soaks ``kill -9`` workers mid-protocol
+    and the digest gate then proves no acknowledged update was lost
+    and nothing double-applied across the recoveries.
     """
     clean = clean_run_digest(split, sut_name)
 
@@ -174,7 +186,8 @@ def run_chaos(split: SplitDataset, sut_name: str, plan: FaultPlan,
 
         sut = ShardedStoreSUT.for_network(
             split.bulk, shards, faults=shard_faults,
-            request_timeout=shard_timeout)
+            request_timeout=shard_timeout, wal_dir=shard_wal_dir,
+            max_restarts=shard_max_restarts)
     else:
         sut = _make_sut(split, sut_name)
     inner = SUTConnector(sut, serialize=(remote is None
@@ -206,6 +219,12 @@ def run_chaos(split: SplitDataset, sut_name: str, plan: FaultPlan,
     if conflicts is not None:
         report.injected_conflicts = conflicts.injected
         sut.store.fault_injector = None  # quiesce for the snapshot read
+    if report.failure is None:
+        # Digest BEFORE stats on sharded runs: the snapshot gather is
+        # supervised, so a worker that died at the very end of the
+        # stream is recovered here first and its counters are readable.
+        report.chaos_digest = sut.digest() if remote is not None \
+            else _digest_of(sut, sut_name)
     if shards > 0 and shard_faults is not None:
         stats = sut.stats()
         fired: dict[str, int] = {}
@@ -214,9 +233,8 @@ def run_chaos(split: SplitDataset, sut_name: str, plan: FaultPlan,
                 if count:
                     fired[kind] = fired.get(kind, 0) + count
         report.injected_shard_faults = fired
-    if report.failure is None:
-        report.chaos_digest = sut.digest() if remote is not None \
-            else _digest_of(sut, sut_name)
+        report.worker_restarts = stats.get(
+            "supervisor", {}).get("restarts", 0)
     if remote is not None or shards > 0:
         sut.close()
     return report
@@ -259,6 +277,9 @@ def render_chaos(report: ChaosReport) -> str:
             f"{kind}={count}" for kind, count
             in sorted(report.injected_shard_faults.items()))
         lines.append(f"  shard worker faults: {shard_faults}")
+    if report.worker_restarts:
+        lines.append(f"  supervised worker restarts: "
+                     f"{report.worker_restarts}")
     if report.failure is not None:
         lines.append(f"  run FAILED: {report.failure}")
     elif report.driver is not None:

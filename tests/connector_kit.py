@@ -91,6 +91,14 @@ class Live:
     #: True when the connector consults ``raise_if_abandoned`` before
     #: its side-effecting step (stalling connectors must).
     guards_abandonment: bool = False
+    #: True when the underlying system survives a hard crash without
+    #: losing acknowledged updates (arms ``check_crash_recovery``).
+    supports_recovery: bool = False
+    #: Hard-kill the underlying system's worker processes (``kill -9``
+    #: semantics — no flush, no goodbye).
+    crash: Callable[[], None] | None = None
+    #: Canonical digest of the underlying state (recovery oracle).
+    state_digest: Callable[[], str] | None = None
     cleanup: Callable[[], None] | None = None
 
     def done(self) -> None:
@@ -208,9 +216,40 @@ def check_abandoned_never_double_applies(case: ConnectorCase) -> bool:
         live.done()
 
 
+def check_crash_recovery(case: ConnectorCase) -> bool:
+    """An acknowledged update must survive a hard worker crash.
+
+    Executes the probe update (the ack), digests the state, hard-kills
+    the underlying workers, and digests again: the second read runs
+    through the connector's recovery path and must return the exact
+    pre-crash digest — the acked write neither lost nor double-applied
+    by WAL replay.  Returns False for connectors that do not declare
+    crash tolerance (the check does not apply).
+    """
+    live = case.build()
+    try:
+        if not live.supports_recovery:
+            return False
+        assert live.crash is not None and live.state_digest is not None, \
+            f"{case.name}: recovery case must provide crash + digest hooks"
+        assert live.update_op is not None, \
+            f"{case.name}: recovery case must provide an update probe"
+        live.connector.execute(live.update_op)  # the acknowledged write
+        before = live.state_digest()
+        live.crash()
+        after = live.state_digest()  # supervised: recovers, then reads
+        assert after == before, \
+            f"{case.name}: digest diverged across crash recovery " \
+            f"({before[:12]}… -> {after[:12]}…)"
+        return True
+    finally:
+        live.done()
+
+
 ALL_CHECKS = (check_protocol_structure, check_close_idempotent,
               check_error_taxonomy,
-              check_abandoned_never_double_applies)
+              check_abandoned_never_double_applies,
+              check_crash_recovery)
 
 
 # ---------------------------------------------------------------------------
@@ -330,20 +369,41 @@ def sharded_case(split, shards: int = 2) -> ConnectorCase:
     The router checks abandonment before routing a commit, so the
     exactly-once probe runs against genuine worker processes; the
     update probe is the first operation of the split's update stream.
+    Workers get a shard WAL directory, so the case also exercises the
+    crash-recovery check: ``crash`` kill -9s every worker and the
+    supervised digest read must come back byte-identical.
     """
     def build() -> Live:
+        import shutil
+        import tempfile
+
         from repro.driver.connectors import SUTConnector
         from repro.shard import ShardedStoreSUT
 
-        sut = ShardedStoreSUT.for_network(split.bulk, shards)
+        wal_dir = tempfile.mkdtemp(prefix="repro-kit-wal-")
+        sut = ShardedStoreSUT.for_network(split.bulk, shards,
+                                          wal_dir=wal_dir)
         connector = SUTConnector(sut)
+
+        def crash() -> None:
+            for handle in sut.router.handles:
+                handle.process.kill()
+                handle.process.join(timeout=5.0)
+
+        def cleanup() -> None:
+            sut.close()
+            shutil.rmtree(wal_dir, ignore_errors=True)
+
         return Live(connector,
                     wrapped_close_counts=lambda: [
                         1 if sut.router._closed else 0],
                     update_op=split.updates[0],
                     applied_count=lambda: sut.router._updates,
                     guards_abandonment=True,
-                    cleanup=sut.close)
+                    supports_recovery=True,
+                    crash=crash,
+                    state_digest=sut.digest,
+                    cleanup=cleanup)
 
     return ConnectorCase("ShardedStoreConnector", build,
                          supports_reads=True)

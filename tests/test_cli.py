@@ -142,3 +142,40 @@ class TestChaos:
         out = capsys.readouterr().out
         assert code == 0
         assert "chaos canary detected" in out
+
+
+class TestCrashRecoveryFlags:
+    def test_chaos_crash_fault_flags_parse(self):
+        args = build_parser().parse_args(
+            ["chaos", "--shards", "2",
+             "--shard-kill-rate", "0.01",
+             "--shard-kill-after-prepare", "0.02",
+             "--shard-torn-wal-rate", "0.005",
+             "--shard-wal-dir", "/tmp/repro-wal",
+             "--shard-max-restarts", "7"])
+        assert args.shard_kill_rate == 0.01
+        assert args.shard_kill_after_prepare == 0.02
+        assert args.shard_torn_wal_rate == 0.005
+        assert args.shard_wal_dir == "/tmp/repro-wal"
+        assert args.shard_max_restarts == 7
+
+    def test_serve_drain_and_wal_flags_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--drain-timeout", "2.5",
+             "--shard-wal-dir", "/tmp/repro-wal"])
+        assert args.drain_timeout == 2.5
+        assert args.shard_wal_dir == "/tmp/repro-wal"
+
+    def test_chaos_crash_soak_cli_converges(self, capsys):
+        code = main(["chaos", "--persons", "50", "--seed", "11",
+                     "--shards", "2", "--abort-rate", "0",
+                     "--latency-rate", "0",
+                     "--shard-kill-rate", "0.01",
+                     "--shard-kill-after-prepare", "0.02",
+                     "--shard-torn-wal-rate", "0.005",
+                     "--shard-max-restarts", "256"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "supervised worker restarts:" in out
+        assert "state digest: MATCH" in out
+        assert "OK — chaos run converged" in out

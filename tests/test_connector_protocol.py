@@ -28,6 +28,7 @@ from .connector_kit import (
     StubSUT,
     check_abandoned_never_double_applies,
     check_close_idempotent,
+    check_crash_recovery,
     check_error_taxonomy,
     check_protocol_structure,
     sharded_case,
@@ -67,6 +68,18 @@ def test_error_taxonomy_crosses_connector(all_cases, name):
 @pytest.mark.parametrize("name", _CASE_NAMES)
 def test_abandoned_attempt_never_double_applies(all_cases, name):
     check_abandoned_never_double_applies(_case(all_cases, name))
+
+
+@pytest.mark.parametrize("name", _CASE_NAMES)
+def test_crash_recovery_preserves_acked_updates(all_cases, name):
+    check_crash_recovery(_case(all_cases, name))
+
+
+def test_crash_recovery_check_is_actually_probed(all_cases):
+    """The recovery check must not rot into all-skips."""
+    probed = [case.name for case in all_cases
+              if check_crash_recovery(case)]
+    assert "ShardedStoreConnector" in probed
 
 
 def test_every_guarding_connector_is_actually_probed(all_cases):

@@ -471,3 +471,75 @@ def test_unknown_request_kinds_are_fatal(server_client):
         client._round_trip({"v": 1, "kind": "exec"})
     with pytest.raises(RemoteFatalError, match="unknown admin action"):
         client._admin("reboot")
+
+
+# -- graceful drain (the SIGTERM path) -------------------------------------
+
+def test_drain_completes_inflight_work(server_client):
+    """A drain started while a request is executing must let it finish
+    and deliver its response — the client sees a result, never a reset
+    socket — before the server fully stops."""
+    server, client, sut = server_client()
+    sut.delay = 0.15
+    outcome: dict = {}
+
+    def call() -> None:
+        try:
+            outcome["result"] = client.execute(SHORT)
+        except BaseException as exc:  # pragma: no cover - failure path
+            outcome["error"] = exc
+
+    thread = threading.Thread(target=call)
+    thread.start()
+    time.sleep(0.05)  # let the request reach a worker
+    assert server.drain(timeout=5.0) is True
+    thread.join(timeout=5.0)
+    assert "error" not in outcome, outcome.get("error")
+    assert outcome["result"].value == 1
+    assert sut.executed == [SHORT]
+
+
+def test_drain_refuses_new_connections(server_client):
+    import socket
+
+    server, client, __ = server_client()
+    host, port = client.host, client.port
+    assert server.drain(timeout=1.0) is True
+    with pytest.raises(OSError):
+        socket.create_connection((host, port), timeout=1.0).close()
+
+
+def test_drain_times_out_on_wedged_work(server_client):
+    """Work that outlives the deadline: drain returns False (the CLI
+    reports 'drain timed out') but still shuts the server down."""
+    server, client, sut = server_client()
+    sut.delay = 1.0
+    thread = threading.Thread(
+        target=lambda: _swallow(lambda: client.execute(SHORT)))
+    thread.start()
+    time.sleep(0.05)
+    assert server.drain(timeout=0.05) is False
+    thread.join(timeout=10.0)
+    assert server._shutdown.is_set()
+
+
+def test_drain_idempotent_on_idle_server(server_client):
+    server, __, __ = server_client()
+    assert server.drain(timeout=1.0) is True
+    assert server.drain(timeout=1.0) is True  # post-shutdown: no hang
+
+
+def test_drain_timeout_defaults_to_config():
+    sut = ScriptedSUT()
+    server = ReproServer(sut, ServerConfig(drain_timeout=0.2))
+    server.start()
+    started = time.monotonic()
+    assert server.drain() is True  # idle: returns well before 0.2s
+    assert time.monotonic() - started < 0.2 + 1.0
+
+
+def _swallow(fn) -> None:
+    try:
+        fn()
+    except BaseException:
+        pass
