@@ -5,17 +5,27 @@ Q1-Q14 with curated parameters on both of our SUTs (graph store /
 relational engine) and check the paper's shape claims: the heavy
 traversal queries (Q9, Q3, Q14, Q6, Q5) dominate, the point-ish queries
 (Q7, Q8, Q13 at small scale) are cheap.
+
+The vectorized A/B section runs the same engine plans tuple-at-a-time
+vs batch-at-a-time: results must be identical on all 14 queries, and
+the heavy-tier plan pipelines (Q3/Q9) must clear a 2× speedup on an
+adequate runner.  Headline numbers (incl. the honest non-result when
+the box is too small, per the Table 5 convention) land in
+``BENCH_table6.json`` at the repo root.
 """
 
 from __future__ import annotations
 
+import os
 import time
 
 import pytest
 
-from repro.bench import emit_artifact, format_table
+from repro.bench import emit_artifact, emit_headline, format_table
 from repro.core.operation import ComplexRead
 from repro.core.sut import EngineSUT, StoreSUT
+from repro.engine import snb_queries
+from repro.engine.chunks import TUPLE, VECTORIZED, engine_mode
 from repro.queries import COMPLEX_QUERIES
 
 #: The paper's Table 6 rows, for side-by-side rendering.
@@ -76,3 +86,135 @@ def test_table6_mean_complex_latencies(benchmark, measured,
     assert heavy > 5 * cheap
     # Q9 is among the heaviest on the store (paper: heaviest on both).
     assert store_row[8] >= sorted(store_row, reverse=True)[4]
+
+
+# -- tuple vs vectorized A/B ------------------------------------------------
+
+#: Queries whose plan pipelines the vectorized gate times.  Q3 and Q9
+#: are the residual-heavy 2-hop message scans where per-row overhead
+#: dominated; Q14's pipeline is pk-probe-bound (hash lookups cost the
+#: same in both modes), so it is reported, not gated.
+PIPELINE_AB = (3, 9, 14)
+GATED = (3, 9)
+SPEEDUP_TARGET = 2.0
+
+
+def _best_ms(fn, repetitions):
+    """Best-of-N wall time — ratios of minima are the most noise-stable
+    microbenchmark statistic on a shared box."""
+    best = None
+    for __ in range(repetitions):
+        started = time.perf_counter()
+        fn()
+        elapsed = (time.perf_counter() - started) * 1000
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def _pipeline_runner(catalog, query_id, bindings):
+    builder = snb_queries.PIPELINES[query_id]
+
+    def run():
+        for params in bindings:
+            builder(catalog, params).execute_columns()
+    return run
+
+
+def _query_runner(catalog, query_id, bindings):
+    run_query = snb_queries.ENGINE_COMPLEX[query_id]
+
+    def run():
+        for params in bindings:
+            run_query(catalog, params)
+    return run
+
+
+def test_table6_vectorized_ab_gate(measured, bench_catalog,
+                                   bench_params):
+    """Tuple vs vectorized: identical results, ≥2× on the heavy tier.
+
+    The correctness half (the digest gate) is unconditional: every
+    complex read must return identical results in both modes.  The
+    timing half follows the Table 5 convention — the ≥2× assertion is
+    armed only on an adequate runner; a cramped CI box records the
+    measured ratios in ``BENCH_table6.json`` as an honest non-result
+    instead of a silent green.
+    """
+    catalog = bench_catalog
+    # 1 — digest gate: both modes agree on all 14 complex reads.
+    for query_id in range(1, 15):
+        for params in bench_params.by_query[query_id][:4]:
+            run = snb_queries.ENGINE_COMPLEX[query_id]
+            with engine_mode(VECTORIZED):
+                vectorized = run(catalog, params)
+            with engine_mode(TUPLE):
+                volcano = run(catalog, params)
+            assert vectorized == volcano, f"Q{query_id} modes disagree"
+
+    # 2 — end-to-end engine A/B over the full read mix.
+    e2e_speedup = {}
+    for query_id in range(1, 15):
+        runner = _query_runner(catalog, query_id,
+                               bench_params.by_query[query_id][:5])
+        with engine_mode(TUPLE):
+            tuple_ms = _best_ms(runner, repetitions=3)
+        with engine_mode(VECTORIZED):
+            vector_ms = _best_ms(runner, repetitions=3)
+        e2e_speedup[query_id] = round(tuple_ms / vector_ms, 2)
+
+    # 3 — heavy-tier plan pipelines (execution only, no finishing pass).
+    pipeline_ab = {}
+    for query_id in PIPELINE_AB:
+        runner = _pipeline_runner(catalog, query_id,
+                                  bench_params.by_query[query_id])
+        with engine_mode(TUPLE):
+            tuple_ms = _best_ms(runner, repetitions=5)
+        with engine_mode(VECTORIZED):
+            vector_ms = _best_ms(runner, repetitions=5)
+        pipeline_ab[query_id] = {
+            "tuple_ms": round(tuple_ms, 2),
+            "vectorized_ms": round(vector_ms, 2),
+            "speedup": round(tuple_ms / vector_ms, 2),
+        }
+
+    cores = os.cpu_count() or 1
+    armed = cores >= 2
+    store_row, engine_row = measured
+    emit_headline("table6", {
+        "bench": "table6_complex_reads",
+        "cores": cores,
+        "persons": catalog.table("person").row_count,
+        "store_mean_ms": {f"Q{i}": round(v, 2)
+                          for i, v in enumerate(store_row, 1)},
+        "engine_mean_ms": {f"Q{i}": round(v, 2)
+                           for i, v in enumerate(engine_row, 1)},
+        "vectorized_ab": {
+            "modes_agree_on_all_14": True,
+            "e2e_speedup": {f"Q{i}": s
+                            for i, s in e2e_speedup.items()},
+            "heavy_tier_pipeline": {f"Q{i}": stats
+                                    for i, stats in
+                                    pipeline_ab.items()},
+            "gate": {
+                "target": SPEEDUP_TARGET,
+                "gated_queries": [f"Q{i}" for i in GATED],
+                "armed": armed,
+                "note": ("Q14's pipeline is pk-probe-bound (equal "
+                         "hash-lookup cost in both modes); its "
+                         "vectorized win is the CSR BFS, visible "
+                         "end-to-end at scale")
+                if armed else
+                f"non-result: {cores} core(s) is too small to arm "
+                "the timing gate",
+            },
+        },
+    })
+
+    # The acceptance gate proper: on an adequate box the heavy-tier
+    # pipelines must clear the 2× target.  A 1-core runner cannot time
+    # this reliably — the headline records the ratios so the non-result
+    # is honest rather than silently green.
+    if armed:
+        for query_id in GATED:
+            assert pipeline_ab[query_id]["speedup"] >= SPEEDUP_TARGET, \
+                (query_id, pipeline_ab)

@@ -155,6 +155,12 @@ class InteractiveBenchmark:
             if cache.adjacency:
                 store.adjacency_cache = AdjacencyCache(
                     cache.adjacency_max_entries)
+                # The packed-adjacency BFS fast path rides the same
+                # cache switch (it is the adjacency cache's whole-label
+                # counterpart, invalidated by edge-append counters).
+                from ..store.csr import CSRCache
+
+                store.csr_cache = CSRCache()
             return StoreSUT(store)
         if self.config.sut == "engine":
             catalog = load_catalog(bulk)

@@ -69,6 +69,34 @@ class CardinalityEstimator:
         """Estimated friendship degree (knows stores both directions)."""
         return self.fanout("knows", "person1_id")
 
+    def k_hop_circle(self, depth: int, table_name: str = "knows",
+                     column: str = "person1_id") -> Estimate:
+        """Estimated size of a ``depth``-hop circle from one person.
+
+        Generalizes :meth:`two_hop_circle` for the expand-sourced plans
+        (Q1's 3-hop, Q13's unbounded search).  The estimate is capped at
+        the number of distinct source nodes — beyond the graph diameter
+        every further hop adds nothing, which keeps Q13's "unbounded"
+        depth finite.
+        """
+        cap = float(self.catalog.table(table_name).distinct_count(column))
+        total = 0.0
+        frontier = 1.0
+        hops = 0
+        for hop in range(depth):
+            estimate = self.expand(frontier, table_name, column,
+                                   repeat_expansion=hop > 0)
+            frontier = estimate.rows
+            total += frontier
+            hops = hop + 1
+            if total >= cap or frontier < 1.0:
+                total = min(total, cap)
+                break
+        return Estimate(total,
+                        f"{hops}-hop circle ≈ {total:.0f} "
+                        f"(degree={self.average_degree():.1f}, "
+                        f"dedup={DEDUP_DAMPING}, cap={cap:.0f})")
+
     def two_hop_circle(self) -> Estimate:
         """Estimated size of a 2-hop friendship circle from one person."""
         degree = self.average_degree()

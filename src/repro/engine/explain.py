@@ -12,11 +12,18 @@ from .optimizer import PlannedPipeline
 
 
 def explain(root: Operator, show_actuals: bool = False) -> str:
-    """Indented tree of the plan; actual cardinalities if executed."""
+    """Indented tree of the plan; optimizer estimates are rendered
+    next to actual cardinalities once executed (``est=…`` / ``out=…``),
+    so mis-estimates are visible per operator."""
     lines: list[str] = []
 
     def visit(op: Operator, depth: int) -> None:
-        note = f"  [out={op.tuples_out}]" if show_actuals else ""
+        notes = []
+        if op.estimated_rows is not None:
+            notes.append(f"est={op.estimated_rows:.1f}")
+        if show_actuals:
+            notes.append(f"out={op.tuples_out}")
+        note = f"  [{' '.join(notes)}]" if notes else ""
         lines.append("  " * depth + op.label + note)
         for child in op.children:
             visit(child, depth + 1)

@@ -1,4 +1,4 @@
-"""Volcano-style physical operators.
+"""Physical operators: dual-mode volcano / vectorized execution.
 
 Every operator is an iterable of tuples with a :class:`~.rows.Schema`.
 Operators count the tuples they produce (``tuples_out``) — these are the
@@ -6,14 +6,37 @@ Operators count the tuples they produce (``tuples_out``) — these are the
 function ``C_out`` is defined over (paper §4.1: "as opposed to estimates
 of C_out ... we use the de facto amounts of intermediate result
 cardinalities"), and what the Figure 4 bench reports per plan node.
+
+Two execution strategies share each operator (selected globally by
+:func:`~.chunks.execution_mode`):
+
+* ``_produce()`` — the original tuple-at-a-time volcano path, one
+  Python generator hop per row per operator;
+* ``_produce_chunks()`` — batch-at-a-time columnar execution: operators
+  exchange :class:`~.chunks.Chunk` batches of parallel column arrays
+  and do their work as bulk list comprehensions / ``zip`` transposes /
+  set operations.  ``TransitiveExpand`` additionally switches from
+  per-node index probes to the packed CSR adjacency
+  (:meth:`~.rows.Table.csr`), expanding whole BFS frontiers at once.
+
+Both paths produce the same rows; ``tuples_out`` counts identically
+(chunk emission adds ``len(chunk)``).  Consumers that abandon iteration
+early (Limit, TopK over a streaming child) may leave a producer's count
+up to one chunk higher in vectorized mode — the full-materialization
+counts the benches and tests compare are unaffected.
 """
 
 from __future__ import annotations
 
+import operator as _op
+from collections import Counter
+from itertools import repeat as _repeat
 from typing import Any, Callable, Iterable, Iterator
 
 from .. import telemetry
 from ..errors import EngineError
+from .chunks import CHUNK_SIZE, VECTORIZED, Chunk, execution_mode
+from .predicates import Predicate
 from .rows import Schema, Table
 
 
@@ -25,11 +48,18 @@ class Operator:
         self.label = label
         self.tuples_out = 0
         self.children: list["Operator"] = []
+        #: Optimizer-estimated output rows (set during planning; None
+        #: for hand-built trees).  Rendered by EXPLAIN next to actuals.
+        self.estimated_rows: float | None = None
+
+    # -- tuple-at-a-time path ------------------------------------------------
 
     def _produce(self) -> Iterator[tuple]:
         raise NotImplementedError
 
     def __iter__(self) -> Iterator[tuple]:
+        if execution_mode() == VECTORIZED:
+            return self._iter_chunk_rows()
         if telemetry.active:
             return self._iter_traced()
         return self._iter_plain()
@@ -54,9 +84,63 @@ class Operator:
             finally:
                 span.set("tuples_out", self.tuples_out)
 
+    # -- batch-at-a-time path ------------------------------------------------
+
+    def _produce_chunks(self) -> Iterator[Chunk]:
+        # Fallback so hand-built operators without a vectorized form
+        # still run under the vectorized engine: batch the tuple path.
+        rows: list[tuple] = []
+        for row in self._produce():
+            rows.append(row)
+            if len(rows) >= CHUNK_SIZE:
+                yield Chunk.from_rows(rows, len(self.schema))
+                rows = []
+        if rows:
+            yield Chunk.from_rows(rows, len(self.schema))
+
+    def chunks(self) -> Iterator[Chunk]:
+        """Chunk stream with counting and (optional) tracing."""
+        if telemetry.active:
+            return self._chunks_traced()
+        return self._chunks_plain()
+
+    def _chunks_plain(self) -> Iterator[Chunk]:
+        for chunk in self._produce_chunks():
+            self.tuples_out += len(chunk)
+            yield chunk
+
+    def _chunks_traced(self) -> Iterator[Chunk]:
+        with telemetry.span("engine." + self.label) as span:
+            try:
+                for chunk in self._produce_chunks():
+                    self.tuples_out += len(chunk)
+                    yield chunk
+            finally:
+                span.set("tuples_out", self.tuples_out)
+
+    def _iter_chunk_rows(self) -> Iterator[tuple]:
+        # Row view of the chunk stream; counting happens in chunks().
+        for chunk in self.chunks():
+            yield from chunk.rows()
+
+    # -- shared --------------------------------------------------------------
+
     def execute(self) -> list[tuple]:
         """Materialize the full result."""
         return list(self)
+
+    def execute_columns(self) -> list[list]:
+        """Materialize the full result as parallel column arrays."""
+        if execution_mode() == VECTORIZED:
+            columns: list[list] = [[] for _ in self.schema.columns]
+            for chunk in self.chunks():
+                for acc, column in zip(columns, chunk.columns):
+                    acc.extend(column)
+            return columns
+        rows = self.execute()
+        if not rows:
+            return [[] for _ in self.schema.columns]
+        return [list(column) for column in zip(*rows)]
 
     def reset_counters(self) -> None:
         self.tuples_out = 0
@@ -64,14 +148,28 @@ class Operator:
             child.reset_counters()
 
 
+def _resolve_predicate(predicate, schema: Schema):
+    """Normalize a residual into ``(row_fn, predicate_or_None)``."""
+    if isinstance(predicate, Predicate):
+        predicate.resolve(schema)
+        return predicate.row_fn(), predicate
+    return predicate, None
+
+
 class Scan(Operator):
     """Full table scan with an optional residual predicate."""
 
     def __init__(self, table: Table,
-                 predicate: Callable[[tuple], bool] | None = None) -> None:
+                 predicate: Callable[[tuple], bool] | Predicate | None
+                 = None) -> None:
         super().__init__(table.schema, f"scan({table.name})")
         self.table = table
-        self.predicate = predicate
+        if predicate is None:
+            self.predicate = None
+            self._columnar = None
+        else:
+            self.predicate, self._columnar = _resolve_predicate(
+                predicate, table.schema)
 
     def _produce(self) -> Iterator[tuple]:
         if self.predicate is None:
@@ -80,6 +178,30 @@ class Scan(Operator):
             for row in self.table.rows:
                 if self.predicate(row):
                     yield row
+
+    def _produce_chunks(self) -> Iterator[Chunk]:
+        rows = self.table.rows
+        width = len(self.schema)
+        for start in range(0, len(rows), CHUNK_SIZE):
+            block = rows[start:start + CHUNK_SIZE]
+            chunk = Chunk.from_rows(block, width)
+            if self.predicate is not None:
+                if self._columnar is not None:
+                    kept = self._columnar.keep_indices(chunk.columns)
+                    if len(kept) == len(block):
+                        yield chunk
+                        continue
+                    if not kept:
+                        continue
+                    chunk = chunk.gather(kept)
+                else:
+                    predicate = self.predicate
+                    survivors = [row for row in block if predicate(row)]
+                    if not survivors:
+                        continue
+                    chunk = Chunk.from_rows(survivors, width)
+            if len(chunk):
+                yield chunk
 
 
 class IndexRangeScan(Operator):
@@ -97,6 +219,18 @@ class IndexRangeScan(Operator):
     def _produce(self) -> Iterator[tuple]:
         yield from self.table.range_scan(self.low, self.high,
                                          self.reverse)
+
+    def _produce_chunks(self) -> Iterator[Chunk]:
+        width = len(self.schema)
+        rows: list[tuple] = []
+        for row in self.table.range_scan(self.low, self.high,
+                                         self.reverse):
+            rows.append(row)
+            if len(rows) >= CHUNK_SIZE:
+                yield Chunk.from_rows(rows, width)
+                rows = []
+        if rows:
+            yield Chunk.from_rows(rows, width)
 
 
 class KeyLookup(Operator):
@@ -120,22 +254,77 @@ class KeyLookup(Operator):
             for key in self.keys:
                 yield from self.table.probe(self.column, key)
 
+    def _produce_chunks(self) -> Iterator[Chunk]:
+        width = len(self.schema)
+        rows: list[tuple] = []
+        if self.column is None:
+            get_pk = self.table.get_pk
+            for key in self.keys:
+                row = get_pk(key)
+                if row is not None:
+                    rows.append(row)
+                    if len(rows) >= CHUNK_SIZE:
+                        yield Chunk.from_rows(rows, width)
+                        rows = []
+        else:
+            probe = self.table.probe
+            column = self.column
+            for key in self.keys:
+                rows.extend(probe(column, key))
+                if len(rows) >= CHUNK_SIZE:
+                    yield Chunk.from_rows(rows, width)
+                    rows = []
+        if rows:
+            yield Chunk.from_rows(rows, width)
+
 
 class Filter(Operator):
-    """Residual predicate over any input operator."""
+    """Residual predicate over any input operator.
+
+    Accepts either a plain row callable (volcano-era residuals) or a
+    declarative :class:`~.predicates.Predicate`, which additionally
+    evaluates column-at-a-time under vectorized execution.
+    """
 
     def __init__(self, child: Operator,
-                 predicate: Callable[[tuple], bool],
-                 label: str = "filter") -> None:
+                 predicate: Callable[[tuple], bool] | Predicate,
+                 label: str = "filter",
+                 prefiltered: bool = False) -> None:
         super().__init__(child.schema, label)
         self.child = child
         self.children = [child]
-        self.predicate = predicate
+        self.predicate, self._columnar = _resolve_predicate(
+            predicate, child.schema)
+        # True when the child already applied this predicate on its
+        # vectorized path (residual pushdown): chunks pass through
+        # untouched, while the volcano path still filters.
+        self.prefiltered = prefiltered
 
     def _produce(self) -> Iterator[tuple]:
         for row in self.child:
             if self.predicate(row):
                 yield row
+
+    def _produce_chunks(self) -> Iterator[Chunk]:
+        if self.prefiltered:
+            yield from self.child.chunks()
+            return
+        columnar = self._columnar
+        if columnar is not None:
+            for chunk in self.child.chunks():
+                kept = columnar.keep_indices(chunk.columns)
+                if len(kept) == len(chunk):
+                    yield chunk
+                elif kept:
+                    yield chunk.gather(kept)
+        else:
+            predicate = self.predicate
+            width = len(self.schema)
+            for chunk in self.child.chunks():
+                survivors = [row for row in chunk.rows()
+                             if predicate(row)]
+                if survivors:
+                    yield Chunk.from_rows(survivors, width)
 
 
 class Project(Operator):
@@ -153,6 +342,11 @@ class Project(Operator):
         for row in self.child:
             yield tuple(row[p] for p in self.positions)
 
+    def _produce_chunks(self) -> Iterator[Chunk]:
+        positions = self.positions
+        for chunk in self.child.chunks():
+            yield Chunk([chunk.columns[p] for p in positions])
+
 
 class IndexNestedLoopJoin(Operator):
     """For each outer row, probe an index on the inner table.
@@ -165,7 +359,8 @@ class IndexNestedLoopJoin(Operator):
 
     def __init__(self, outer: Operator, inner: Table, outer_key: str,
                  inner_column: str | None = None,
-                 label: str | None = None) -> None:
+                 label: str | None = None,
+                 residual: "Predicate | None" = None) -> None:
         schema = outer.schema.concat(inner.schema, prefix="inner_")
         name = label or (f"inl({inner.name} on "
                          f"{inner_column or inner.primary_key})")
@@ -175,6 +370,15 @@ class IndexNestedLoopJoin(Operator):
         self.inner = inner
         self.outer_position = outer.schema.position(outer_key)
         self.inner_column = inner_column
+        # Late materialization: a pushed-down residual is evaluated on
+        # candidate (outer index, inner row) pairs BEFORE the joined
+        # columns are assembled, so rejected rows are never copied.
+        # Vectorized-path only — the volcano path leaves filtering to
+        # the Filter operator above (which, on the vectorized path,
+        # re-checks the surviving rows and passes chunks through).
+        self.residual = residual
+        if residual is not None:
+            residual.resolve(schema)
 
     def _produce(self) -> Iterator[tuple]:
         if self.inner_column is None:
@@ -188,6 +392,88 @@ class IndexNestedLoopJoin(Operator):
                 for inner_row in self.inner.probe(
                         self.inner_column, outer_row[self.outer_position]):
                     yield outer_row + inner_row
+
+    def _produce_chunks(self) -> Iterator[Chunk]:
+        position = self.outer_position
+        if self.inner_column is None:
+            # Probe the pk dict directly: map(dict.get, keys) stays in C
+            # end to end, skipping 1 Python frame per key.
+            get_pk = self.inner._pk_index.get
+            for chunk in self.outer.chunks():
+                keys = chunk.columns[position]
+                # Batch the pk probes through map/filter so the common
+                # all-hits case never enters a Python-level loop body.
+                rows = list(map(get_pk, keys))
+                inner_rows: list[tuple] = list(filter(None, rows))
+                if len(inner_rows) == len(rows):
+                    indices: list[int] = list(range(len(rows)))
+                else:
+                    indices = [i for i, row in enumerate(rows)
+                               if row is not None]
+                if indices:
+                    yield self._gathered(chunk, indices, inner_rows)
+        else:
+            # Same trick for hash-index probes: resolve the index dict
+            # once, then each chunk is one C-level map over the keys.
+            index = self.inner._hash_indexes.get(self.inner_column)
+            if index is None:
+                raise EngineError(
+                    f"no hash index on {self.inner.name}."
+                    f"{self.inner_column}")
+            lookup = index.get
+            for chunk in self.outer.chunks():
+                keys = chunk.columns[position]
+                indices = []
+                inner_rows = []
+                for i, matches in enumerate(map(lookup, keys)):
+                    if matches:
+                        indices.extend(_repeat(i, len(matches)))
+                        inner_rows.extend(matches)
+                if indices:
+                    yield self._gathered(chunk, indices, inner_rows)
+
+    def _gathered(self, chunk: Chunk, indices: list[int],
+                  inner_rows: list[tuple]) -> Chunk:
+        if self.residual is not None:
+            lazy = _LazyJoinColumns(chunk, indices, inner_rows,
+                                    len(chunk.columns))
+            kept = self.residual.keep_indices(lazy)
+            if len(kept) != len(indices):
+                indices = list(map(indices.__getitem__, kept))
+                inner_rows = list(map(inner_rows.__getitem__, kept))
+        outer_columns = [list(map(column.__getitem__, indices))
+                         for column in chunk.columns]
+        inner_columns = [list(column) for column in zip(*inner_rows)] \
+            if inner_rows else [[] for __ in self.inner.schema.columns]
+        return Chunk(outer_columns + inner_columns)
+
+
+class _LazyJoinColumns:
+    """Column view over un-materialized join candidates.
+
+    Supplies ``predicate.keep_indices`` with exactly the columns it
+    touches: an outer column is gathered through the candidate index
+    list, an inner column is extracted straight from the matched rows —
+    the full joined chunk is never built for rows the residual rejects.
+    """
+
+    __slots__ = ("_chunk", "_indices", "_inner_rows", "_outer_width")
+
+    def __init__(self, chunk: Chunk, indices: list[int],
+                 inner_rows: list[tuple], outer_width: int) -> None:
+        self._chunk = chunk
+        self._indices = indices
+        self._inner_rows = inner_rows
+        self._outer_width = outer_width
+
+    def __getitem__(self, position: int):
+        # Returns a lazy iterator, not a list: the predicate's single
+        # map/compress pass consumes it without an intermediate copy.
+        if position < self._outer_width:
+            column = self._chunk.columns[position]
+            return map(column.__getitem__, self._indices)
+        picker = _op.itemgetter(position - self._outer_width)
+        return map(picker, self._inner_rows)
 
 
 class HashJoin(Operator):
@@ -221,6 +507,40 @@ class HashJoin(Operator):
             for build_row in table.get(probe_row[self.probe_position], ()):
                 yield probe_row + build_row
 
+    def _produce_chunks(self) -> Iterator[Chunk]:
+        # Build: accumulate row tuples and a key → row-index multimap.
+        table: dict[Any, list[int]] = {}
+        build_rows: list[tuple] = []
+        build_position = self.build_position
+        for chunk in self.build.chunks():
+            base = len(build_rows)
+            build_rows.extend(chunk.rows())
+            keys = chunk.columns[build_position]
+            for i, key in enumerate(keys):
+                bucket = table.get(key)
+                if bucket is None:
+                    bucket = table[key] = []
+                bucket.append(base + i)
+        # Probe: per chunk, gather matching probe indices and build rows.
+        probe_position = self.probe_position
+        get = table.get
+        for chunk in self.probe.chunks():
+            keys = chunk.columns[probe_position]
+            indices: list[int] = []
+            matches: list[int] = []
+            for i, key in enumerate(keys):
+                bucket = get(key)
+                if bucket:
+                    indices.extend([i] * len(bucket))
+                    matches.extend(bucket)
+            if not indices:
+                continue
+            probe_columns = [[column[i] for i in indices]
+                            for column in chunk.columns]
+            build_columns = list(
+                zip(*(build_rows[j] for j in matches)))
+            yield Chunk(probe_columns + build_columns)
+
 
 class Sort(Operator):
     """Full sort on a key function."""
@@ -238,6 +558,15 @@ class Sort(Operator):
         yield from sorted(self.child, key=self.key,
                           reverse=self.descending)
 
+    def _produce_chunks(self) -> Iterator[Chunk]:
+        rows: list[tuple] = []
+        for chunk in self.child.chunks():
+            rows.extend(chunk.rows())
+        rows.sort(key=self.key, reverse=self.descending)
+        width = len(self.schema)
+        for start in range(0, len(rows), CHUNK_SIZE):
+            yield Chunk.from_rows(rows[start:start + CHUNK_SIZE], width)
+
 
 class TopK(Operator):
     """Sort + limit fused (bounded memory)."""
@@ -251,15 +580,22 @@ class TopK(Operator):
         self.k = k
         self.descending = descending
 
-    def _produce(self) -> Iterator[tuple]:
+    def _select(self, rows: Iterable[tuple]) -> list[tuple]:
         import heapq
 
         if self.descending:
-            rows = heapq.nsmallest(self.k, self.child,
+            return heapq.nsmallest(self.k, rows,
                                    key=lambda r: _neg(self.key(r)))
-        else:
-            rows = heapq.nsmallest(self.k, self.child, key=self.key)
-        yield from rows
+        return heapq.nsmallest(self.k, rows, key=self.key)
+
+    def _produce(self) -> Iterator[tuple]:
+        yield from self._select(self.child)
+
+    def _produce_chunks(self) -> Iterator[Chunk]:
+        rows: list[tuple] = []
+        for chunk in self.child.chunks():
+            rows.extend(chunk.rows())
+        yield Chunk.from_rows(self._select(rows), len(self.schema))
 
 
 def _neg(key):
@@ -286,6 +622,22 @@ class Limit(Operator):
                 return
             yield row
 
+    def _produce_chunks(self) -> Iterator[Chunk]:
+        remaining = self.k
+        if remaining <= 0:
+            return
+        for chunk in self.child.chunks():
+            size = len(chunk)
+            if size <= remaining:
+                yield chunk
+                remaining -= size
+                if remaining == 0:
+                    return
+            else:
+                yield Chunk([column[:remaining]
+                             for column in chunk.columns])
+                return
+
 
 class Distinct(Operator):
     """Duplicate elimination (hash-based)."""
@@ -301,6 +653,20 @@ class Distinct(Operator):
             if row not in seen:
                 seen.add(row)
                 yield row
+
+    def _produce_chunks(self) -> Iterator[Chunk]:
+        seen: set[tuple] = set()
+        width = len(self.schema)
+        for chunk in self.child.chunks():
+            fresh: list[tuple] = []
+            for row in chunk.rows():
+                if row not in seen:
+                    seen.add(row)
+                    fresh.append(row)
+            if len(fresh) == len(chunk):
+                yield chunk
+            elif fresh:
+                yield Chunk.from_rows(fresh, width)
 
 
 class GroupAggregate(Operator):
@@ -322,30 +688,63 @@ class GroupAggregate(Operator):
              if column is not None else None)
             for kind, column in aggregates.values()]
 
+    def _accumulate(self, groups: dict, key: tuple, row: tuple) -> None:
+        state = groups.get(key)
+        if state is None:
+            state = groups[key] = [None] * len(self.aggregates)
+        for i, (kind, position) in enumerate(self.aggregates):
+            value = row[position] if position is not None else 1
+            current = state[i]
+            if kind == "count":
+                state[i] = (current or 0) + 1
+            elif kind == "sum":
+                state[i] = (current or 0) + value
+            elif kind == "min":
+                state[i] = value if current is None \
+                    else min(current, value)
+            elif kind == "max":
+                state[i] = value if current is None \
+                    else max(current, value)
+            else:
+                raise EngineError(f"unknown aggregate {kind}")
+
     def _produce(self) -> Iterator[tuple]:
         groups: dict[tuple, list] = {}
         for row in self.child:
             key = tuple(row[p] for p in self.group_positions)
-            state = groups.get(key)
-            if state is None:
-                state = groups[key] = [None] * len(self.aggregates)
-            for i, (kind, position) in enumerate(self.aggregates):
-                value = row[position] if position is not None else 1
-                current = state[i]
-                if kind == "count":
-                    state[i] = (current or 0) + 1
-                elif kind == "sum":
-                    state[i] = (current or 0) + value
-                elif kind == "min":
-                    state[i] = value if current is None \
-                        else min(current, value)
-                elif kind == "max":
-                    state[i] = value if current is None \
-                        else max(current, value)
-                else:
-                    raise EngineError(f"unknown aggregate {kind}")
+            self._accumulate(groups, key, row)
         for key, state in groups.items():
             yield key + tuple(state)
+
+    def _produce_chunks(self) -> Iterator[Chunk]:
+        count_only = all(kind == "count"
+                         for kind, _ in self.aggregates)
+        groups: dict[tuple, list] = {}
+        counts: dict[tuple, int] = {}
+        for chunk in self.child.chunks():
+            key_columns = [chunk.columns[p]
+                           for p in self.group_positions]
+            keys = zip(*key_columns) if len(key_columns) > 1 \
+                else zip(key_columns[0])
+            if count_only:
+                # Pure count group-by collapses to a Counter update —
+                # one C-level pass per chunk, no per-row state lists.
+                counter = Counter(keys)
+                for key, count in counter.items():
+                    counts[key] = counts.get(key, 0) + count
+            else:
+                for key, row in zip(keys, chunk.rows()):
+                    self._accumulate(groups, key, row)
+        width = len(self.schema)
+        if count_only:
+            n_aggs = len(self.aggregates)
+            rows = [key + (count,) * n_aggs
+                    for key, count in counts.items()]
+        else:
+            rows = [key + tuple(state)
+                    for key, state in groups.items()]
+        for start in range(0, len(rows), CHUNK_SIZE):
+            yield Chunk.from_rows(rows[start:start + CHUNK_SIZE], width)
 
 
 class Union(Operator):
@@ -362,6 +761,10 @@ class Union(Operator):
         for child in self.inputs:
             yield from child
 
+    def _produce_chunks(self) -> Iterator[Chunk]:
+        for child in self.inputs:
+            yield from child.chunks()
+
 
 class TransitiveExpand(Operator):
     """Bounded-depth BFS over a two-column edge table.
@@ -370,6 +773,12 @@ class TransitiveExpand(Operator):
     "shortcuts for recursive SQL subqueries to run specific graph
     algorithms inside SQL queries").  Output schema: ``(node, distance)``
     for 1 ≤ distance ≤ max_depth, excluding the source.
+
+    Vectorized execution expands whole BFS frontiers against the packed
+    CSR adjacency (one slice-and-extend per frontier node, one set
+    difference per level) and emits one chunk per level — so a consumer
+    that stops early (Q13's shortest path) abandons the BFS at a level
+    boundary.
     """
 
     def __init__(self, edges: Table, source: Any, max_depth: int,
@@ -399,6 +808,12 @@ class TransitiveExpand(Operator):
             frontier = next_frontier
             if not frontier:
                 return
+
+    def _produce_chunks(self) -> Iterator[Chunk]:
+        csr = self.edges.csr(self.from_column, self.to_column)
+        for frontier, depth in csr.frontier_bfs(self.source,
+                                                self.max_depth):
+            yield Chunk([frontier, [depth] * len(frontier)])
 
 
 def collect_cardinalities(root: Operator) -> dict[str, int]:

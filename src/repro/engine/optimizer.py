@@ -4,7 +4,8 @@
 joins, since they are highly sensitive to cardinalities of their inputs."
 
 The optimizer plans *linear join pipelines*: a point source (index
-lookup) followed by a sequence of joins.  For every join it compares
+lookup, or a transitive friendship expansion for the circle-shaped
+queries) followed by a sequence of joins.  For every join it compares
 
 * **index nested loop**: ``outer × (probe_cost + fanout)``, available
   when the inner table has a usable index on the join column;
@@ -15,23 +16,29 @@ lookup) followed by a sequence of joins.  For every join it compares
 ``force`` overrides let the Figure 4 bench measure the penalty of the
 wrong choice (the paper: "replacing index-nested loop with hash in ⨝1
 results in 50% penalty" in HyPer).
+
+Every planned operator is annotated with ``estimated_rows`` so EXPLAIN
+can render estimates next to post-execution actuals.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Union
 
 from ..errors import PlanError
 from .cardinality import CardinalityEstimator
 from .catalog import Catalog
 from .operators import (
+    Filter,
     HashJoin,
     IndexNestedLoopJoin,
     KeyLookup,
     Operator,
     Scan,
+    TransitiveExpand,
 )
+from .predicates import Predicate
 
 #: Cost units per index probe (hash/pk lookup).
 PROBE_COST = 1.5
@@ -39,6 +46,10 @@ PROBE_COST = 1.5
 BUILD_COST = 1.0
 #: Cost units per produced output row.
 OUTPUT_COST = 0.2
+
+#: Residuals may be row callables (volcano-era) or declarative
+#: predicates (column-aware, vectorizable).
+Residual = Union[Callable[[tuple], bool], Predicate]
 
 
 @dataclass
@@ -51,7 +62,7 @@ class JoinStep:
     #: Indexed column of the inner table (None → primary key).
     inner_column: str | None = None
     #: Residual predicate applied to the join output.
-    residual: Callable[[tuple], bool] | None = None
+    residual: Residual | None = None
     #: Estimated selectivity of the residual (for downstream estimates).
     selectivity: float = 1.0
     #: True when this re-expands an edge table already expanded once
@@ -62,14 +73,38 @@ class JoinStep:
 
 
 @dataclass
-class JoinSpec:
-    """A linear pipeline: source lookup + join steps."""
+class ExpandSource:
+    """Pipeline source: a bounded-depth friendship-circle expansion.
 
-    source_table: str
-    source_keys: list[Any]
+    The circle-shaped queries (Q1/Q3/Q5/Q6/Q9/Q11/Q13) start from the
+    k-hop circle of one person rather than a key list; the source
+    operator is :class:`TransitiveExpand` and the estimator's k-hop
+    circle estimate seeds the pipeline's outer cardinality."""
+
+    edges_table: str
+    source_key: Any
+    max_depth: int
+    from_column: str = "person1_id"
+    to_column: str = "person2_id"
+
+
+@dataclass
+class JoinSpec:
+    """A linear pipeline: source (lookup or expansion) + join steps."""
+
+    source_table: str | None = None
+    source_keys: list[Any] = field(default_factory=list)
     #: Indexed column the source keys probe (None → primary key).
     source_column: str | None = None
     steps: list[JoinStep] = field(default_factory=list)
+    #: Alternative source: a transitive expansion instead of a lookup.
+    source_expand: ExpandSource | None = None
+
+    def __post_init__(self) -> None:
+        if (self.source_table is None) == (self.source_expand is None):
+            raise PlanError(
+                "JoinSpec needs exactly one of source_table / "
+                "source_expand")
 
 
 @dataclass
@@ -103,15 +138,21 @@ class PlannedPipeline:
     def execute(self) -> list[tuple]:
         return self.root.execute()
 
+    def execute_columns(self) -> list[list]:
+        """Full result as parallel column arrays (mode-aware)."""
+        return self.root.execute_columns()
+
 
 class Optimizer:
     """Plans join pipelines against a catalog.
 
     When the catalog carries a :class:`repro.cache.PlanCache` and the
-    caller identifies the query shape (``query_id``), planning decisions
-    are cached per ``(query id, catalog version)``: a hit rebuilds the
-    cheap operator chain from the remembered join algorithms and skips
-    cardinality estimation and costing entirely.
+    caller identifies the query shape (``query_id`` — an int for the 14
+    production plans, any hashable for named variants like the Fig. 4
+    leg pipelines), planning decisions are cached per ``(query id,
+    catalog version)``: a hit rebuilds the cheap operator chain from the
+    remembered join algorithms and skips cardinality estimation and
+    costing entirely.
     """
 
     def __init__(self, catalog: Catalog) -> None:
@@ -119,7 +160,7 @@ class Optimizer:
         self.estimator = CardinalityEstimator(catalog)
 
     def plan(self, spec: JoinSpec,
-             query_id: int | None = None) -> PlannedPipeline:
+             query_id: int | str | None = None) -> PlannedPipeline:
         """Choose join algorithms and build the physical plan.
 
         ``query_id`` names the query shape for plan caching; pass None
@@ -135,13 +176,29 @@ class Optimizer:
             cache.put(query_id, self.catalog.version, pipeline.decisions)
         return pipeline
 
+    def _source(self, spec: JoinSpec) -> tuple[Operator, float]:
+        """Build the pipeline source and estimate its cardinality."""
+        if spec.source_expand is not None:
+            expand = spec.source_expand
+            root: Operator = TransitiveExpand(
+                self.catalog.table(expand.edges_table),
+                expand.source_key, expand.max_depth,
+                expand.from_column, expand.to_column)
+            rows = self.estimator.k_hop_circle(
+                expand.max_depth, expand.edges_table,
+                expand.from_column).rows
+        else:
+            source_table = self.catalog.table(spec.source_table)
+            root = KeyLookup(source_table, spec.source_keys,
+                             spec.source_column)
+            rows = self.estimator.expand(
+                float(len(spec.source_keys)), spec.source_table,
+                spec.source_column).rows
+        root.estimated_rows = rows
+        return root, rows
+
     def _plan_fresh(self, spec: JoinSpec) -> PlannedPipeline:
-        source_table = self.catalog.table(spec.source_table)
-        root: Operator = KeyLookup(source_table, spec.source_keys,
-                                   spec.source_column)
-        outer_rows = self.estimator.expand(
-            float(len(spec.source_keys)), spec.source_table,
-            spec.source_column).rows
+        root, outer_rows = self._source(spec)
         decisions: list[PlannedJoin] = []
         for index, step in enumerate(spec.steps):
             root, outer_rows, decision = self._plan_step(
@@ -152,13 +209,12 @@ class Optimizer:
     def _rebuild(self, spec: JoinSpec,
                  decisions) -> PlannedPipeline:
         """Rebuild the operator chain from cached algorithm choices."""
-        source_table = self.catalog.table(spec.source_table)
-        root: Operator = KeyLookup(source_table, spec.source_keys,
-                                   spec.source_column)
+        root, _ = self._source(spec)
         for index, (step, decision) in enumerate(
                 zip(spec.steps, decisions)):
             root = self._build_join(root, index, step,
                                     decision.algorithm)
+            root.estimated_rows = decision.estimated_output
         return PlannedPipeline(root, list(decisions), from_cache=True)
 
     def _plan_step(self, outer: Operator, outer_rows: float, index: int,
@@ -180,10 +236,14 @@ class Optimizer:
             algorithm = step.force
         elif not indexed:
             algorithm = "hash"
+        elif step.inner_column is None:
+            # Hash joins build on a join column; pk probes are INL-only.
+            algorithm = "inl"
         else:
             algorithm = "inl" if inl_cost <= hash_cost else "hash"
 
         joined = self._build_join(outer, index, step, algorithm)
+        joined.estimated_rows = estimate.rows
         decision = PlannedJoin(
             step_index=index,
             inner_table=step.inner_table,
@@ -207,8 +267,16 @@ class Optimizer:
                 "without an index")
 
         if algorithm == "inl":
+            # Declarative residuals are pushed into the join for late
+            # materialization (vectorized path): candidates the residual
+            # rejects are never assembled into output columns.  The
+            # Filter above still applies the predicate on the volcano
+            # path (and passes already-filtered chunks through).
+            pushed = step.residual \
+                if isinstance(step.residual, Predicate) else None
             joined: Operator = IndexNestedLoopJoin(
-                outer, inner, step.outer_key, step.inner_column)
+                outer, inner, step.outer_key, step.inner_column,
+                residual=pushed)
         else:
             build: Operator = Scan(inner)
             if step.inner_column is None:
@@ -218,8 +286,9 @@ class Optimizer:
                               label=f"hashjoin({step.inner_table})",
                               prefix="inner_")
         if step.residual is not None:
-            from .operators import Filter
-
+            prefiltered = (algorithm == "inl"
+                           and isinstance(step.residual, Predicate))
             joined = Filter(joined, step.residual,
-                            label=f"filter#{index}")
+                            label=f"filter#{index}",
+                            prefiltered=prefiltered)
         return joined

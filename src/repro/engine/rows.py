@@ -18,6 +18,7 @@ from bisect import bisect_left, bisect_right
 from typing import Any, Iterable, Iterator
 
 from ..errors import DuplicateError, EngineError, NotFoundError
+from ..store.csr import CSRGraph
 
 
 class Schema:
@@ -77,6 +78,10 @@ class Table:
         self._ordered_index: list[tuple[Any, tuple]] = []
         # Parallel key array so range scans bisect without copying.
         self._ordered_keys: list[Any] = []
+        # Lazily packed CSR adjacency per (from, to) column pair; the
+        # epoch is the row count at build time (tables are append-only,
+        # so a changed count is the only possible invalidation).
+        self._csr: dict[tuple[str, str], tuple[int, CSRGraph]] = {}
 
     # -- schema -------------------------------------------------------------
 
@@ -165,6 +170,32 @@ class Table:
             indices = reversed(indices)
         for i in indices:
             yield self._ordered_index[i][1]
+
+    def csr(self, from_column: str, to_column: str) -> CSRGraph:
+        """Packed adjacency over ``(from_column, to_column)`` edges.
+
+        Built lazily and cached per row-count epoch; the hash-index
+        postings (when present) provide the same per-source neighbor
+        order as a row scan, so both builds produce identical graphs.
+        """
+        key = (from_column, to_column)
+        entry = self._csr.get(key)
+        epoch = len(self.rows)
+        if entry is not None and entry[0] == epoch:
+            return entry[1]
+        from_position = self.schema.position(from_column)
+        to_position = self.schema.position(to_column)
+        index = self._hash_indexes.get(from_column)
+        if index is not None:
+            graph = CSRGraph.from_adjacency(
+                {source: [row[to_position] for row in rows]
+                 for source, rows in index.items()})
+        else:
+            graph = CSRGraph.from_edges(
+                (row[from_position], row[to_position])
+                for row in self.rows)
+        self._csr[key] = (epoch, graph)
+        return graph
 
     # -- statistics -------------------------------------------------------------
 

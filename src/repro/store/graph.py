@@ -103,6 +103,13 @@ class GraphStore:
         #: and commits invalidate the keys they touch (under the commit
         #: lock, before the commit timestamp is published).
         self.adjacency_cache = None
+        #: Optional :class:`repro.store.csr.CSRCache` of packed whole-
+        #: label adjacency (the BFS fast path).  Validity is tracked by
+        #: per-label append counters: every path that adds an edge
+        #: record bumps the label's counter, and a packed snapshot is
+        #: served only while the counter is unchanged.
+        self.csr_cache = None
+        self._edge_appends: dict[str, int] = {}
         #: Optional :class:`repro.faults.ConflictInjector`.  When
         #: attached, a seeded fraction of commits raise a genuine
         #: :class:`~repro.errors.WriteConflictError` before validation,
@@ -201,6 +208,8 @@ class GraphStore:
                     src, []).append(_EdgeRecord(dst, props, ts))
                 self._adjacency(label, Direction.IN).setdefault(
                     dst, []).append(_EdgeRecord(src, props, ts))
+                self._edge_appends[label] = \
+                    self._edge_appends.get(label, 0) + 1
             if self.adjacency_cache is not None and txn.new_edges:
                 # Invalidate touched keys before the timestamp publish;
                 # the cache's serve-time snapshot-range check covers any
@@ -260,6 +269,8 @@ class GraphStore:
         for src, dst, props in rows:
             out_table.setdefault(src, []).append(_EdgeRecord(dst, props, 1))
             in_table.setdefault(dst, []).append(_EdgeRecord(src, props, 1))
+        self._edge_appends[label] = \
+            self._edge_appends.get(label, 0) + len(rows)
         if self.adjacency_cache is not None:
             self.adjacency_cache.clear()
         if self._last_committed < 1:
@@ -279,6 +290,8 @@ class GraphStore:
         for dir_value, anchor, other, props in halves:
             self._adjacency(label, Direction(dir_value)).setdefault(
                 anchor, []).append(_EdgeRecord(other, props, 1))
+        self._edge_appends[label] = \
+            self._edge_appends.get(label, 0) + len(halves)
         if self.adjacency_cache is not None:
             self.adjacency_cache.clear()
         if self._last_committed < 1:
@@ -315,6 +328,8 @@ class GraphStore:
             for label, dir_value, anchor, other, props in edge_halves:
                 self._adjacency(label, Direction(dir_value)).setdefault(
                     anchor, []).append(_EdgeRecord(other, props, ts))
+                self._edge_appends[label] = \
+                    self._edge_appends.get(label, 0) + 1
             if self.adjacency_cache is not None and edge_halves:
                 self.adjacency_cache.invalidate(
                     (label, anchor, Direction(dir_value))
@@ -532,6 +547,39 @@ class Transaction:
         """
         return {vid: list(self.neighbors(edge_label, vid, direction))
                 for vid in vids}
+
+    def csr_snapshot(self, edge_label: str,
+                     direction: Direction = Direction.OUT):
+        """Packed whole-label adjacency for this snapshot, or None.
+
+        Served from the store's :class:`~repro.store.csr.CSRCache` only
+        when it is provably equivalent to per-record visibility checks:
+        the transaction must hold the head snapshot and carry no edge
+        writes of its own.  The build filters by ``ts <= snapshot``, and
+        the cache keys validity on the label's pre-build append counter,
+        so a commit racing the build merely forces the next lookup to
+        rebuild — the raced entry was still correct for its reader.
+        """
+        self._check_open()
+        store = self.store
+        cache = store.csr_cache
+        if cache is None or self.new_edges \
+                or self.snapshot != store.last_committed:
+            return None
+        snapshot = self.snapshot
+        counter = store._edge_appends.get(edge_label, 0)
+        table = (store._out if direction is Direction.OUT
+                 else store._in).get(edge_label) or {}
+
+        def build():
+            from .csr import CSRGraph
+
+            return CSRGraph.from_adjacency(
+                {vid: [record.other for record in records
+                       if record.ts <= snapshot]
+                 for vid, records in table.items()})
+
+        return cache.lookup((edge_label, direction), counter, build)
 
     def degree(self, edge_label: str, vid: int,
                direction: Direction = Direction.OUT) -> int:
